@@ -1,0 +1,102 @@
+"""Future-work bench — blocked kernels for general tensor sizes.
+
+Section VI: "we hope to be able to attain the same performance reported
+here for tensors of general size using register blocking and loop
+unrolling."  This bench measures the blocked decomposition against the
+flat per-entry kernels as the dimension grows (where full unrolling stops
+being viable), and sweeps the block size (the paper's open question of
+choosing block shapes/ordering for cache behaviour).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import format_table, report
+from repro.kernels.batched import ax_m_batched
+from repro.kernels.blocked import ax_m1_blocked, ax_m_blocked, blocking_plan
+from repro.kernels.precomputed import ax_m_precomputed
+from repro.kernels.tables import kernel_tables
+from repro.symtensor.random import random_symmetric_tensor
+from repro.util.combinatorics import num_unique_entries
+
+
+@pytest.mark.benchmark(group="blocked-vs-flat")
+@pytest.mark.parametrize("n", [6, 12, 24])
+@pytest.mark.parametrize("variant", ["blocked", "precomputed", "vectorized"])
+def test_bench_scalar_kernel_scaling(benchmark, n, variant):
+    m = 4
+    tensor = random_symmetric_tensor(m, n, rng=0)
+    x = np.random.default_rng(1).normal(size=n)
+    if variant == "blocked":
+        plan = blocking_plan(m, n, min(6, n))
+        ax_m_blocked(tensor, x, plan=plan)  # warm caches
+        benchmark(ax_m_blocked, tensor, x, 6, plan)
+    elif variant == "precomputed":
+        ax_m_precomputed(tensor, x)
+        benchmark(ax_m_precomputed, tensor, x)
+    else:
+        tab = kernel_tables(m, n)
+        benchmark(ax_m_batched, tensor.values, x, tab)
+
+
+@pytest.mark.benchmark(group="blocked-blocksize")
+@pytest.mark.parametrize("block_size", [2, 4, 6, 12, 24])
+def test_bench_block_size_sweep(benchmark, block_size):
+    """Block-size tradeoff at m=4, n=24 (the analog of choosing register
+    block extents)."""
+    m, n = 4, 24
+    tensor = random_symmetric_tensor(m, n, rng=2)
+    x = np.random.default_rng(3).normal(size=n)
+    plan = blocking_plan(m, n, block_size)
+    ax_m1_blocked(tensor, x, plan=plan)
+
+    def run():
+        ax_m_blocked(tensor, x, plan=plan)
+        ax_m1_blocked(tensor, x, plan=plan)
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="blocked-report")
+def test_report_blocked_speedup(benchmark):
+    """Speedup of blocked over flat per-entry evaluation across sizes."""
+    import time
+
+    def build():
+        rows = []
+        for m, n in [(4, 6), (4, 12), (4, 24), (4, 48), (6, 12)]:
+            tensor = random_symmetric_tensor(m, n, rng=4)
+            x = np.random.default_rng(5).normal(size=n)
+            plan = blocking_plan(m, n, min(6, n))
+            # warm both paths so one-time table construction is excluded
+            ax_m_blocked(tensor, x, plan=plan)
+            ax_m_precomputed(tensor, x)
+            reps = 5
+            t0 = time.perf_counter()
+            for _ in range(reps):
+                ax_m_blocked(tensor, x, plan=plan)
+            blocked = (time.perf_counter() - t0) / reps
+            t0 = time.perf_counter()
+            ax_m_precomputed(tensor, x)
+            flat = time.perf_counter() - t0
+            rows.append([
+                f"m={m} n={n}", num_unique_entries(m, n), plan.num_blocks,
+                f"{blocked * 1e3:8.3f}", f"{flat * 1e3:8.3f}",
+                f"{flat / blocked:7.1f}x",
+            ])
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    # the win must grow with problem size
+    speedups = [float(r[5].rstrip("x")) for r in rows]
+    assert speedups[2] > speedups[0]
+    assert speedups[2] > 5.0
+    report(
+        "blocked_future_work",
+        format_table(
+            "Section VI future work: blocked kernels for general (m, n) — "
+            "A x^m wall-clock, blocked contractions vs flat per-entry loop",
+            ["size", "U", "blocks", "blocked ms", "flat ms", "speedup"],
+            rows,
+        ),
+    )

@@ -1,0 +1,90 @@
+"""Section V-E ablation — occupancy-driven falloff for larger tensors.
+
+The paper: "We observe decreased performance for tensor sizes past a
+threshold of around order 4 and dimension 5" because per-thread registers
+and per-block shared memory grow with tensor size, reducing occupancy.
+This bench sweeps (m, n), reports blocks/SM, limiting resource, and modeled
+fraction of peak, and asserts the threshold location.  It also reports the
+paper's multi-GPU note (Section V-B) as a projection.
+"""
+
+import pytest
+
+from benchmarks.conftest import format_table, report
+from repro.gpu.device import GTX_480, TESLA_C1060, TESLA_C2050
+from repro.gpu.kernelspec import sshopm_launch
+from repro.gpu.occupancy import compute_occupancy
+from repro.gpu.perfmodel import predict_sshopm
+
+SWEEP = [(4, 3), (4, 4), (4, 5), (4, 6), (4, 7), (6, 3), (6, 4), (6, 5), (8, 3), (8, 4)]
+
+
+@pytest.mark.benchmark(group="occupancy-report")
+def test_occupancy_falloff_sweep(benchmark):
+    def build():
+        rows = []
+        fractions = {}
+        for m, n in SWEEP:
+            launch = sshopm_launch(m, n, num_starts=128, variant="unrolled")
+            occ = compute_occupancy(TESLA_C2050, launch)
+            pred = predict_sshopm(m=m, n=n, num_tensors=1024, num_starts=128,
+                                  iterations=40.0, variant="unrolled")
+            fractions[(m, n)] = pred.fraction_of_peak
+            rows.append([
+                f"m={m} n={n}",
+                launch.registers_per_thread,
+                launch.shared_mem_per_block,
+                occ.blocks_per_sm,
+                occ.limiting_factor,
+                occ.spilled_registers,
+                f"{pred.gflops:8.1f}",
+                f"{pred.fraction_of_peak:6.1%}",
+            ])
+        return rows, fractions
+
+    rows, fractions = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    # the paper's threshold: healthy through (4,5), degraded past it
+    assert fractions[(4, 5)] > 0.8 * fractions[(4, 3)]
+    assert fractions[(4, 6)] < 0.8 * fractions[(4, 3)]
+    assert fractions[(6, 5)] < 0.8 * fractions[(4, 3)]
+    report(
+        "occupancy_falloff",
+        format_table(
+            "Section V-E (modeled): occupancy falloff past ~order 4 / "
+            "dimension 5 (Tesla C2050, V=128, unrolled)",
+            ["size", "regs/thr", "smem/blk", "blk/SM", "limit", "spill",
+             "GFLOPS", "frac-peak"],
+            rows,
+        ),
+    )
+
+
+@pytest.mark.benchmark(group="occupancy-report")
+def test_other_devices_and_multigpu(benchmark):
+    """Section V-E: 'similar performance (relative to peak) ... on two other
+    NVIDIA GPUs'; Section V-B: 'this approach generalizes to a system with
+    multiple GPUs'."""
+
+    def build():
+        rows = []
+        for dev in (TESLA_C2050, TESLA_C1060, GTX_480):
+            p = predict_sshopm(device=dev, iterations=40.0)
+            rows.append([dev.name, f"{p.gflops:8.1f}", f"{p.fraction_of_peak:6.1%}", 1])
+        for d in (2, 4):
+            p = predict_sshopm(iterations=40.0, num_devices=d)
+            rows.append([f"{TESLA_C2050.name} x{d}", f"{p.gflops:8.1f}",
+                         f"{p.fraction_of_peak:6.1%}", d])
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    fracs = [float(r[2].strip("%")) for r in rows[:3]]
+    assert max(fracs) - min(fracs) < 10.0  # similar relative performance
+    report(
+        "other_devices_multigpu",
+        format_table(
+            "Other devices & multi-GPU projection (m=4, n=3, T=1024, V=128)",
+            ["device", "GFLOPS", "frac-peak", "count"],
+            rows,
+        ),
+    )

@@ -1,0 +1,76 @@
+"""Table I — the index classes of I^[3,4] in lexicographic order.
+
+Regenerates the paper's Table I verbatim (20 rows, index and monomial
+representations) and benchmarks the UPDATEINDEX enumeration machinery.
+Every test here uses the ``benchmark`` fixture so the module runs fully
+under ``pytest benchmarks/ --benchmark-only``.
+"""
+
+import pytest
+
+from benchmarks.conftest import format_table, report
+from repro.symtensor.indexing import (
+    index_classes,
+    iter_index_classes,
+    monomial_from_index,
+    rank_index,
+    unrank_index,
+    update_index,
+)
+from repro.util.combinatorics import num_unique_entries
+
+
+def _build_table1_rows():
+    rows = []
+    for i, index in enumerate(iter_index_classes(3, 4), start=1):
+        mono = monomial_from_index(index, 4)
+        rows.append([i, " ".join(map(str, index)), " ".join(map(str, mono))])
+    return rows
+
+
+@pytest.mark.benchmark(group="table1-regenerate")
+def test_regenerate_table1(benchmark):
+    rows = benchmark(_build_table1_rows)
+    assert len(rows) == 20
+    # spot checks against the paper's printed table
+    assert rows[0][1] == "1 1 1" and rows[0][2] == "3 0 0 0"
+    assert rows[14][1] == "2 3 4" and rows[14][2] == "0 1 1 1"
+    assert rows[19][1] == "4 4 4" and rows[19][2] == "0 0 0 3"
+    report(
+        "table1_index_classes",
+        format_table(
+            "Table I: index classes of I^[3,4] in lexicographic order",
+            ["#", "index", "monomial"],
+            rows,
+        ),
+    )
+
+
+def _full_enumeration(m, n):
+    index = [1] * m
+    count = 1
+    while update_index(index, n):
+        count += 1
+    return count
+
+
+@pytest.mark.benchmark(group="table1-enumeration")
+@pytest.mark.parametrize("m,n", [(3, 4), (4, 3), (4, 8), (6, 6)])
+def test_bench_update_index(benchmark, m, n):
+    """Throughput of the Figure 4 successor function over a full
+    enumeration."""
+    count = benchmark(_full_enumeration, m, n)
+    assert count == num_unique_entries(m, n) == len(index_classes(m, n))
+
+
+@pytest.mark.benchmark(group="table1-enumeration")
+def test_bench_rank_unrank(benchmark):
+    """Random access into the lex order (rank/unrank round trip)."""
+
+    def work():
+        acc = 0
+        for r in range(0, num_unique_entries(4, 8), 7):
+            acc += rank_index(unrank_index(r, 4, 8), 8)
+        return acc
+
+    benchmark(work)

@@ -1,0 +1,125 @@
+"""Table II — storage and computational costs, general vs symmetric.
+
+The paper's Table II gives the asymptotic costs; this bench regenerates it
+with *measured* quantities: stored element counts and instrumented flop
+counts of the actual kernels, across a sweep of (m, n), with the paper's
+closed forms alongside.  Also times compressed-vs-dense kernels to show the
+real-world effect of the flop savings.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import format_table, report
+from repro.kernels.compressed import (
+    ax_m1_compressed,
+    ax_m_compressed,
+    symmetric_flops_scalar,
+    symmetric_flops_vector,
+)
+from repro.kernels.reference import ax_m1_dense, ax_m_dense, general_flops
+from repro.symtensor.random import random_symmetric_tensor
+from repro.util.combinatorics import factorial, num_total_entries, num_unique_entries
+from repro.util.flopcount import FlopCounter
+
+SWEEP = [(3, 3), (3, 6), (4, 3), (4, 6), (5, 4), (6, 3), (6, 5)]
+
+
+def _measure_row(m, n):
+    tensor = random_symmetric_tensor(m, n, rng=0)
+    x = np.random.default_rng(1).normal(size=n)
+    c0, c1, d0, d1 = (FlopCounter() for _ in range(4))
+    dense = tensor.to_dense()
+    y = ax_m_compressed(tensor, x, counter=c0)
+    v = ax_m1_compressed(tensor, x, counter=c1)
+    yd = ax_m_dense(dense, x, counter=d0)
+    vd = ax_m1_dense(dense, x, counter=d1)
+    assert np.isclose(y, yd) and np.allclose(v, vd)
+    return {
+        "storage_general": num_total_entries(m, n),
+        "storage_symmetric": num_unique_entries(m, n),
+        "flops_general_scalar": d0.flops,
+        "flops_symmetric_scalar": c0.flops,
+        "flops_general_vector": d1.flops,
+        "flops_symmetric_vector": c1.flops,
+    }
+
+
+@pytest.mark.benchmark(group="table2-report")
+def test_regenerate_table2(benchmark):
+    rows = []
+    for m, n in SWEEP:
+        r = benchmark.pedantic(_measure_row, args=(m, n), rounds=1, iterations=1) if (
+            (m, n) == SWEEP[0]
+        ) else _measure_row(m, n)
+        storage_ratio = r["storage_general"] / r["storage_symmetric"]
+        flop_ratio = r["flops_general_scalar"] / r["flops_symmetric_scalar"]
+        rows.append(
+            [
+                f"m={m} n={n}",
+                r["storage_general"],
+                r["storage_symmetric"],
+                f"{storage_ratio:.1f}x (m!={factorial(m)})",
+                r["flops_general_scalar"],
+                r["flops_symmetric_scalar"],
+                r["flops_general_vector"],
+                r["flops_symmetric_vector"],
+                f"{flop_ratio:.1f}x",
+            ]
+        )
+        # sanity against the closed forms
+        assert r["flops_symmetric_scalar"] == symmetric_flops_scalar(m, n)
+        assert r["flops_symmetric_vector"] == symmetric_flops_vector(m, n)
+        assert r["flops_general_scalar"] >= general_flops(m, n)
+    report(
+        "table2_costs",
+        format_table(
+            "Table II (measured): storage & flops, general vs symmetric\n"
+            "(paper: storage n^m vs n^m/m!+O(n^{m-1}); Ax^m flops 2n^m vs "
+            "O(n^m/(m-1)!); Ax^{m-1} flops 2n^m vs O(m n^m/(m-1)!))",
+            ["size", "st.gen", "st.sym", "st.ratio",
+             "Axm.gen", "Axm.sym", "Axm1.gen", "Axm1.sym", "flop.ratio"],
+            rows,
+        ),
+    )
+
+
+@pytest.mark.benchmark(group="table2-kernels-scalar")
+@pytest.mark.parametrize("variant", ["dense", "compressed", "precomputed", "vectorized"])
+def test_bench_scalar_kernel_m4n6(benchmark, variant):
+    """Wall-clock effect of the Table II flop savings on A x^m (m=4, n=6)."""
+    tensor = random_symmetric_tensor(4, 6, rng=2)
+    x = np.random.default_rng(3).normal(size=6)
+    if variant == "dense":
+        dense = tensor.to_dense()
+        benchmark(ax_m_dense, dense, x)
+    elif variant == "compressed":
+        benchmark(ax_m_compressed, tensor, x)
+    elif variant == "precomputed":
+        from repro.kernels.precomputed import ax_m_precomputed
+
+        benchmark(ax_m_precomputed, tensor, x)
+    else:
+        from repro.kernels.batched import ax_m_batched
+        from repro.kernels.tables import kernel_tables
+
+        tab = kernel_tables(4, 6)
+        benchmark(ax_m_batched, tensor.values, x, tab)
+
+
+@pytest.mark.benchmark(group="table2-kernels-vector")
+@pytest.mark.parametrize("variant", ["dense", "compressed", "vectorized"])
+def test_bench_vector_kernel_m4n6(benchmark, variant):
+    tensor = random_symmetric_tensor(4, 6, rng=4)
+    x = np.random.default_rng(5).normal(size=6)
+    if variant == "dense":
+        dense = tensor.to_dense()
+        benchmark(ax_m1_dense, dense, x)
+    elif variant == "compressed":
+        benchmark(ax_m1_compressed, tensor, x)
+    else:
+        from repro.kernels.batched import ax_m1_batched
+        from repro.kernels.tables import kernel_tables
+
+        tab = kernel_tables(4, 6)
+        benchmark(ax_m1_batched, tensor.values, x, tab)

@@ -1,0 +1,45 @@
+"""Basins of attraction: which starting vectors find which eigenpairs.
+
+The paper runs SS-HOPM from 128 random starting vectors per tensor "in the
+hope of reasonably covering the sphere", and lists "choice of starting
+vector" among the open problems.  This example maps the basins of
+attraction explicitly for the fixed example tensor: an ASCII chart of the
+sphere colored by the eigenpair each start converges to, basin sizes, and
+a coupon-collector estimate of how many random starts guarantee full
+coverage — context for the paper's V = 128.
+
+Run:  python examples/basin_explorer.py
+"""
+
+from repro.core import (
+    basin_map,
+    render_basin_map,
+    starts_needed_estimate,
+    suggested_shift,
+)
+from repro.symtensor import kolda_mayo_example_3x3x3
+
+
+def main():
+    tensor = kolda_mayo_example_3x3x3()
+    alpha = suggested_shift(tensor)
+    print(f"tensor: {tensor}, shift alpha = {alpha:.3f}")
+    print("mapping basins from 900 starting vectors...\n")
+    bmap = basin_map(tensor, alpha=alpha, resolution=900, tol=1e-12,
+                     max_iter=5000)
+
+    print(render_basin_map(bmap, width=72, height=22))
+    print(f"\nconverged starts: {bmap.coverage:.1%}")
+    print(f"{'lambda':>10s}  {'stability':<12s}{'basin':>8s}")
+    for pair, frac in zip(bmap.pairs, bmap.fractions):
+        print(f"{pair.eigenvalue:+10.4f}  {pair.stability:<12s}{frac:8.1%}")
+
+    for conf in (0.95, 0.99, 0.999):
+        need = starts_needed_estimate(bmap.fractions, conf)
+        print(f"random starts for {conf:.1%} full coverage: {need}")
+    print("\n(the paper uses V = 128 starts per tensor — comfortably above "
+          "the estimate for this spectrum)")
+
+
+if __name__ == "__main__":
+    main()

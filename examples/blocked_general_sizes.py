@@ -1,0 +1,102 @@
+"""Blocked kernels for general tensor sizes — the paper's future work, live.
+
+Section VI: "we hope to be able to attain the same performance reported
+here for tensors of general size using register blocking and loop
+unrolling. The main implementation challenges will be to classify the
+various shapes of register blocks that arise (for each order m) so that
+each shape may be handled separately."
+
+This example (1) enumerates those block shapes for several orders,
+(2) shows the block decomposition of a moderately large symmetric tensor,
+(3) times blocked vs per-entry evaluation across growing dimension, and
+(4) runs SS-HOPM on a tensor far beyond the unrollable regime.
+
+Run:  python examples/blocked_general_sizes.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.core import sshopm
+from repro.kernels import (
+    ax_m_blocked,
+    ax_m_precomputed,
+    block_shapes,
+    blocking_plan,
+)
+from repro.symtensor import random_symmetric_tensor
+from repro.util.asciiplot import ascii_bars
+from repro.util.combinatorics import num_unique_entries
+
+
+def main():
+    print("=== block shapes per order (Section VI's classification) ===")
+    for m in (2, 3, 4, 6):
+        shapes = block_shapes(m)
+        print(f"  m={m}: {len(shapes):2d} shapes: {shapes}")
+
+    print("\n=== decomposition of R^[4,24] with chunk size 6 ===")
+    plan = blocking_plan(4, 24, 6)
+    print(f"  {num_unique_entries(4, 24)} unique values -> "
+          f"{plan.num_blocks} blocks over {plan.num_chunks} chunks")
+    by_shape: dict = {}
+    for blk in plan.blocks:
+        key = tuple(sorted(blk.orders, reverse=True))
+        entry = by_shape.setdefault(key, [0, 0])
+        entry[0] += 1
+        entry[1] += blk.gather.size
+    for shape, (count, entries) in sorted(by_shape.items(), reverse=True):
+        print(f"  shape {str(shape):<14s} {count:3d} blocks, {entries:6d} entries")
+
+    print("\n=== A x^m wall-clock: blocked vs flat per-entry loop ===")
+    labels, speedups = [], []
+    for n in (6, 12, 24, 48):
+        tensor = random_symmetric_tensor(4, n, rng=0)
+        x = np.random.default_rng(1).normal(size=n)
+        p = blocking_plan(4, n, min(6, n))
+        ax_m_blocked(tensor, x, plan=p)  # warm
+        ax_m_precomputed(tensor, x)
+        t0 = time.perf_counter()
+        for _ in range(5):
+            yb = ax_m_blocked(tensor, x, plan=p)
+        tb = (time.perf_counter() - t0) / 5
+        t0 = time.perf_counter()
+        yf = ax_m_precomputed(tensor, x)
+        tf = time.perf_counter() - t0
+        assert np.isclose(yb, yf)
+        labels.append(f"n={n} (U={num_unique_entries(4, n)})")
+        speedups.append(tf / tb)
+        print(f"  n={n:3d}: blocked {tb * 1e3:8.3f} ms, flat {tf * 1e3:8.3f} ms, "
+              f"speedup {tf / tb:6.1f}x")
+    print("\n" + ascii_bars(labels, speedups, unit="x"))
+
+    print("\n=== SS-HOPM on R^[4,32] (52,360 unique values) ===")
+    tensor = random_symmetric_tensor(4, 32, rng=2)
+    p32 = blocking_plan(4, 32, 8)
+    # a practical shift: the conservative provable bound scales with the
+    # Frobenius norm (huge at this size and painfully slow); probe the form
+    # on a few random unit vectors instead and take a comfortable multiple
+    from repro.kernels.dispatch import KernelPair
+    from repro.kernels.blocked import ax_m1_blocked
+    from repro.util.rng import random_unit_vectors
+
+    pair = KernelPair(
+        "blocked",
+        lambda tt, x: ax_m_blocked(tt, x, plan=p32),
+        lambda tt, x: ax_m1_blocked(tt, x, plan=p32),
+    )
+    probes = random_unit_vectors(20, 32, rng=5)
+    alpha = 3.0 * max(abs(pair.ax_m(tensor, q)) for q in probes)
+    t0 = time.perf_counter()
+    res = sshopm(tensor, alpha=alpha, kernels=pair, rng=3, tol=1e-10, max_iter=4000)
+    dt = time.perf_counter() - t0
+    print(f"  probe-based shift alpha = {alpha:.2f}")
+    print(f"  lambda = {res.eigenvalue:+.6f} in {res.iterations} iterations "
+          f"({dt:.2f}s), residual {res.residual:.2e}, converged={res.converged}")
+    print("  (full unrolling at this size would emit a ~52k-term source "
+          "file; blocking keeps per-shape kernels tiny)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""DW-MRI nerve-fiber detection — the paper's motivating application
+(Section IV), end to end on a synthetic phantom.
+
+Pipeline:
+  1. synthesize a 32x32 voxel grid (1024 voxels, like the paper's test
+     set): single-fiber voxels plus a band of crossing fibers at 75 deg;
+  2. sample each voxel's apparent diffusion coefficient on 32 gradient
+     directions (with measurement noise) and least-squares fit an order-4
+     symmetric tensor per voxel (15 unique values from >= 15 measurements);
+  3. run batched multistart SS-HOPM (alpha = 0, 128 starts, the paper's
+     configuration) to find each tensor's positive-stable eigenpairs =
+     local ADC maxima = fiber directions;
+  4. score against ground truth and draw the detected fiber map.
+
+Run:  python examples/mri_fiber_detection.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.mri import evaluate_detection, extract_fibers_batch, make_phantom
+
+
+def fiber_glyph(directions: np.ndarray) -> str:
+    """One-character glyph for a voxel's fiber content: orientation of a
+    single fiber (in-plane), 'X' for crossings, '.' for none."""
+    if directions.shape[0] == 0:
+        return "."
+    if directions.shape[0] >= 2:
+        return "X"
+    d = directions[0]
+    angle = np.degrees(np.arctan2(d[1], d[0])) % 180.0
+    if angle < 22.5 or angle >= 157.5:
+        return "-"
+    if angle < 67.5:
+        return "/"
+    if angle < 112.5:
+        return "|"
+    return "\\"
+
+
+def main():
+    rows = cols = 32
+    print(f"synthesizing {rows * cols}-voxel phantom "
+          "(order-4 tensors, 32 gradients, 2% noise)...")
+    t0 = time.perf_counter()
+    phantom = make_phantom(rows=rows, cols=cols, num_gradients=32,
+                           crossing_angle_deg=75.0, noise_sigma=0.02, rng=42)
+    print(f"  built + fitted in {time.perf_counter() - t0:.2f}s; "
+          f"tensor batch {phantom.tensors.values.shape}")
+
+    print("running batched multistart SS-HOPM (128 starts/voxel, alpha=0)...")
+    t0 = time.perf_counter()
+    fibers = extract_fibers_batch(phantom.tensors, num_starts=128, alpha=0.0, rng=7)
+    dt = time.perf_counter() - t0
+    total_problems = rows * cols * 128
+    print(f"  solved {total_problems} eigenproblem instances in {dt:.2f}s "
+          f"({total_problems / dt:,.0f} SS-HOPM runs/s)\n")
+
+    rep = evaluate_detection([f.directions for f in fibers], phantom.true_directions)
+    print("detection quality vs ground truth:")
+    print(f"  voxels with correct fiber count : {rep.correct_count_fraction:.1%}")
+    print(f"  mean angular error              : {rep.mean_angular_error_deg:.2f} deg")
+    print(f"  matched / false pos / missed    : "
+          f"{rep.matched} / {rep.false_positives} / {rep.misses}")
+    for count, (vox, ok, err) in rep.by_fiber_count.items():
+        label = "single-fiber" if count == 1 else f"{count}-fiber"
+        print(f"  {label:13s}: {ok}/{vox} count-correct, "
+              f"{err:.2f} deg mean error")
+
+    print("\ndetected fiber map ('X' = crossing region):")
+    for r in range(rows):
+        line = "".join(
+            fiber_glyph(fibers[phantom.voxel_index(r, c)].directions)
+            for c in range(cols)
+        )
+        print("  " + line)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""repro — reproduction of Ballard, Kolda & Plantenga,
+"Efficiently Computing Tensor Eigenvalues on a GPU" (IPDPS-W 2011).
+
+Subpackages
+-----------
+``repro.symtensor``
+    Compressed symmetric tensor storage (Section III-A): index classes,
+    lexicographic enumeration, single and batched containers.
+``repro.kernels``
+    ``A x^m`` / ``A x^{m-1}`` in every variant the paper benchmarks:
+    dense reference, spec-faithful compressed loops, precomputed tables,
+    code-generated unrolled, and batched vectorized.
+``repro.core``
+    SS-HOPM (fixed and adaptive shift), batched multistart, eigenpair
+    deduplication and stability classification.
+``repro.gpu``
+    Simulated CUDA substrate: device specs, occupancy, event-driven grid
+    execution, calibrated performance model (substitutes for the Tesla
+    C2050 — see DESIGN.md).
+``repro.parallel``
+    CPU partitioning/executor and the calibrated OpenMP scaling model.
+``repro.mri``
+    The DW-MRI fiber-detection application: synthetic phantom, tensor
+    fitting, fiber extraction, metrics.
+
+Quick start
+-----------
+>>> from repro.symtensor import random_symmetric_tensor
+>>> from repro.core import find_eigenpairs, suggested_shift
+>>> A = random_symmetric_tensor(4, 3, rng=0)
+>>> pairs = find_eigenpairs(A, num_starts=64, alpha=suggested_shift(A), rng=1)
+>>> (pairs[0].eigenvalue, pairs[0].stability)  # doctest: +SKIP
+"""
+
+__version__ = "1.0.0"
+
+from repro import core, gpu, kernels, mri, parallel, symtensor, util
+
+__all__ = ["core", "gpu", "kernels", "mri", "parallel", "symtensor", "util", "__version__"]

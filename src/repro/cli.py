@@ -1,0 +1,258 @@
+"""Command-line interface.
+
+Subcommands mirror the workflows in the paper and this repo's benchmarks::
+
+    repro spectrum  --m 4 --n 3 --seed 42          # eigenpairs of a tensor
+    repro phantom   --rows 32 --cols 32 -o p.npz   # synthesize a test set
+    repro detect    p.npz                          # fiber detection + score
+    repro gpu-model --tensors 1024                 # Table III-style output
+    repro kernels   --m 4 --n 6                    # kernel variant timing
+
+Also runnable as ``python -m repro.cli ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def _cmd_spectrum(args) -> int:
+    from repro.core import adaptive_sshopm, find_eigenpairs, suggested_shift
+    from repro.symtensor import kolda_mayo_example_3x3x3, random_symmetric_tensor
+
+    if args.example:
+        tensor = kolda_mayo_example_3x3x3()
+    else:
+        tensor = random_symmetric_tensor(args.m, args.n, rng=args.seed)
+    alpha = args.alpha if args.alpha is not None else suggested_shift(tensor)
+    print(f"{tensor}  alpha={alpha:.4f}  starts={args.starts}")
+    pairs = find_eigenpairs(
+        tensor, num_starts=args.starts, alpha=alpha, rng=args.seed + 1,
+        tol=args.tol, max_iter=args.max_iter,
+    )
+    print(f"{'lambda':>12s}  {'stability':<12s}{'basin':>7s}  {'residual':>9s}  x")
+    for p in pairs:
+        vec = np.array2string(p.eigenvector, precision=4, suppress_small=True)
+        print(f"{p.eigenvalue:+12.6f}  {p.stability:<12s}{p.occurrences:>7d}"
+              f"  {p.residual:9.2e}  {vec}")
+    if args.adaptive:
+        res = adaptive_sshopm(tensor, rng=args.seed + 2, tol=args.tol)
+        print(f"adaptive run: lambda={res.eigenvalue:+.6f} in {res.iterations} iters")
+    return 0
+
+
+def _cmd_phantom(args) -> int:
+    from repro.io import save_phantom
+    from repro.mri import make_phantom
+
+    phantom = make_phantom(
+        rows=args.rows, cols=args.cols, order=args.order,
+        num_gradients=args.gradients, crossing_angle_deg=args.crossing_angle,
+        noise_sigma=args.noise, rng=args.seed,
+    )
+    save_phantom(args.output, phantom)
+    counts = phantom.num_fibers()
+    print(f"wrote {args.output}: {phantom.num_voxels} voxels "
+          f"({int((counts == 2).sum())} crossing), order {args.order}, "
+          f"{args.gradients} gradients, noise {args.noise}")
+    return 0
+
+
+def _cmd_detect(args) -> int:
+    from repro.io import load_phantom
+    from repro.mri import evaluate_detection, extract_fibers_batch
+
+    phantom = load_phantom(args.phantom)
+    t0 = time.perf_counter()
+    fibers = extract_fibers_batch(
+        phantom.tensors, num_starts=args.starts, alpha=args.alpha, rng=args.seed,
+    )
+    dt = time.perf_counter() - t0
+    rep = evaluate_detection([f.directions for f in fibers], phantom.true_directions)
+    print(f"solved {phantom.num_voxels} voxels x {args.starts} starts "
+          f"in {dt:.2f}s")
+    print(f"correct fiber count: {rep.correct_count_fraction:.1%}")
+    print(f"mean angular error : {rep.mean_angular_error_deg:.2f} deg")
+    print(f"matched/fp/missed  : {rep.matched}/{rep.false_positives}/{rep.misses}")
+    return 0 if rep.correct_count_fraction > 0.5 else 1
+
+
+def _cmd_gpu_model(args) -> int:
+    from repro.gpu import KNOWN_DEVICES, TESLA_C2050, predict_sshopm
+    from repro.parallel import predict_cpu_sshopm
+
+    device = KNOWN_DEVICES.get(args.device, TESLA_C2050)
+    print(f"device: {device.name} (peak {device.peak_gflops:.0f} GFLOPS)")
+    print(f"{'config':<16s}{'GFLOPS':>10s}{'ms':>10s}{'frac peak':>11s}")
+    from repro.gpu.kernelspec import sshopm_launch
+
+    launch = sshopm_launch(args.m, args.n, num_starts=args.starts, variant="unrolled")
+    flops = args.tensors * args.starts * args.iterations * launch.flops_per_thread_iter
+    for variant in ("general", "unrolled"):
+        for cores in (1, 8):
+            p = predict_cpu_sshopm(flops, variant=variant, cores=cores)
+            print(f"CPU-{cores} {variant:<9s}{p.gflops:>10.2f}"
+                  f"{p.seconds * 1e3:>10.1f}{p.fraction_of_peak:>11.1%}")
+        g = predict_sshopm(m=args.m, n=args.n, num_tensors=args.tensors,
+                           num_starts=args.starts, iterations=args.iterations,
+                           variant=variant, device=device)
+        print(f"GPU   {variant:<9s}{g.gflops:>10.2f}"
+              f"{g.seconds * 1e3:>10.1f}{g.fraction_of_peak:>11.1%}")
+    return 0
+
+
+def _cmd_kernels(args) -> int:
+    from repro.kernels import available_variants, get_kernels
+    from repro.symtensor import random_symmetric_tensor
+
+    tensor = random_symmetric_tensor(args.m, args.n, rng=args.seed)
+    x = np.random.default_rng(args.seed + 1).normal(size=args.n)
+    print(f"kernel timing, m={args.m} n={args.n} "
+          f"({tensor.num_unique} unique values), {args.reps} reps")
+    baseline = None
+    for name in available_variants():
+        if name == "reference" and tensor.num_dense > 500_000:
+            print(f"{name:<14s} skipped (dense too large)")
+            continue
+        try:
+            pair = get_kernels(name, args.m, args.n)
+        except ValueError as exc:
+            print(f"{name:<14s} unavailable: {exc}")
+            continue
+        pair.ax_m(tensor, x)  # warm caches
+        t0 = time.perf_counter()
+        for _ in range(args.reps):
+            pair.ax_m(tensor, x)
+            pair.ax_m1(tensor, x)
+        dt = (time.perf_counter() - t0) / args.reps
+        if baseline is None:
+            baseline = dt
+        print(f"{name:<14s}{dt * 1e6:>12.1f} us {baseline / dt:>8.2f}x")
+    return 0
+
+
+def _cmd_basins(args) -> int:
+    from repro.core import basin_map, render_basin_map, starts_needed_estimate, suggested_shift
+    from repro.symtensor import kolda_mayo_example_3x3x3, random_symmetric_tensor
+
+    if args.example:
+        tensor = kolda_mayo_example_3x3x3()
+    else:
+        tensor = random_symmetric_tensor(args.m, 3, rng=args.seed)
+    alpha = args.alpha if args.alpha is not None else suggested_shift(tensor)
+    bmap = basin_map(tensor, alpha=alpha, resolution=args.resolution,
+                     tol=1e-12, max_iter=args.max_iter)
+    print(render_basin_map(bmap, width=args.width, height=args.height))
+    print(f"\nconverged: {bmap.coverage:.1%}; basins: "
+          + ", ".join(f"{p.eigenvalue:+.4f} ({f:.0%})"
+                      for p, f in zip(bmap.pairs, bmap.fractions)))
+    if (bmap.fractions > 0).any():
+        print(f"random starts for 99% full coverage: "
+              f"{starts_needed_estimate(bmap.fractions, 0.99)}")
+    return 0
+
+
+def _cmd_cudagen(args) -> int:
+    from repro.kernels.cudagen import generate_cuda_module
+
+    src = generate_cuda_module(args.m, args.n, args.starts)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(src)
+        print(f"wrote {args.output} ({len(src.splitlines())} lines)")
+    else:
+        print(src)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Tensor eigenvalues via SS-HOPM (Ballard/Kolda/Plantenga "
+        "IPDPS-W 2011 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("spectrum", help="eigenpairs of one symmetric tensor")
+    p.add_argument("--m", type=int, default=4)
+    p.add_argument("--n", type=int, default=3)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--starts", type=int, default=128)
+    p.add_argument("--alpha", type=float, default=None,
+                   help="shift (default: conservative provable shift)")
+    p.add_argument("--tol", type=float, default=1e-12)
+    p.add_argument("--max-iter", type=int, default=3000)
+    p.add_argument("--example", action="store_true",
+                   help="use the fixed 3x3x3 example tensor")
+    p.add_argument("--adaptive", action="store_true",
+                   help="also run one adaptive-shift iteration")
+    p.set_defaults(func=_cmd_spectrum)
+
+    p = sub.add_parser("phantom", help="synthesize a DW-MRI phantom")
+    p.add_argument("--rows", type=int, default=32)
+    p.add_argument("--cols", type=int, default=32)
+    p.add_argument("--order", type=int, default=4)
+    p.add_argument("--gradients", type=int, default=32)
+    p.add_argument("--crossing-angle", type=float, default=75.0)
+    p.add_argument("--noise", type=float, default=0.02)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("-o", "--output", required=True)
+    p.set_defaults(func=_cmd_phantom)
+
+    p = sub.add_parser("detect", help="fiber detection on a saved phantom")
+    p.add_argument("phantom")
+    p.add_argument("--starts", type=int, default=128)
+    p.add_argument("--alpha", type=float, default=0.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_detect)
+
+    p = sub.add_parser("gpu-model", help="Table III-style device predictions")
+    p.add_argument("--device", default="Tesla C2050 (Fermi)")
+    p.add_argument("--m", type=int, default=4)
+    p.add_argument("--n", type=int, default=3)
+    p.add_argument("--tensors", type=int, default=1024)
+    p.add_argument("--starts", type=int, default=128)
+    p.add_argument("--iterations", type=float, default=40.0)
+    p.set_defaults(func=_cmd_gpu_model)
+
+    p = sub.add_parser("basins", help="ASCII basin-of-attraction map (n=3)")
+    p.add_argument("--m", type=int, default=4)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--alpha", type=float, default=None)
+    p.add_argument("--resolution", type=int, default=400)
+    p.add_argument("--max-iter", type=int, default=3000)
+    p.add_argument("--width", type=int, default=72)
+    p.add_argument("--height", type=int, default=22)
+    p.add_argument("--example", action="store_true")
+    p.set_defaults(func=_cmd_basins)
+
+    p = sub.add_parser("cudagen", help="emit the CUDA kernel source (.cu)")
+    p.add_argument("--m", type=int, default=4)
+    p.add_argument("--n", type=int, default=3)
+    p.add_argument("--starts", type=int, default=128)
+    p.add_argument("-o", "--output", default=None)
+    p.set_defaults(func=_cmd_cudagen)
+
+    p = sub.add_parser("kernels", help="time the kernel variants")
+    p.add_argument("--m", type=int, default=4)
+    p.add_argument("--n", type=int, default=3)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--reps", type=int, default=200)
+    p.set_defaults(func=_cmd_kernels)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

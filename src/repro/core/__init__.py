@@ -1,0 +1,63 @@
+"""The paper's primary contribution: SS-HOPM and eigenpair extraction."""
+
+from repro.core.adaptive import adaptive_sshopm
+from repro.core.basins import (
+    BasinMap,
+    basin_map,
+    render_basin_map,
+    starts_needed_estimate,
+)
+from repro.core.exact import eigen_polynomial_n2, exact_eigenpairs_n2
+from repro.core.eigenpairs import (
+    Eigenpair,
+    canonicalize_sign,
+    classify_eigenpair,
+    dedupe_eigenpairs,
+    eigen_residual,
+    hessian_matrix,
+    projected_hessian_eigenvalues,
+)
+from repro.core.multistart import MultistartResult, multistart_sshopm, starting_vectors
+from repro.core.refine import NewtonResult, newton_refine, refine_pairs
+from repro.core.solve import find_eigenpairs, find_eigenpairs_batch
+from repro.core.sshopm import SSHOPMResult, sshopm, suggested_shift
+from repro.core.theory import (
+    ConvergenceAnalysis,
+    analyze_fixed_point,
+    estimate_rate,
+    is_attracting,
+    minimal_attracting_shift,
+)
+
+__all__ = [
+    "adaptive_sshopm",
+    "BasinMap",
+    "basin_map",
+    "render_basin_map",
+    "starts_needed_estimate",
+    "eigen_polynomial_n2",
+    "exact_eigenpairs_n2",
+    "Eigenpair",
+    "canonicalize_sign",
+    "classify_eigenpair",
+    "dedupe_eigenpairs",
+    "eigen_residual",
+    "hessian_matrix",
+    "projected_hessian_eigenvalues",
+    "MultistartResult",
+    "multistart_sshopm",
+    "starting_vectors",
+    "NewtonResult",
+    "newton_refine",
+    "refine_pairs",
+    "find_eigenpairs",
+    "find_eigenpairs_batch",
+    "SSHOPMResult",
+    "sshopm",
+    "suggested_shift",
+    "ConvergenceAnalysis",
+    "analyze_fixed_point",
+    "estimate_rate",
+    "is_attracting",
+    "minimal_attracting_shift",
+]

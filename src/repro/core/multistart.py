@@ -1,0 +1,217 @@
+"""Batched multistart SS-HOPM — the computation the paper maps to the GPU.
+
+The full problem (Section V): for every tensor in a batch, run SS-HOPM from
+``V`` starting vectors.  On the GPU this is one thread per (tensor, vector)
+pair; here every pair advances in lockstep through vectorized kernels, with
+a convergence mask freezing finished pairs (the SIMT analog: a converged
+thread still occupies its lane but does no further useful work — we simply
+stop updating it).
+
+Every thread block shares the same starting-vector set, exactly as in the
+paper ("every thread block can use the same set of starting vectors").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.kernels.batched import ax_m1_batched, ax_m_batched
+from repro.kernels.tables import kernel_tables
+from repro.kernels.unrolled import make_unrolled
+from repro.symtensor.storage import SymmetricTensor, SymmetricTensorBatch
+from repro.util.flopcount import FlopCounter, null_counter
+from repro.util.rng import fibonacci_sphere, random_unit_vectors
+
+__all__ = ["MultistartResult", "multistart_sshopm", "starting_vectors"]
+
+
+@dataclass
+class MultistartResult:
+    """Results of batched multistart SS-HOPM.
+
+    Shapes below use ``T`` = number of tensors, ``V`` = starting vectors per
+    tensor, ``n`` = mode dimension.
+
+    Attributes
+    ----------
+    eigenvalues : ``(T, V)`` final ``lambda`` per (tensor, start).
+    eigenvectors : ``(T, V, n)`` final unit vectors.
+    converged : ``(T, V)`` bool.
+    iterations : ``(T, V)`` iterations until each pair froze.
+    total_sweeps : lockstep iteration sweeps executed (max over pairs).
+    """
+
+    eigenvalues: np.ndarray
+    eigenvectors: np.ndarray
+    converged: np.ndarray
+    iterations: np.ndarray
+    total_sweeps: int
+
+    @property
+    def num_tensors(self) -> int:
+        return self.eigenvalues.shape[0]
+
+    @property
+    def num_starts(self) -> int:
+        return self.eigenvalues.shape[1]
+
+
+def starting_vectors(
+    count: int,
+    n: int,
+    scheme: str = "random",
+    rng=None,
+    dtype=np.float64,
+) -> np.ndarray:
+    """Generate the shared ``(count, n)`` starting-vector set.
+
+    ``scheme="random"`` draws uniform entries in ``[-1, 1]`` and normalizes
+    (the paper's choice); ``scheme="fibonacci"`` returns the deterministic
+    evenly-spaced alternative the paper mentions (``n == 3`` only).
+    """
+    if scheme == "random":
+        return random_unit_vectors(count, n, rng=rng, dtype=dtype)
+    if scheme == "fibonacci":
+        if n != 3:
+            raise ValueError("fibonacci scheme is defined on the 2-sphere (n=3)")
+        return fibonacci_sphere(count, dtype=dtype)
+    raise ValueError(f"unknown starting-vector scheme {scheme!r}")
+
+
+def multistart_sshopm(
+    tensors: SymmetricTensorBatch | SymmetricTensor,
+    num_starts: int = 128,
+    alpha: float = 0.0,
+    tol: float = 1e-10,
+    max_iter: int = 500,
+    starts: np.ndarray | None = None,
+    scheme: str = "random",
+    backend: str = "batched",
+    dtype=np.float64,
+    rng=None,
+    counter: FlopCounter | None = None,
+) -> MultistartResult:
+    """Run SS-HOPM for every (tensor, starting vector) pair in lockstep.
+
+    Parameters
+    ----------
+    tensors : a batch (or single tensor, treated as a batch of one).
+    num_starts : ``V``; ignored when ``starts`` is given explicitly.
+    alpha : shift, as in :func:`repro.core.sshopm.sshopm`.
+    tol : per-pair convergence threshold on ``|delta lambda|``.
+    max_iter : lockstep sweep cap.
+    starts : optional explicit ``(V, n)`` start set shared by all tensors.
+    scheme : start generation scheme when ``starts`` is None.
+    backend : ``"batched"`` (table-driven vectorized kernels),
+        ``"batched_unrolled"`` (the Section V-D code-generated kernels
+        broadcast over the batch), or ``"blocked"`` (the Section VI
+        blocked decomposition — fastest for larger ``n``).  Results are
+        identical; they differ in speed, mirroring the paper's
+        general-vs-unrolled comparison.
+    dtype : compute precision; the paper uses single precision
+        (``np.float32``) on the GPU, float64 by default here.
+    counter : optional flop counter (charged per active sweep).
+
+    Notes
+    -----
+    Converged pairs are frozen: their ``x`` stops updating, so later sweeps
+    cannot drift them off the fixed point.  A pair whose update collapses to
+    the zero vector (possible with alpha=0) is frozen unconverged.
+    """
+    if isinstance(tensors, SymmetricTensor):
+        tensors = SymmetricTensorBatch(tensors.values[None, :], tensors.m, tensors.n)
+    counter = counter or null_counter()
+    m, n = tensors.m, tensors.n
+    T = len(tensors)
+    tab = kernel_tables(m, n)
+
+    if starts is None:
+        starts = starting_vectors(num_starts, n, scheme=scheme, rng=rng, dtype=dtype)
+    else:
+        starts = np.asarray(starts, dtype=dtype)
+        if starts.ndim != 2 or starts.shape[1] != n:
+            raise ValueError(f"starts must have shape (V, {n}), got {starts.shape}")
+        norms = np.linalg.norm(starts, axis=1, keepdims=True)
+        if np.any(norms == 0):
+            raise ValueError("starting vectors must be nonzero")
+        starts = starts / norms
+    V = starts.shape[0]
+
+    if backend == "batched":
+        kernels_ax_m = lambda a, x: ax_m_batched(a, x, tables=tab, counter=counter)  # noqa: E731
+        kernels_ax_m1 = lambda a, x: ax_m1_batched(a, x, tables=tab, counter=counter)  # noqa: E731
+    elif backend == "batched_unrolled":
+        gen = make_unrolled(m, n, batched=True)
+
+        def kernels_ax_m(a, x):
+            counter.add_flops(T * V * gen.flops_scalar)
+            return gen.ax_m(a, x)
+
+        def kernels_ax_m1(a, x):
+            counter.add_flops(T * V * gen.flops_vector)
+            return gen.ax_m1(a, x)
+
+    elif backend == "blocked":
+        from repro.kernels.blocked import blocking_plan
+        from repro.kernels.blocked_batched import (
+            ax_m1_blocked_batched,
+            ax_m_blocked_batched,
+        )
+
+        plan = blocking_plan(m, n, min(6, n))
+        kernels_ax_m = lambda a, x: ax_m_blocked_batched(  # noqa: E731
+            a, x, plan=plan, counter=counter
+        )
+        kernels_ax_m1 = lambda a, x: ax_m1_blocked_batched(  # noqa: E731
+            a, x, plan=plan, counter=counter
+        )
+    else:
+        raise ValueError(f"unknown backend {backend!r}")
+
+    values = tensors.values.astype(dtype)[:, None, :]  # (T, 1, U)
+    x = np.broadcast_to(starts[None, :, :], (T, V, n)).astype(dtype).copy()
+    lam = np.asarray(kernels_ax_m(values, x), dtype=dtype)  # (T, V)
+
+    active = np.ones((T, V), dtype=bool)
+    converged = np.zeros((T, V), dtype=bool)
+    iterations = np.zeros((T, V), dtype=np.int64)
+    sweeps = 0
+    sign = -1.0 if alpha < 0 else 1.0
+
+    for _ in range(max_iter):
+        if not active.any():
+            break
+        sweeps += 1
+        x_new = kernels_ax_m1(values, x)
+        if alpha != 0.0:
+            x_new = x_new + alpha * x
+        if sign < 0:
+            x_new = -x_new
+        norms = np.linalg.norm(x_new, axis=-1)
+        dead = active & ((norms == 0) | ~np.isfinite(norms))
+        safe = np.where(norms > 0, norms, 1.0)
+        x_next = x_new / safe[..., None]
+        # freeze inactive and dead pairs at their current iterate
+        upd = active & ~dead
+        x[upd] = x_next[upd]
+        lam_new = np.asarray(kernels_ax_m(values, x), dtype=dtype)
+        just_converged = upd & (np.abs(lam_new - lam) < tol)
+        lam = np.where(upd, lam_new, lam)
+        iterations[upd] += 1
+        converged |= just_converged
+        active &= ~(just_converged | dead)
+
+    residual_vec = kernels_ax_m1(values, x) - lam[..., None] * x
+    residuals = np.linalg.norm(residual_vec, axis=-1)
+    # guard against pairs that froze on a non-fixed point being marked good
+    converged &= np.isfinite(residuals)
+
+    return MultistartResult(
+        eigenvalues=lam,
+        eigenvectors=x,
+        converged=converged,
+        iterations=iterations,
+        total_sweeps=sweeps,
+    )

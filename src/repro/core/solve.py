@@ -1,0 +1,101 @@
+"""High-level eigenpair solvers: the public entry points most users want.
+
+``find_eigenpairs`` runs multistart SS-HOPM on one tensor and returns the
+deduplicated, classified spectrum; ``find_eigenpairs_batch`` does the same
+for a whole batch (the paper's voxel workload) with shared starting vectors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.eigenpairs import Eigenpair, dedupe_eigenpairs
+from repro.core.multistart import MultistartResult, multistart_sshopm
+from repro.symtensor.storage import SymmetricTensor, SymmetricTensorBatch
+
+__all__ = ["find_eigenpairs", "find_eigenpairs_batch"]
+
+
+def find_eigenpairs(
+    tensor: SymmetricTensor,
+    num_starts: int = 128,
+    alpha: float = 0.0,
+    tol: float = 1e-12,
+    max_iter: int = 1000,
+    scheme: str = "random",
+    classify: bool = True,
+    lambda_tol: float = 1e-6,
+    angle_tol: float = 1e-3,
+    rng=None,
+) -> list[Eigenpair]:
+    """Real eigenpairs of ``tensor`` reachable by SS-HOPM multistart.
+
+    Runs ``num_starts`` SS-HOPM instances (batched), dedupes the converged
+    results, and (by default) classifies each pair's stability.  With
+    ``alpha >= 0`` the attracting pairs include all local maxima of
+    ``f(x) = A x^m``; run again with a negative shift to also reach local
+    minima.  Returns pairs sorted by descending eigenvalue.
+    """
+    result = multistart_sshopm(
+        tensor,
+        num_starts=num_starts,
+        alpha=alpha,
+        tol=tol,
+        max_iter=max_iter,
+        scheme=scheme,
+        rng=rng,
+    )
+    return dedupe_eigenpairs(
+        result.eigenvalues[0],
+        result.eigenvectors[0],
+        tensor.m,
+        tensor=tensor,
+        lambda_tol=lambda_tol,
+        angle_tol=angle_tol,
+        classify=classify,
+        converged_mask=result.converged[0],
+    )
+
+
+def find_eigenpairs_batch(
+    tensors: SymmetricTensorBatch,
+    num_starts: int = 128,
+    alpha: float = 0.0,
+    tol: float = 1e-10,
+    max_iter: int = 500,
+    scheme: str = "random",
+    classify: bool = False,
+    lambda_tol: float = 1e-5,
+    angle_tol: float = 1e-2,
+    rng=None,
+) -> tuple[list[list[Eigenpair]], MultistartResult]:
+    """Per-tensor deduplicated eigenpairs for a whole batch.
+
+    Returns ``(pairs, raw)`` where ``pairs[t]`` is the sorted eigenpair list
+    of tensor ``t`` and ``raw`` is the underlying
+    :class:`~repro.core.multistart.MultistartResult` (useful for
+    convergence statistics).
+    """
+    raw = multistart_sshopm(
+        tensors,
+        num_starts=num_starts,
+        alpha=alpha,
+        tol=tol,
+        max_iter=max_iter,
+        scheme=scheme,
+        rng=rng,
+    )
+    pairs = [
+        dedupe_eigenpairs(
+            raw.eigenvalues[t],
+            raw.eigenvectors[t],
+            tensors.m,
+            tensor=tensors[t] if classify else None,
+            lambda_tol=lambda_tol,
+            angle_tol=angle_tol,
+            classify=classify,
+            converged_mask=raw.converged[t],
+        )
+        for t in range(len(tensors))
+    ]
+    return pairs, raw

@@ -1,0 +1,64 @@
+"""Simulated CUDA execution substrate (substitutes for the paper's Tesla
+C2050): device specs, kernel resource estimates, occupancy, an event-driven
+grid execution model, and the calibrated performance model."""
+
+from repro.gpu.device import (
+    GTX_480,
+    KNOWN_DEVICES,
+    NEHALEM_2S,
+    TESLA_C1060,
+    TESLA_C2050,
+    CpuSpec,
+    DeviceSpec,
+)
+from repro.gpu.cluster import ClusterPrediction, predict_cluster
+from repro.gpu.execmodel import SimulationReport, simulate_grid
+from repro.gpu.kernelspec import FLOAT_BYTES, KernelLaunch, sshopm_launch
+from repro.gpu.occupancy import OccupancyResult, compute_occupancy
+from repro.gpu.perfmodel import (
+    DEFAULT_PARAMS,
+    GpuPerfParams,
+    GpuPrediction,
+    predict_sshopm,
+)
+from repro.gpu.roofline import (
+    TrafficAnalysis,
+    analyze_traffic,
+    is_compute_bound,
+    roofline_gflops,
+)
+from repro.gpu.warps import (
+    WarpProfile,
+    divergence_adjusted_iterations,
+    warp_profile,
+)
+
+__all__ = [
+    "GTX_480",
+    "KNOWN_DEVICES",
+    "NEHALEM_2S",
+    "TESLA_C1060",
+    "TESLA_C2050",
+    "CpuSpec",
+    "DeviceSpec",
+    "ClusterPrediction",
+    "predict_cluster",
+    "SimulationReport",
+    "simulate_grid",
+    "FLOAT_BYTES",
+    "KernelLaunch",
+    "sshopm_launch",
+    "OccupancyResult",
+    "compute_occupancy",
+    "DEFAULT_PARAMS",
+    "GpuPerfParams",
+    "GpuPrediction",
+    "predict_sshopm",
+    "TrafficAnalysis",
+    "analyze_traffic",
+    "is_compute_bound",
+    "roofline_gflops",
+    "WarpProfile",
+    "divergence_adjusted_iterations",
+    "warp_profile",
+]

@@ -1,0 +1,143 @@
+"""Hardware descriptions for the simulated execution substrate.
+
+The paper's testbed is an NVIDIA Tesla C2050 (Fermi) GPU and a dual-socket
+quad-core Intel Nehalem host.  Since this reproduction has no GPU, those
+machines are modeled: a :class:`DeviceSpec` carries the architectural
+parameters that the occupancy calculator and execution model consume, and
+the constants below encode the published specifications.
+
+Peak arithmetic checks (single precision):
+
+* ``TESLA_C2050``: 14 SMs x 32 cores x 2 flops (FMA) x 1.15 GHz = 1030.4
+  GFLOPS — the paper's "1030 GFLOPS" peak.
+* ``NEHALEM_2S``: 2.8 GHz x 8 flops/cycle (4-wide SSE mul+add) = 22.4
+  GFLOPS per core — the paper's per-core peak.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "DeviceSpec",
+    "CpuSpec",
+    "TESLA_C2050",
+    "TESLA_C1060",
+    "GTX_480",
+    "NEHALEM_2S",
+    "KNOWN_DEVICES",
+]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Architectural parameters of a CUDA-class device.
+
+    ``flops_per_core_per_cycle`` is 2 for fused multiply-add pipelines.
+    ``warps_full_pipeline`` is the number of resident warps per SM needed to
+    hide arithmetic latency (latency x issue width / warp size) — below it,
+    per-SM throughput degrades proportionally.
+    """
+
+    name: str
+    num_sms: int
+    cores_per_sm: int
+    clock_ghz: float
+    flops_per_core_per_cycle: int = 2
+    registers_per_sm: int = 32768
+    max_registers_per_thread: int = 63
+    shared_mem_per_sm: int = 49152
+    max_threads_per_sm: int = 1536
+    max_threads_per_block: int = 1024
+    max_blocks_per_sm: int = 8
+    warp_size: int = 32
+    warps_full_pipeline: int = 24
+    mem_bandwidth_gbs: float = 144.0  # device-memory bandwidth, GB/s
+
+    @property
+    def peak_gflops(self) -> float:
+        """Theoretical single-precision peak in GFLOPS."""
+        return (
+            self.num_sms
+            * self.cores_per_sm
+            * self.flops_per_core_per_cycle
+            * self.clock_ghz
+        )
+
+    @property
+    def sm_flops_per_cycle(self) -> int:
+        """Peak flops one SM retires per cycle."""
+        return self.cores_per_sm * self.flops_per_core_per_cycle
+
+    @property
+    def max_warps_per_sm(self) -> int:
+        return self.max_threads_per_sm // self.warp_size
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """Host CPU description (the paper's OpenMP baseline platform)."""
+
+    name: str
+    sockets: int
+    cores_per_socket: int
+    clock_ghz: float
+    simd_flops_per_cycle: int = 8  # 4-wide SSE mul + add
+    scalar_flops_per_cycle: int = 2  # mul + add without SIMD
+
+    @property
+    def total_cores(self) -> int:
+        return self.sockets * self.cores_per_socket
+
+    @property
+    def peak_gflops_per_core(self) -> float:
+        """Single-precision per-core peak with SIMD (the paper's 22.4)."""
+        return self.clock_ghz * self.simd_flops_per_cycle
+
+    @property
+    def peak_gflops(self) -> float:
+        return self.peak_gflops_per_core * self.total_cores
+
+
+TESLA_C2050 = DeviceSpec(
+    name="Tesla C2050 (Fermi)",
+    num_sms=14,
+    cores_per_sm=32,
+    clock_ghz=1.15,
+    mem_bandwidth_gbs=144.0,
+)
+
+# The paper notes "similar performance (relative to peak) for tensors of
+# order 4 and dimension 3 on two other NVIDIA GPUs"; these stand in for a
+# previous-generation (GT200) and a consumer Fermi part.
+TESLA_C1060 = DeviceSpec(
+    name="Tesla C1060 (GT200)",
+    num_sms=30,
+    cores_per_sm=8,
+    clock_ghz=1.296,
+    registers_per_sm=16384,
+    max_registers_per_thread=124,
+    shared_mem_per_sm=16384,
+    max_threads_per_sm=1024,
+    max_threads_per_block=512,
+    max_blocks_per_sm=8,
+    warps_full_pipeline=16,
+    mem_bandwidth_gbs=102.0,
+)
+
+GTX_480 = DeviceSpec(
+    name="GeForce GTX 480 (Fermi)",
+    num_sms=15,
+    cores_per_sm=32,
+    clock_ghz=1.401,
+    mem_bandwidth_gbs=177.4,
+)
+
+NEHALEM_2S = CpuSpec(
+    name="Dual-socket quad-core Intel Nehalem",
+    sockets=2,
+    cores_per_socket=4,
+    clock_ghz=2.8,
+)
+
+KNOWN_DEVICES = {d.name: d for d in (TESLA_C2050, TESLA_C1060, GTX_480)}

@@ -1,0 +1,86 @@
+"""CUDA occupancy calculator.
+
+Determines how many thread blocks of a kernel can be resident on one
+streaming multiprocessor, limited by (i) the hardware block cap, (ii) the
+thread/warp capacity, (iii) the register file, and (iv) shared memory — the
+standard CUDA occupancy computation.  This is the mechanism behind the
+paper's Section V-E observation: "As the tensor size grows, the per-thread
+and per-thread-block memory requirements also grow, resulting in decreased
+occupancy on the GPU."
+
+Register spilling is modeled: a kernel demanding more than the device's
+per-thread register cap is clamped to the cap and charged a spill penalty
+(extra local-memory instructions) that the execution model folds into its
+instruction count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.device import DeviceSpec
+from repro.gpu.kernelspec import KernelLaunch
+
+__all__ = ["OccupancyResult", "compute_occupancy"]
+
+
+@dataclass(frozen=True)
+class OccupancyResult:
+    """Residency of a kernel on one SM.
+
+    Attributes
+    ----------
+    blocks_per_sm : resident thread blocks (0 means the kernel cannot launch).
+    limiting_factor : which resource bound the residency
+        ("blocks", "threads", "registers", "shared_mem", or "unlaunchable").
+    spilled_registers : per-thread registers demanded beyond the cap.
+    """
+
+    blocks_per_sm: int
+    warps_per_sm: float
+    occupancy: float  # resident warps / max warps
+    limiting_factor: str
+    spilled_registers: int
+
+    @property
+    def launchable(self) -> bool:
+        return self.blocks_per_sm > 0
+
+
+def compute_occupancy(device: DeviceSpec, launch: KernelLaunch) -> OccupancyResult:
+    """Blocks-per-SM residency of ``launch`` on ``device``."""
+    if launch.threads_per_block < 1:
+        raise ValueError("threads_per_block must be >= 1")
+    if launch.threads_per_block > device.max_threads_per_block:
+        return OccupancyResult(0, 0.0, 0.0, "unlaunchable", 0)
+
+    regs_demand = launch.registers_per_thread
+    spilled = max(0, regs_demand - device.max_registers_per_thread)
+    regs_effective = min(regs_demand, device.max_registers_per_thread)
+
+    limits: dict[str, int] = {}
+    limits["blocks"] = device.max_blocks_per_sm
+    limits["threads"] = device.max_threads_per_sm // launch.threads_per_block
+    regs_per_block = regs_effective * launch.threads_per_block
+    limits["registers"] = (
+        device.registers_per_sm // regs_per_block if regs_per_block > 0 else limits["blocks"]
+    )
+    if launch.shared_mem_per_block > 0:
+        limits["shared_mem"] = device.shared_mem_per_sm // launch.shared_mem_per_block
+    else:
+        limits["shared_mem"] = limits["blocks"]
+
+    limiting = min(limits, key=lambda k: limits[k])
+    blocks = limits[limiting]
+    if blocks <= 0:
+        return OccupancyResult(0, 0.0, 0.0, "unlaunchable", spilled)
+
+    warps = blocks * launch.threads_per_block / device.warp_size
+    warps = min(warps, device.max_warps_per_sm)
+    return OccupancyResult(
+        blocks_per_sm=blocks,
+        warps_per_sm=warps,
+        occupancy=warps / device.max_warps_per_sm,
+        limiting_factor=limiting,
+        spilled_registers=spilled,
+    )

@@ -1,0 +1,171 @@
+"""Analytic/simulated GPU performance model for the SS-HOPM workload.
+
+Combines the kernel resource estimates, the occupancy calculator, and the
+event-driven execution model into per-configuration predictions of runtime
+and achieved GFLOPS — the quantities Table III and Figure 5 report.
+
+Calibration policy (recorded in EXPERIMENTS.md): the model has exactly two
+fitted constants,
+
+* ``issue_efficiency`` — the sustained fraction of the ideal issue rate for
+  the unrolled kernel (dual-issue shortfall, syncs, bank conflicts);
+* ``general_instr_overhead`` — issued instructions per useful flop of the
+  general (Figures 2-3) kernel, whose inner loop is dominated by index
+  arithmetic and non-register vector accesses.
+
+Both are anchored to Table III's ``m=4, n=3, T=1024, V=128`` measurements;
+everything else (the Figure 5 ramp/saturation shape, the occupancy falloff
+for larger tensors, multi-device projection) is *predicted* by model
+structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gpu.device import TESLA_C2050, DeviceSpec
+from repro.gpu.execmodel import SimulationReport, simulate_grid
+from repro.gpu.kernelspec import KernelLaunch, sshopm_launch
+from repro.gpu.occupancy import OccupancyResult, compute_occupancy
+
+__all__ = ["GpuPerfParams", "GpuPrediction", "predict_sshopm", "DEFAULT_PARAMS"]
+
+
+@dataclass(frozen=True)
+class GpuPerfParams:
+    """Calibrated model constants (see module docstring)."""
+
+    issue_efficiency: float = 0.76
+    general_instr_overhead: float = 21.0
+    spill_penalty_instr_per_reg: float = 2.0  # extra instr per spilled reg per iter
+
+
+DEFAULT_PARAMS = GpuPerfParams()
+
+
+@dataclass(frozen=True)
+class GpuPrediction:
+    """Model output for one configuration.
+
+    ``gflops`` counts the same useful flops for every variant (the unrolled
+    kernel's static per-iteration count), matching the paper's convention of
+    comparing implementations on a common work measure.
+    """
+
+    device_name: str
+    variant: str
+    num_tensors: int
+    num_starts: int
+    iterations: float
+    seconds: float
+    gflops: float
+    fraction_of_peak: float
+    occupancy: OccupancyResult
+    simulation: SimulationReport
+    launch: KernelLaunch
+
+
+def predict_sshopm(
+    m: int = 4,
+    n: int = 3,
+    num_tensors: int = 1024,
+    num_starts: int = 128,
+    iterations: float | np.ndarray = 40.0,
+    variant: str = "unrolled",
+    device: DeviceSpec = TESLA_C2050,
+    params: GpuPerfParams = DEFAULT_PARAMS,
+    num_devices: int = 1,
+) -> GpuPrediction:
+    """Predict runtime and throughput for a batched SS-HOPM launch.
+
+    Parameters
+    ----------
+    m, n : tensor order and dimension.
+    num_tensors : thread blocks (one per tensor).
+    num_starts : threads per block (V).
+    iterations : SS-HOPM iterations until convergence — a scalar average or
+        a per-tensor array (e.g. the measured sweep counts from a real run).
+    variant : ``"unrolled"`` or ``"general"``.
+    device : simulated device (default: the paper's Tesla C2050).
+    params : calibrated constants.
+    num_devices : Section V-B notes the scheme "generalizes to a system
+        with multiple GPUs"; blocks are split evenly across devices and the
+        makespan is the slowest device's.
+    """
+    if num_tensors < 1:
+        raise ValueError("need at least one tensor")
+    if num_devices < 1:
+        raise ValueError("need at least one device")
+    launch = sshopm_launch(
+        m,
+        n,
+        num_starts=num_starts,
+        variant=variant,
+        general_instr_overhead=params.general_instr_overhead,
+    )
+    occ = compute_occupancy(device, launch)
+    if not occ.launchable:
+        raise ValueError(
+            f"{launch.name} is unlaunchable on {device.name} "
+            f"({occ.limiting_factor})"
+        )
+
+    iters = np.asarray(iterations, dtype=np.float64)
+    if iters.ndim == 0:
+        per_tensor_iters = np.full(num_tensors, float(iters))
+    else:
+        if iters.shape != (num_tensors,):
+            raise ValueError(
+                f"iterations array must have shape ({num_tensors},), got {iters.shape}"
+            )
+        per_tensor_iters = iters
+    if np.any(per_tensor_iters <= 0):
+        raise ValueError("iteration counts must be positive")
+
+    # per-thread issued instructions per iteration, including spill traffic
+    instr_iter = launch.instr_per_thread_iter + (
+        occ.spilled_registers * params.spill_penalty_instr_per_reg
+    )
+    warps_per_block = launch.threads_per_block / device.warp_size
+    block_work = per_tensor_iters * instr_iter * warps_per_block
+
+    # multi-device: contiguous split, makespan = max over devices
+    seconds = 0.0
+    report = None
+    splits = np.array_split(block_work, num_devices)
+    for part in splits:
+        if part.size == 0:
+            continue
+        rep = simulate_grid(
+            device,
+            launch,
+            occ,
+            part,
+            issue_efficiency=params.issue_efficiency,
+        )
+        if rep.seconds >= seconds:
+            seconds = rep.seconds
+            report = rep
+
+    # useful flops: common basis across variants (the unrolled static count)
+    unrolled = sshopm_launch(m, n, num_starts=num_starts, variant="unrolled")
+    useful_flops = float(
+        np.sum(per_tensor_iters) * num_starts * unrolled.flops_per_thread_iter
+    )
+    gflops = useful_flops / seconds / 1e9 if seconds > 0 else 0.0
+    peak = device.peak_gflops * num_devices
+    return GpuPrediction(
+        device_name=device.name,
+        variant=variant,
+        num_tensors=num_tensors,
+        num_starts=num_starts,
+        iterations=float(np.mean(per_tensor_iters)),
+        seconds=seconds,
+        gflops=gflops,
+        fraction_of_peak=gflops / peak,
+        occupancy=occ,
+        simulation=report,
+        launch=launch,
+    )

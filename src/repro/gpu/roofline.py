@@ -1,0 +1,101 @@
+"""Roofline analysis of the SS-HOPM launch.
+
+Section V-C's data-structure argument — "we can fit all the data for each
+thread block in the memory on the multiprocessor and minimize the accesses
+to device memory" — is a claim about arithmetic intensity: the only DRAM
+traffic is the one-time tensor/start load and the final eigenpair store,
+while every iteration's arithmetic runs out of shared memory and
+registers.  This module quantifies that: it computes the launch's DRAM
+traffic and arithmetic intensity, the roofline bound
+``min(peak, AI x bandwidth)``, and whether the kernel is compute- or
+memory-bound on a device.
+
+The paper's configuration comes out overwhelmingly compute-bound (AI in
+the thousands of flops/byte), which is *why* the occupancy/issue model in
+:mod:`repro.gpu.perfmodel` — and not a bandwidth model — predicts its
+performance.  The analysis also shows where that breaks: with very few
+iterations or very large tensors per block, intensity collapses and the
+memory roof takes over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.device import TESLA_C2050, DeviceSpec
+from repro.gpu.kernelspec import FLOAT_BYTES, sshopm_launch
+from repro.util.combinatorics import num_unique_entries
+
+__all__ = ["TrafficAnalysis", "analyze_traffic", "roofline_gflops"]
+
+
+@dataclass(frozen=True)
+class TrafficAnalysis:
+    """DRAM traffic and arithmetic intensity of one batched SS-HOPM launch.
+
+    Attributes
+    ----------
+    dram_bytes : total device-memory traffic (tensor loads, start-vector
+        loads, eigenpair stores) — the paper's Section V-C data volumes.
+    total_flops : useful floating-point work of the launch.
+    arithmetic_intensity : flops per DRAM byte.
+    compute_bound_on : device names for which ``AI x BW >= peak``.
+    """
+
+    num_tensors: int
+    num_starts: int
+    iterations: float
+    dram_bytes: int
+    total_flops: float
+    arithmetic_intensity: float
+
+
+def analyze_traffic(
+    m: int = 4,
+    n: int = 3,
+    num_tensors: int = 1024,
+    num_starts: int = 128,
+    iterations: float = 40.0,
+    dtype_bytes: int = FLOAT_BYTES,
+) -> TrafficAnalysis:
+    """Traffic/intensity of the launch (Section V-C data structures).
+
+    DRAM traffic = tensor data ``T*U`` + shared starting vectors ``V*n``
+    + output eigenvectors ``T*V*n`` + output eigenvalues ``T*V`` (all in
+    ``dtype_bytes``); flops = per-iteration unrolled kernel work times
+    ``T*V*iterations``.
+    """
+    if num_tensors < 1 or num_starts < 1:
+        raise ValueError("need at least one tensor and one start")
+    if iterations <= 0:
+        raise ValueError("iterations must be positive")
+    U = num_unique_entries(m, n)
+    T, V = num_tensors, num_starts
+    dram = dtype_bytes * (T * U + V * n + T * V * n + T * V)
+    launch = sshopm_launch(m, n, num_starts=V, variant="unrolled")
+    flops = T * V * iterations * launch.flops_per_thread_iter
+    return TrafficAnalysis(
+        num_tensors=T,
+        num_starts=V,
+        iterations=float(iterations),
+        dram_bytes=dram,
+        total_flops=flops,
+        arithmetic_intensity=flops / dram,
+    )
+
+
+def roofline_gflops(device: DeviceSpec, intensity: float) -> float:
+    """The roofline bound ``min(peak, AI x bandwidth)`` in GFLOPS."""
+    if intensity < 0:
+        raise ValueError("arithmetic intensity must be nonnegative")
+    return min(device.peak_gflops, intensity * device.mem_bandwidth_gbs)
+
+
+def is_compute_bound(
+    device: DeviceSpec = TESLA_C2050, analysis: TrafficAnalysis | None = None
+) -> bool:
+    """True when the launch's intensity puts it under the flat (compute)
+    part of the device's roofline."""
+    if analysis is None:
+        analysis = analyze_traffic()
+    return roofline_gflops(device, analysis.arithmetic_intensity) >= device.peak_gflops

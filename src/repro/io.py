@@ -1,0 +1,150 @@
+"""Persistence for tensor batches, phantoms, and solver results.
+
+Everything is stored as compressed ``.npz`` with a format tag, so data
+sets (e.g. a generated phantom standing in for the paper's SCI Institute
+set) can be produced once and shared between the CLI, examples, and
+benchmarks.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+
+from repro.core.multistart import MultistartResult
+from repro.mri.phantom import Phantom
+from repro.symtensor.storage import SymmetricTensor, SymmetricTensorBatch
+
+__all__ = [
+    "save_tensor",
+    "load_tensor",
+    "save_batch",
+    "load_batch",
+    "save_phantom",
+    "load_phantom",
+    "save_results",
+    "load_results",
+]
+
+_FORMAT = "repro-v1"
+
+
+def _check_format(data, kind: str, path) -> None:
+    tag = str(data.get("format", ""))
+    stored_kind = str(data.get("kind", ""))
+    if tag != _FORMAT or stored_kind != kind:
+        raise ValueError(
+            f"{path} is not a {_FORMAT}/{kind} file "
+            f"(found format={tag!r}, kind={stored_kind!r})"
+        )
+
+
+def save_tensor(path, tensor: SymmetricTensor) -> None:
+    """Write one compressed symmetric tensor."""
+    np.savez_compressed(
+        path,
+        format=_FORMAT,
+        kind="tensor",
+        values=tensor.values,
+        m=tensor.m,
+        n=tensor.n,
+    )
+
+
+def load_tensor(path) -> SymmetricTensor:
+    with np.load(path, allow_pickle=False) as data:
+        _check_format(data, "tensor", path)
+        return SymmetricTensor(data["values"], int(data["m"]), int(data["n"]))
+
+
+def save_batch(path, batch: SymmetricTensorBatch) -> None:
+    """Write a tensor batch (the paper's ``T x U`` device layout)."""
+    np.savez_compressed(
+        path,
+        format=_FORMAT,
+        kind="batch",
+        values=batch.values,
+        m=batch.m,
+        n=batch.n,
+    )
+
+
+def load_batch(path) -> SymmetricTensorBatch:
+    with np.load(path, allow_pickle=False) as data:
+        _check_format(data, "batch", path)
+        return SymmetricTensorBatch(data["values"], int(data["m"]), int(data["n"]))
+
+
+def save_phantom(path, phantom: Phantom) -> None:
+    """Write a phantom: tensors, acquisition, ground truth, and metadata.
+
+    The ragged per-voxel direction lists are stored as one concatenated
+    array plus offsets.
+    """
+    dirs = phantom.true_directions
+    concat = np.concatenate(dirs, axis=0) if dirs else np.zeros((0, 3))
+    offsets = np.cumsum([0] + [d.shape[0] for d in dirs])
+    np.savez_compressed(
+        path,
+        format=_FORMAT,
+        kind="phantom",
+        values=phantom.tensors.values,
+        m=phantom.tensors.m,
+        n=phantom.tensors.n,
+        gradients=phantom.gradients,
+        adc=phantom.adc,
+        rows=phantom.rows,
+        cols=phantom.cols,
+        dirs_concat=concat,
+        dirs_offsets=offsets,
+        meta=json.dumps(phantom.meta),
+    )
+
+
+def load_phantom(path) -> Phantom:
+    with np.load(path, allow_pickle=False) as data:
+        _check_format(data, "phantom", path)
+        tensors = SymmetricTensorBatch(data["values"], int(data["m"]), int(data["n"]))
+        offsets = data["dirs_offsets"]
+        concat = data["dirs_concat"]
+        dirs = [
+            concat[offsets[i] : offsets[i + 1]].copy()
+            for i in range(len(offsets) - 1)
+        ]
+        return Phantom(
+            tensors=tensors,
+            true_directions=dirs,
+            gradients=data["gradients"],
+            adc=data["adc"],
+            rows=int(data["rows"]),
+            cols=int(data["cols"]),
+            meta=json.loads(str(data["meta"])),
+        )
+
+
+def save_results(path, result: MultistartResult) -> None:
+    """Write a multistart solve result (eigenvalues/vectors per pair)."""
+    np.savez_compressed(
+        path,
+        format=_FORMAT,
+        kind="results",
+        eigenvalues=result.eigenvalues,
+        eigenvectors=result.eigenvectors,
+        converged=result.converged,
+        iterations=result.iterations,
+        total_sweeps=result.total_sweeps,
+    )
+
+
+def load_results(path) -> MultistartResult:
+    with np.load(path, allow_pickle=False) as data:
+        _check_format(data, "results", path)
+        return MultistartResult(
+            eigenvalues=data["eigenvalues"],
+            eigenvectors=data["eigenvectors"],
+            converged=data["converged"],
+            iterations=data["iterations"],
+            total_sweeps=int(data["total_sweeps"]),
+        )

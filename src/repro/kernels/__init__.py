@@ -1,0 +1,89 @@
+"""Symmetric tensor-vector kernels (Section III-B): ``A x^m`` and
+``A x^{m-1}`` in every implementation variant the paper benchmarks, plus the
+general ``A x^{m-p}`` extension."""
+
+from repro.kernels.batched import ax_m1_batched, ax_m_batched, monomials_batched
+from repro.kernels.blocked import (
+    BlockingPlan,
+    ax_m1_blocked,
+    ax_m_blocked,
+    block_shapes,
+    blocking_plan,
+)
+from repro.kernels.blocked_batched import (
+    ax_m1_blocked_batched,
+    ax_m_blocked_batched,
+)
+from repro.kernels.compressed import (
+    ax_m1_compressed,
+    ax_m_compressed,
+    symmetric_flops_scalar,
+    symmetric_flops_vector,
+    ttsv_compressed,
+)
+from repro.kernels.autotune import TuneReport, auto_kernels, autotune
+from repro.kernels.cuda_emulator import compiler_available, emulate_cuda_sshopm
+from repro.kernels.cudagen import (
+    generate_cuda_kernel,
+    generate_cuda_module,
+    generate_host_launcher,
+)
+from repro.kernels.dispatch import KernelPair, available_variants, get_kernels
+from repro.kernels.matricized import ax_m1_matricized, ax_m_matricized, fold, unfold
+from repro.kernels.precomputed import ax_m1_precomputed, ax_m_precomputed
+from repro.kernels.reference import (
+    ax_m1_dense,
+    ax_m1_reference,
+    ax_m_dense,
+    ax_m_reference,
+    general_flops,
+    ttsv_dense,
+)
+from repro.kernels.tables import KernelTables, kernel_tables
+from repro.kernels.unrolled import UnrolledKernels, generate_source, make_unrolled
+
+__all__ = [
+    "ax_m1_batched",
+    "ax_m_batched",
+    "monomials_batched",
+    "BlockingPlan",
+    "ax_m1_blocked",
+    "ax_m_blocked",
+    "block_shapes",
+    "blocking_plan",
+    "ax_m1_blocked_batched",
+    "ax_m_blocked_batched",
+    "ax_m1_compressed",
+    "ax_m_compressed",
+    "symmetric_flops_scalar",
+    "symmetric_flops_vector",
+    "ttsv_compressed",
+    "TuneReport",
+    "auto_kernels",
+    "autotune",
+    "compiler_available",
+    "emulate_cuda_sshopm",
+    "generate_cuda_kernel",
+    "generate_cuda_module",
+    "generate_host_launcher",
+    "KernelPair",
+    "available_variants",
+    "get_kernels",
+    "ax_m1_matricized",
+    "ax_m_matricized",
+    "fold",
+    "unfold",
+    "ax_m1_precomputed",
+    "ax_m_precomputed",
+    "ax_m1_dense",
+    "ax_m1_reference",
+    "ax_m_dense",
+    "ax_m_reference",
+    "general_flops",
+    "ttsv_dense",
+    "KernelTables",
+    "kernel_tables",
+    "UnrolledKernels",
+    "generate_source",
+    "make_unrolled",
+]

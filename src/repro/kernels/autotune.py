@@ -1,0 +1,85 @@
+"""Empirical kernel selection (autotuning).
+
+The best kernel variant depends on the tensor shape: unrolled wins for the
+paper's tiny application tensors, the blocked decomposition wins as the
+dimension grows, and the interpreted loops never win (they exist as the
+executable specification).  Rather than hard-coding the crossover, this
+module times the candidates on synthetic data and caches the winner per
+``(m, n)`` — the software analog of the per-shape specialization the paper
+performs by hand, and of Section VI's open question about choosing block
+layouts for the best behavior.
+
+``get_kernels("auto", m, n)`` (see :mod:`repro.kernels.dispatch`) routes
+through :func:`autotune`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+__all__ = ["TuneReport", "autotune", "auto_kernels"]
+
+# variants eligible for selection (the spec-faithful loops are excluded on
+# purpose: they are reference implementations, never the fastest)
+_CANDIDATES = ("precomputed", "unrolled", "unrolled_cse", "vectorized", "blocked")
+
+
+@dataclass(frozen=True)
+class TuneReport:
+    """Timing table and winner of one autotune run."""
+
+    m: int
+    n: int
+    timings: dict[str, float]  # variant -> seconds per (ax_m + ax_m1) pair
+    best: str
+
+    def speedup_over(self, variant: str) -> float:
+        if variant not in self.timings:
+            raise KeyError(f"variant {variant!r} was not timed")
+        return self.timings[variant] / self.timings[self.best]
+
+
+@lru_cache(maxsize=None)
+def autotune(m: int, n: int, reps: int = 30, seed: int = 0) -> TuneReport:
+    """Time the candidate variants on random data and pick the fastest.
+
+    Each candidate is warmed first (table construction / code generation /
+    plan building is one-time cost, amortized across calls in real use),
+    then timed over ``reps`` paired ``A x^m`` + ``A x^{m-1}`` evaluations.
+    Variants that refuse the shape (e.g. unrolling past its size guard)
+    are skipped.
+    """
+    from repro.kernels.dispatch import get_kernels
+    from repro.symtensor.random import random_symmetric_tensor
+
+    tensor = random_symmetric_tensor(m, n, rng=seed)
+    x = np.random.default_rng(seed + 1).normal(size=n)
+
+    timings: dict[str, float] = {}
+    for name in _CANDIDATES:
+        try:
+            pair = get_kernels(name, m, n)
+            pair.ax_m(tensor, x)  # warm all caches
+            pair.ax_m1(tensor, x)
+        except (ValueError, MemoryError):
+            continue
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            pair.ax_m(tensor, x)
+            pair.ax_m1(tensor, x)
+        timings[name] = (time.perf_counter() - t0) / reps
+    if not timings:
+        raise RuntimeError(f"no kernel variant available for m={m}, n={n}")
+    best = min(timings, key=lambda k: timings[k])
+    return TuneReport(m=m, n=n, timings=timings, best=best)
+
+
+def auto_kernels(m: int, n: int):
+    """The autotuned :class:`~repro.kernels.dispatch.KernelPair` for a shape."""
+    from repro.kernels.dispatch import get_kernels
+
+    return get_kernels(autotune(m, n).best, m, n)

@@ -1,0 +1,194 @@
+"""Spec-faithful compressed kernels — Figures 2, 3, and 4 of the paper.
+
+This is the paper's "general implementation": it walks the unique values in
+lexicographic order, regenerating the index representation with UPDATEINDEX
+and the multiplicities with the streaming MULTINOMIAL0/1 passes at every
+term.  Nothing beyond the ``U`` tensor values and one length-``m`` index
+array is stored (the minimum-storage end of the Section III-B.5 tradeoff).
+
+These functions are deliberately written as the pseudocode reads — explicit
+loops, one term at a time — so they double as an executable specification
+that the optimized variants (precomputed / unrolled / batched) are tested
+against.  They are therefore the *slowest* variants in wall-clock terms.
+
+Flop accounting matches Section III-B.5: all work in the Figure-2 loop body
+is ``O(m)`` per class (total ``O(n^m / (m-1)!)``), and the Figure-3 nested
+loop is ``O(m)`` per (class, distinct index) pair (total ``O(m n^m/(m-1)!)``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.symtensor.indexing import update_index
+from repro.symtensor.storage import SymmetricTensor
+from repro.util.combinatorics import (
+    factorial,
+    multinomial1_from_index,
+    multinomial_from_index,
+    num_unique_entries,
+)
+from repro.util.flopcount import FlopCounter, null_counter
+
+__all__ = [
+    "ax_m_compressed",
+    "ax_m1_compressed",
+    "ttsv_compressed",
+    "symmetric_flops_scalar",
+    "symmetric_flops_vector",
+]
+
+
+def ax_m_compressed(
+    tensor: SymmetricTensor, x: np.ndarray, counter: FlopCounter | None = None
+) -> float:
+    """``y = A x^m`` via Equation 4 / Figure 2 (SYMMTENSORVECTORMULT0).
+
+    One pass over the ``U`` unique values; for each, the monomial
+    ``x_1^{k_1} ... x_n^{k_n}`` is formed from the index representation
+    (``m - 1`` multiplies), scaled by the multinomial coefficient, and
+    accumulated.
+    """
+    counter = counter or null_counter()
+    m, n = tensor.m, tensor.n
+    x = np.asarray(x)
+    if x.shape != (n,):
+        raise ValueError(f"x has shape {x.shape}, expected ({n},)")
+    values = tensor.values
+    m_fact = factorial(m)
+
+    y = 0.0
+    index = [1] * m
+    for j in range(num_unique_entries(m, n)):
+        xhat = 1.0
+        for idx in index:
+            xhat *= x[idx - 1]
+        c = multinomial_from_index(index, m_fact)
+        y += c * values[j] * xhat
+        counter.add_flops(m + 3)  # m monomial mults + coeff mult + A mult + add
+        counter.add_intops(2 * m)  # MULTINOMIAL0 pass + UPDATEINDEX
+        counter.add_loads(m + 1)
+        update_index(index, n)
+    return float(y)
+
+
+def ax_m1_compressed(
+    tensor: SymmetricTensor, x: np.ndarray, counter: FlopCounter | None = None
+) -> np.ndarray:
+    """``y = A x^{m-1}`` via Equation 6 / Figure 3 (SYMMTENSORVECTORMULT1).
+
+    For each unique value and each *distinct* index ``i`` it contains, the
+    class contributes ``sigma(i) * a * prod(x over the other m-1 positions)``
+    to output entry ``i``.  The product excludes one occurrence of ``x_i``
+    by skipping it directly (rather than dividing the full monomial by
+    ``x_i``, which Figure 3 writes but which fails when ``x_i = 0``).
+    """
+    counter = counter or null_counter()
+    m, n = tensor.m, tensor.n
+    x = np.asarray(x)
+    if x.shape != (n,):
+        raise ValueError(f"x has shape {x.shape}, expected ({n},)")
+    values = tensor.values
+    m1_fact = factorial(m - 1)
+
+    y = np.zeros(n, dtype=np.result_type(values.dtype, x.dtype, np.float64))
+    index = [1] * m
+    for j in range(num_unique_entries(m, n)):
+        a_j = values[j]
+        counter.add_loads(1)
+        seen: set[int] = set()
+        for i in index:
+            if i in seen:
+                continue  # "for unique i in I" — skip repeated indices
+            seen.add(i)
+            xhat = 1.0
+            skipped = False
+            for idx in index:
+                if idx == i and not skipped:
+                    skipped = True
+                    continue
+                xhat *= x[idx - 1]
+            c = multinomial1_from_index(index, i, m1_fact)
+            y[i - 1] += c * a_j * xhat
+            counter.add_flops(m + 3)  # (m-1) mults + coeff + A mult + add
+            counter.add_intops(m)  # MULTINOMIAL1 pass
+            counter.add_loads(m - 1)
+        counter.add_intops(m)  # UPDATEINDEX
+        update_index(index, n)
+    counter.add_stores(n)
+    return y
+
+
+def ttsv_compressed(
+    tensor: SymmetricTensor,
+    x: np.ndarray,
+    p: int,
+    counter: FlopCounter | None = None,
+) -> SymmetricTensor | np.ndarray | float:
+    """General symmetric tensor-times-same-vector ``A x^{m-p}``
+    (Definition 2) for any ``0 <= p <= m-1``, producing a *compressed*
+    symmetric order-``p`` tensor.
+
+    Extension beyond the paper's two kernels (the paper notes the result of
+    a symmetric ttsv is itself symmetric — footnote 1 — but only implements
+    ``p = 0, 1``).  Derivation: fixing the output multiset ``J`` (an order-p
+    index class), every input class equals ``sort(J ++ K)`` for some
+    order-``(m-p)`` multiset ``K`` of contracted indices, and the number of
+    ordered arrangements of ``K`` over the ``m-p`` contracted modes is the
+    multinomial ``C(m-p; K)``:
+
+        (A x^{m-p})_J  =  sum_K  C(m-p; K) * a_{sort(J ++ K)} * x^K.
+
+    Returns a scalar for ``p = 0``, a plain vector for ``p = 1`` (matching
+    the dedicated kernels), and a :class:`SymmetricTensor` for ``p >= 2``.
+    """
+    counter = counter or null_counter()
+    m, n = tensor.m, tensor.n
+    if not 0 <= p <= m - 1:
+        raise ValueError(f"need 0 <= p <= m-1 = {m - 1}, got p={p}")
+    if p == 0:
+        return ax_m_compressed(tensor, x, counter=counter)
+    if p == 1:
+        return ax_m1_compressed(tensor, x, counter=counter)
+
+    x = np.asarray(x)
+    if x.shape != (n,):
+        raise ValueError(f"x has shape {x.shape}, expected ({n},)")
+    from repro.symtensor.indexing import class_lookup, iter_index_classes
+
+    lookup_m = class_lookup(m, n)
+    out = SymmetricTensor.zeros(p, n, dtype=np.result_type(tensor.dtype, x.dtype, np.float64))
+    out_lookup = class_lookup(p, n)
+    mp_fact = factorial(m - p)
+    values = tensor.values
+
+    for K in iter_index_classes(m - p, n):
+        cK = multinomial_from_index(K, mp_fact)
+        xK = 1.0
+        for idx in K:
+            xK *= x[idx - 1]
+        counter.add_flops(m - p)
+        counter.add_intops(m - p)
+        for J, uJ in out_lookup.items():
+            full = tuple(sorted(J + K))
+            term = cK * values[lookup_m[full]] * xK
+            out.values[uJ] += term
+            counter.add_flops(3)
+            counter.add_loads(1)
+    counter.add_stores(out.num_unique)
+    return out
+
+
+def symmetric_flops_scalar(m: int, n: int) -> int:
+    """Counted flops of the Figure-2 kernel: ``(m+3) * C(m+n-1, m)``
+    — the ``O(n^m / (m-1)!)`` column of Table II with its constant."""
+    return (m + 3) * num_unique_entries(m, n)
+
+
+def symmetric_flops_vector(m: int, n: int) -> int:
+    """Counted flops of the Figure-3 kernel: ``(m+3)`` per (class, distinct
+    index) pair — the ``O(m n^m / (m-1)!)`` column of Table II."""
+    from repro.symtensor.indexing import iter_index_classes
+
+    pairs = sum(len(set(ix)) for ix in iter_index_classes(m, n))
+    return (m + 3) * pairs

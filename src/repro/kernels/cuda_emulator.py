@@ -1,0 +1,181 @@
+"""CPU emulation of the generated CUDA kernels.
+
+No GPU is present, but the generated CUDA C (see
+:mod:`repro.kernels.cudagen`) can still be *executed*: this module wraps it
+in a small emulation harness — CUDA builtins shimmed to plain C++, threads
+of a block run sequentially — compiles it with the system C++ compiler, and
+runs the whole batched SS-HOPM workload through it.  The emulated kernel's
+eigenpairs are then compared against the Python solvers in the tests,
+closing the loop on the faithfulness of the emitted device code.
+
+Emulation notes
+---------------
+* Threads of a block execute sequentially, so the cooperative shared-memory
+  load (strided over ``threadIdx.x``) would leave later entries unwritten
+  for early threads.  The harness therefore runs every block twice and
+  keeps the second pass's outputs: pass one populates the (persistent)
+  shared array, pass two computes correctly.  ``__syncthreads`` is a no-op.
+* All arithmetic is single precision, as on the device.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import shutil
+import subprocess
+import tempfile
+from functools import lru_cache
+
+import numpy as np
+
+from repro.kernels.cudagen import generate_cuda_kernel
+from repro.symtensor.storage import SymmetricTensorBatch
+from repro.util.combinatorics import num_unique_entries
+
+__all__ = ["compiler_available", "emulate_cuda_sshopm"]
+
+_SHIM = """\
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+// ---- CUDA emulation shims (sequential, single "device" thread) ----
+struct Dim3 { unsigned x, y, z; };
+static Dim3 blockIdx = {0, 0, 0};
+static Dim3 threadIdx = {0, 0, 0};
+static Dim3 blockDim = {1, 1, 1};
+#define __global__
+#define __shared__ static
+#define __constant__ static const
+#define __restrict__
+static inline void __syncthreads() {}
+static inline float rsqrtf(float v) { return 1.0f / sqrtf(v); }
+"""
+
+_MAIN = """\
+
+int main(int argc, char** argv) {
+    if (argc != 7) { fprintf(stderr, "usage: emu T V tensors starts lam vec\\n"); return 2; }
+    int T = atoi(argv[1]);
+    int Vn = atoi(argv[2]);
+    const char* tensors_path = argv[3];
+    const char* starts_path = argv[4];
+    const char* lam_path = argv[5];
+    const char* vec_path = argv[6];
+
+    float* tensors = (float*)malloc(sizeof(float) * T * U);
+    float* starts = (float*)malloc(sizeof(float) * Vn * N);
+    float* lam = (float*)malloc(sizeof(float) * T * Vn);
+    float* vec = (float*)malloc(sizeof(float) * T * Vn * N);
+
+    FILE* f = fopen(tensors_path, "rb");
+    if (!f || fread(tensors, sizeof(float), (size_t)T * U, f) != (size_t)T * U) return 3;
+    fclose(f);
+    f = fopen(starts_path, "rb");
+    if (!f || fread(starts, sizeof(float), (size_t)Vn * N, f) != (size_t)Vn * N) return 4;
+    fclose(f);
+
+    blockDim.x = Vn;
+    for (int t = 0; t < T; ++t) {
+        blockIdx.x = t;
+        // pass 1 fills the persistent __shared__ array, pass 2 computes
+        for (int pass = 0; pass < 2; ++pass) {
+            for (int v = 0; v < Vn; ++v) {
+                threadIdx.x = v;
+                KERNEL_NAME(tensors, starts, lam, vec, MAX_ITER, ALPHA, TOL);
+            }
+        }
+    }
+
+    f = fopen(lam_path, "wb");
+    fwrite(lam, sizeof(float), (size_t)T * Vn, f);
+    fclose(f);
+    f = fopen(vec_path, "wb");
+    fwrite(vec, sizeof(float), (size_t)T * Vn * N, f);
+    fclose(f);
+    return 0;
+}
+"""
+
+
+def compiler_available() -> str | None:
+    """Path to a usable C++ compiler, or None."""
+    for name in ("g++", "clang++", "c++"):
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+@lru_cache(maxsize=None)
+def _build_emulator(
+    m: int, n: int, num_starts: int, variant: str,
+    max_iter: int, alpha: float, tol: float,
+) -> str:
+    """Compile the emulation binary for one configuration; returns its path.
+
+    The binary bakes in (max_iter, alpha, tol) — they arrive via macros so
+    the kernel signature stays identical to the real device code.
+    """
+    compiler = compiler_available()
+    if compiler is None:
+        raise RuntimeError("no C++ compiler available for CUDA emulation")
+    kernel_src = generate_cuda_kernel(m, n, num_starts, variant)
+    kernel_name = "sshopm_unrolled" if variant == "unrolled" else "sshopm_general"
+    source = (
+        _SHIM
+        + kernel_src
+        + f"\n#define KERNEL_NAME {kernel_name}\n"
+        + f"#define MAX_ITER {max_iter}\n"
+        + f"#define ALPHA {float(alpha)}f\n"
+        + f"#define TOL {float(tol)}f\n"
+        + _MAIN
+    )
+    build_dir = pathlib.Path(tempfile.mkdtemp(prefix="repro-cuda-emu-"))
+    src_path = build_dir / "emu.cpp"
+    bin_path = build_dir / "emu"
+    src_path.write_text(source)
+    subprocess.run(
+        [compiler, "-O2", "-o", str(bin_path), str(src_path), "-lm"],
+        check=True,
+        capture_output=True,
+    )
+    return str(bin_path)
+
+
+def emulate_cuda_sshopm(
+    tensors: SymmetricTensorBatch,
+    starts: np.ndarray,
+    alpha: float = 0.0,
+    tol: float = 1e-6,
+    max_iter: int = 200,
+    variant: str = "unrolled",
+) -> tuple[np.ndarray, np.ndarray]:
+    """Run the generated CUDA kernel (emulated on the CPU) over a batch.
+
+    Returns ``(eigenvalues, eigenvectors)`` with shapes ``(T, V)`` and
+    ``(T, V, n)``, in float32 exactly as the device would produce.
+    """
+    m, n = tensors.m, tensors.n
+    starts = np.asarray(starts, dtype=np.float32)
+    if starts.ndim != 2 or starts.shape[1] != n:
+        raise ValueError(f"starts must have shape (V, {n}), got {starts.shape}")
+    V = starts.shape[0]
+    T = len(tensors)
+    U = num_unique_entries(m, n)
+
+    binary = _build_emulator(m, n, V, variant, max_iter, alpha, tol)
+    with tempfile.TemporaryDirectory(prefix="repro-cuda-run-") as run_dir:
+        run = pathlib.Path(run_dir)
+        tpath, spath = run / "tensors.bin", run / "starts.bin"
+        lpath, vpath = run / "lam.bin", run / "vec.bin"
+        tensors.values.astype(np.float32).tofile(tpath)
+        starts.tofile(spath)
+        subprocess.run(
+            [binary, str(T), str(V), str(tpath), str(spath), str(lpath), str(vpath)],
+            check=True,
+            capture_output=True,
+        )
+        lam = np.fromfile(lpath, dtype=np.float32).reshape(T, V)
+        vec = np.fromfile(vpath, dtype=np.float32).reshape(T, V, n)
+    return lam, vec

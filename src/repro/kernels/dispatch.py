@@ -1,0 +1,127 @@
+"""Kernel variant registry.
+
+The benchmarks compare the paper's implementations by name ("general",
+"unrolled", ...); this registry maps variant names to a uniform
+``(ax_m, ax_m1)`` pair of per-tensor callables so drivers and benchmarks can
+switch implementations without special-casing.
+
+Variants
+--------
+``reference``
+    Dense decompress-and-contract oracle (the "general tensor" cost model).
+``compressed``
+    Spec-faithful Figures 2/3 with on-the-fly index/multinomial computation
+    — the paper's *general* symmetric implementation.
+``precomputed``
+    Section III-B.5 table-driven variant.
+``unrolled`` / ``unrolled_cse``
+    Section V-D code-generated straight-line kernels (optionally with
+    common-subexpression elimination).
+``vectorized``
+    The batched NumPy kernels applied to a single tensor/vector.
+``blocked``
+    The Section V-D/VI future-work blocking: per-block contractions with
+    shared per-chunk monomial vectors (scales to general ``(m, n)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.kernels.batched import ax_m1_batched, ax_m_batched
+from repro.kernels.compressed import ax_m1_compressed, ax_m_compressed
+from repro.kernels.precomputed import ax_m1_precomputed, ax_m_precomputed
+from repro.kernels.reference import ax_m1_reference, ax_m_reference
+from repro.kernels.tables import kernel_tables
+from repro.kernels.unrolled import make_unrolled
+from repro.symtensor.storage import SymmetricTensor
+
+__all__ = ["KernelPair", "get_kernels", "available_variants"]
+
+
+@dataclass(frozen=True)
+class KernelPair:
+    """Uniform per-tensor kernel interface: ``ax_m(tensor, x) -> float`` and
+    ``ax_m1(tensor, x) -> ndarray(n)``."""
+
+    name: str
+    ax_m: Callable[[SymmetricTensor, np.ndarray], float]
+    ax_m1: Callable[[SymmetricTensor, np.ndarray], np.ndarray]
+
+
+def _unrolled_pair(name: str, cse: bool) -> Callable[[int, int], KernelPair]:
+    def build(m: int, n: int) -> KernelPair:
+        kernels = make_unrolled(m, n, cse=cse, batched=False)
+        return KernelPair(
+            name,
+            lambda tensor, x: float(kernels.ax_m(tensor.values, np.asarray(x))),
+            lambda tensor, x: np.asarray(kernels.ax_m1(tensor.values, np.asarray(x))),
+        )
+
+    return build
+
+
+def _vectorized_pair(m: int, n: int) -> KernelPair:
+    tab = kernel_tables(m, n)
+    return KernelPair(
+        "vectorized",
+        lambda tensor, x: float(ax_m_batched(tensor.values, np.asarray(x), tables=tab)),
+        lambda tensor, x: ax_m1_batched(tensor.values, np.asarray(x), tables=tab),
+    )
+
+
+def _blocked_pair(m: int, n: int) -> KernelPair:
+    from repro.kernels.blocked import ax_m1_blocked, ax_m_blocked, blocking_plan
+
+    plan = blocking_plan(m, n, min(4, n))
+    return KernelPair(
+        "blocked",
+        lambda tensor, x: ax_m_blocked(tensor, np.asarray(x), plan=plan),
+        lambda tensor, x: ax_m1_blocked(tensor, np.asarray(x), plan=plan),
+    )
+
+
+_STATIC_VARIANTS: dict[str, KernelPair] = {
+    "reference": KernelPair("reference", ax_m_reference, ax_m1_reference),
+    "compressed": KernelPair("compressed", ax_m_compressed, ax_m1_compressed),
+    "precomputed": KernelPair("precomputed", ax_m_precomputed, ax_m1_precomputed),
+}
+
+_SPECIALIZED_BUILDERS: dict[str, Callable[[int, int], KernelPair]] = {
+    "unrolled": _unrolled_pair("unrolled", cse=False),
+    "unrolled_cse": _unrolled_pair("unrolled_cse", cse=True),
+    "vectorized": _vectorized_pair,
+    "blocked": _blocked_pair,
+}
+
+
+def available_variants() -> list[str]:
+    """Names accepted by :func:`get_kernels` (``"auto"`` autotunes)."""
+    return sorted([*_STATIC_VARIANTS, *_SPECIALIZED_BUILDERS, "auto"])
+
+
+def get_kernels(variant: str, m: int | None = None, n: int | None = None) -> KernelPair:
+    """Look up a kernel pair by variant name.
+
+    Shape-specialized variants (``unrolled``, ``unrolled_cse``,
+    ``vectorized``) require ``m`` and ``n``; shape-generic variants ignore
+    them.
+    """
+    if variant in _STATIC_VARIANTS:
+        return _STATIC_VARIANTS[variant]
+    if variant == "auto":
+        if m is None or n is None:
+            raise ValueError("variant 'auto' is shape-specialized; pass m and n")
+        from repro.kernels.autotune import auto_kernels
+
+        return auto_kernels(m, n)
+    if variant in _SPECIALIZED_BUILDERS:
+        if m is None or n is None:
+            raise ValueError(f"variant {variant!r} is shape-specialized; pass m and n")
+        return _SPECIALIZED_BUILDERS[variant](m, n)
+    raise KeyError(
+        f"unknown kernel variant {variant!r}; available: {available_variants()}"
+    )

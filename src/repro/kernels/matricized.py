@@ -1,0 +1,74 @@
+"""Matricized general-tensor kernels — Table II's baseline, literally.
+
+Table II's caption for the general case: "both ``A x^m`` and ``A x^{m-1}``
+can be computed by a sequence of matrix-vector products with the proper
+matricization of ``A`` and reshaping of results.  The cost is dominated by
+the first matrix-vector product in which the matrix has size
+``n^{m-1} x n``."
+
+This module implements that exact scheme (mode-``k`` unfoldings +
+matvec/reshape chain) as the honest "what a general tensor library does"
+baseline — distinct from :mod:`repro.kernels.reference`'s tensordot chain
+in that the matricization is explicit and reusable, and mode unfoldings are
+exposed for tests and for building the symmetric-vs-general comparisons.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.flopcount import FlopCounter, null_counter
+
+__all__ = ["unfold", "fold", "ax_m_matricized", "ax_m1_matricized"]
+
+
+def unfold(dense: np.ndarray, mode: int) -> np.ndarray:
+    """Mode-``k`` unfolding (Kolda & Bader convention): the ``(n, n^{m-1})``
+    matrix whose columns are the mode-``k`` fibers of ``dense``."""
+    m = dense.ndim
+    if not 0 <= mode < m:
+        raise ValueError(f"mode must be in 0..{m - 1}, got {mode}")
+    return np.moveaxis(dense, mode, 0).reshape(dense.shape[mode], -1)
+
+
+def fold(matrix: np.ndarray, mode: int, shape: tuple[int, ...]) -> np.ndarray:
+    """Inverse of :func:`unfold` for the given full tensor ``shape``."""
+    m = len(shape)
+    if not 0 <= mode < m:
+        raise ValueError(f"mode must be in 0..{m - 1}, got {mode}")
+    moved_shape = (shape[mode],) + tuple(s for i, s in enumerate(shape) if i != mode)
+    return np.moveaxis(matrix.reshape(moved_shape), 0, mode)
+
+
+def ax_m1_matricized(
+    dense: np.ndarray, x: np.ndarray, counter: FlopCounter | None = None
+) -> np.ndarray:
+    """``A x^{m-1}`` by repeated unfold-matvec-reshape.
+
+    Contract the last mode, reshape, repeat ``m - 1`` times; the first
+    product is the dominating ``n^{m-1} x n`` matvec the paper's Table II
+    describes.
+    """
+    counter = counter or null_counter()
+    m = dense.ndim
+    n = dense.shape[-1]
+    x = np.asarray(x)
+    if x.shape != (n,):
+        raise ValueError(f"x has shape {x.shape}, expected ({n},)")
+    result = dense
+    for k in range(m, 1, -1):
+        # unfold the trailing mode: an (n^{k-1}, n) matrix-vector product
+        mat = result.reshape(n ** (k - 1), n)
+        counter.add_flops(2 * mat.size)
+        result = (mat @ x).reshape((n,) * (k - 1))
+    return result
+
+
+def ax_m_matricized(
+    dense: np.ndarray, x: np.ndarray, counter: FlopCounter | None = None
+) -> float:
+    """``A x^m``: one more contraction after :func:`ax_m1_matricized`."""
+    counter = counter or null_counter()
+    v = ax_m1_matricized(dense, x, counter=counter)
+    counter.add_flops(2 * v.size)
+    return float(v @ x)

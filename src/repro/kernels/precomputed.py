@@ -1,0 +1,119 @@
+"""Precomputed-table kernels — the Section III-B.5 storage/compute tradeoff.
+
+Same arithmetic as :mod:`repro.kernels.compressed`, but the index arrays and
+multinomial coefficients are read from :class:`~repro.kernels.tables.KernelTables`
+instead of being regenerated per term.  This removes all the integer
+bookkeeping (UPDATEINDEX + MULTINOMIAL passes) from the inner loop, reducing
+the floating-point complexity of both kernels to ``n^m/(m-1)! + O(n^{m-2})``
+at the price of ``(m+2)x`` extra integer storage, shared across all tensors
+of the same shape (Section V-C).
+
+The vector kernel also exercises the paper's footnote-3 trick: from the
+stored ``C(m; k)`` coefficient of a class, the Figure-3 coefficient is
+recovered as ``sigma(i) = C(m; k) * k_i / m`` — we instead store the sigma
+row table outright (integer data, shared), which is what the GPU code's
+"reading the stored value, multiplying by k_i and dividing by m" amounts to
+after constant folding.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.kernels.tables import KernelTables, kernel_tables
+from repro.symtensor.storage import SymmetricTensor
+from repro.util.flopcount import FlopCounter, null_counter
+
+__all__ = ["ax_m_precomputed", "ax_m1_precomputed"]
+
+
+@lru_cache(maxsize=None)
+def _native_tables(m: int, n: int):
+    """Python-native (list/int) copies of the kernel tables.
+
+    The point of precomputation is to make the inner loop cheap; indexing
+    NumPy arrays element-by-element costs more per access than Python
+    lists, so the scalar kernels read these instead."""
+    tab = kernel_tables(m, n)
+    index = [tuple(int(v) for v in row) for row in tab.index]
+    mult = [int(v) for v in tab.mult]
+    rows = [
+        (
+            int(tab.row_out[r]),
+            int(tab.row_class[r]),
+            int(tab.row_sigma[r]),
+            tuple(int(v) for v in tab.row_factors[r]),
+        )
+        for r in range(tab.num_rows)
+    ]
+    return index, mult, rows
+
+
+def ax_m_precomputed(
+    tensor: SymmetricTensor,
+    x: np.ndarray,
+    counter: FlopCounter | None = None,
+    tables: KernelTables | None = None,
+) -> float:
+    """``A x^m`` with precomputed index/multiplicity tables.
+
+    Identical loop structure to Figure 2 but every index array and
+    coefficient is a table lookup.
+    """
+    counter = counter or null_counter()
+    m, n = tensor.m, tensor.n
+    x = np.asarray(x)
+    if x.shape != (n,):
+        raise ValueError(f"x has shape {x.shape}, expected ({n},)")
+    if tables is not None and (tables.m, tables.n) != (m, n):
+        raise ValueError("tables shape does not match tensor shape")
+    index, mult, _ = _native_tables(m, n)
+    values = tensor.values.tolist()
+    xs = x.tolist()
+
+    y = 0.0
+    for u, row in enumerate(index):
+        xhat = 1.0
+        for j in row:
+            xhat *= xs[j]
+        y += mult[u] * values[u] * xhat
+        counter.add_flops(m + 3)
+        counter.add_loads(m + 2)
+    return float(y)
+
+
+def ax_m1_precomputed(
+    tensor: SymmetricTensor,
+    x: np.ndarray,
+    counter: FlopCounter | None = None,
+    tables: KernelTables | None = None,
+) -> np.ndarray:
+    """``A x^{m-1}`` with the precomputed row expansion of Figure 3.
+
+    Each row is one (class, distinct index) contribution with its
+    coefficient and remaining-factor indices already materialized, so the
+    loop body is pure floating-point work.
+    """
+    counter = counter or null_counter()
+    m, n = tensor.m, tensor.n
+    x = np.asarray(x)
+    if x.shape != (n,):
+        raise ValueError(f"x has shape {x.shape}, expected ({n},)")
+    if tables is not None and (tables.m, tables.n) != (m, n):
+        raise ValueError("tables shape does not match tensor shape")
+    _, _, rows = _native_tables(m, n)
+    values = tensor.values.tolist()
+    xs = x.tolist()
+
+    y = [0.0] * n
+    for out, cls, sigma, factors in rows:
+        xhat = 1.0
+        for j in factors:
+            xhat *= xs[j]
+        y[out] += sigma * values[cls] * xhat
+        counter.add_flops(m + 2)
+        counter.add_loads(m + 2)
+    counter.add_stores(n)
+    return np.array(y, dtype=np.result_type(tensor.values.dtype, x.dtype, np.float64))

@@ -1,0 +1,89 @@
+"""Dense (general, nonsymmetric-layout) reference kernels.
+
+These are the paper's "general tensor" baseline (Table II, left column): the
+tensor is held as a full ``n^m`` dense array and ``A x^{m-p}`` is computed by
+a sequence of tensor-vector contractions, costing ``2 n^m + O(n^{m-1})``
+flops regardless of symmetry.  They also serve as the ground-truth oracle
+for every compressed kernel variant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.symtensor.storage import SymmetricTensor
+from repro.util.flopcount import FlopCounter, null_counter
+
+__all__ = [
+    "ttsv_dense",
+    "ax_m_dense",
+    "ax_m1_dense",
+    "ax_m_reference",
+    "ax_m1_reference",
+    "general_flops",
+]
+
+
+def ttsv_dense(
+    dense: np.ndarray,
+    x: np.ndarray,
+    p: int,
+    counter: FlopCounter | None = None,
+) -> np.ndarray | float:
+    """Tensor-times-same-vector: contract ``x`` into the last ``m - p`` modes
+    of ``dense`` (Definition 2), returning an order-``p`` dense tensor
+    (a scalar for ``p = 0``, a vector for ``p = 1``).
+
+    For a symmetric tensor any choice of modes gives the same result; we
+    contract trailing modes one at a time, which costs ``2 n^m`` flops to
+    leading order (dominated by the first contraction).
+    """
+    counter = counter or null_counter()
+    m = dense.ndim
+    if not 0 <= p <= m - 1:
+        raise ValueError(f"need 0 <= p <= m-1 = {m - 1}, got p={p}")
+    x = np.asarray(x)
+    if x.shape != (dense.shape[-1],):
+        raise ValueError(f"x has shape {x.shape}, expected ({dense.shape[-1]},)")
+    result = dense
+    for k in range(m - p):
+        # contracting the last mode of an order-(m-k) tensor:
+        # n^(m-k) multiplies + ~n^(m-k) adds
+        counter.add_flops(2 * result.size)
+        counter.add_loads(result.size + x.size)
+        result = result @ x
+    if p == 0:
+        return float(result)
+    return result
+
+
+def ax_m_dense(dense: np.ndarray, x: np.ndarray, counter: FlopCounter | None = None) -> float:
+    """``A x^m`` from a dense tensor (scalar; Equation 3)."""
+    return ttsv_dense(dense, x, 0, counter=counter)
+
+
+def ax_m1_dense(
+    dense: np.ndarray, x: np.ndarray, counter: FlopCounter | None = None
+) -> np.ndarray:
+    """``A x^{m-1}`` from a dense tensor (vector; Equation 5)."""
+    return ttsv_dense(dense, x, 1, counter=counter)
+
+
+def ax_m_reference(
+    tensor: SymmetricTensor, x: np.ndarray, counter: FlopCounter | None = None
+) -> float:
+    """Oracle ``A x^m`` for a compressed tensor: decompress then contract."""
+    return ax_m_dense(tensor.to_dense(), x, counter=counter)
+
+
+def ax_m1_reference(
+    tensor: SymmetricTensor, x: np.ndarray, counter: FlopCounter | None = None
+) -> np.ndarray:
+    """Oracle ``A x^{m-1}`` for a compressed tensor: decompress then contract."""
+    return ax_m1_dense(tensor.to_dense(), x, counter=counter)
+
+
+def general_flops(m: int, n: int) -> int:
+    """Leading-order flop count of the general (dense) kernel, Table II:
+    ``2 n^m`` for either ``A x^m`` or ``A x^{m-1}``."""
+    return 2 * n**m

@@ -1,0 +1,73 @@
+"""DW-MRI nerve-fiber application (Section IV): synthetic phantom
+acquisition, symmetric-tensor fitting, SS-HOPM fiber extraction, and
+accuracy metrics."""
+
+from repro.mri.acquisition import adc_from_signal, rician_noise, signal_from_fibers
+from repro.mri.fibers import VoxelFibers, extract_fibers, extract_fibers_batch
+from repro.mri.fit import (
+    adc_profile,
+    design_matrix,
+    fit_symmetric_batch,
+    fit_symmetric_tensor,
+)
+from repro.mri.gradients import (
+    electrostatic_directions,
+    gradient_directions,
+    min_directions,
+)
+from repro.mri.harmonics import (
+    evaluate_sh,
+    fit_sh,
+    num_even_sh_coefficients,
+    real_sph_harm_basis,
+    sh_to_tensor,
+    tensor_to_sh,
+)
+from repro.mri.measures import (
+    generalized_anisotropy,
+    generalized_mean_diffusivity,
+    generalized_variance,
+    measure_batch,
+    spherical_mean,
+)
+from repro.mri.metrics import (
+    DetectionReport,
+    angular_error_deg,
+    evaluate_detection,
+    match_fibers,
+)
+from repro.mri.phantom import Phantom, adc_from_fibers, make_phantom
+
+__all__ = [
+    "adc_from_signal",
+    "rician_noise",
+    "signal_from_fibers",
+    "VoxelFibers",
+    "extract_fibers",
+    "extract_fibers_batch",
+    "adc_profile",
+    "design_matrix",
+    "fit_symmetric_batch",
+    "fit_symmetric_tensor",
+    "electrostatic_directions",
+    "gradient_directions",
+    "min_directions",
+    "evaluate_sh",
+    "fit_sh",
+    "num_even_sh_coefficients",
+    "real_sph_harm_basis",
+    "sh_to_tensor",
+    "tensor_to_sh",
+    "generalized_anisotropy",
+    "generalized_mean_diffusivity",
+    "generalized_variance",
+    "measure_batch",
+    "spherical_mean",
+    "DetectionReport",
+    "angular_error_deg",
+    "evaluate_detection",
+    "match_fibers",
+    "Phantom",
+    "adc_from_fibers",
+    "make_phantom",
+]

@@ -1,0 +1,86 @@
+"""Least-squares fitting of symmetric diffusion tensors from ADC samples.
+
+Section IV: the apparent diffusion coefficient is approximated by a
+homogeneous form ``D(g) ~= A g^m`` with ``A`` symmetric of even order.  In
+compressed coordinates the form is linear in the unique values,
+
+    D(g) = sum_u  mult_u * a_u * g^{monomial_u},
+
+so one design matrix (rows indexed by gradient direction, columns by index
+class) serves every voxel, and a whole voxel grid is fitted with a single
+pseudoinverse application — the batched analog of determining "the six
+coefficients" (m=2) or 15/28/45 coefficients (m=4/6/8) per voxel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.batched import monomials_batched
+from repro.kernels.tables import kernel_tables
+from repro.symtensor.storage import SymmetricTensor, SymmetricTensorBatch
+
+__all__ = ["design_matrix", "fit_symmetric_tensor", "fit_symmetric_batch", "adc_profile"]
+
+
+def design_matrix(gradients: np.ndarray, m: int) -> np.ndarray:
+    """The ``(G, U)`` linear map from unique tensor values to ADC samples:
+    row ``g``, column ``u`` holds ``mult_u * g^{monomial_u}``."""
+    gradients = np.asarray(gradients, dtype=np.float64)
+    if gradients.ndim != 2 or gradients.shape[1] != 3:
+        raise ValueError(f"gradients must have shape (G, 3), got {gradients.shape}")
+    tab = kernel_tables(m, 3)
+    mono = monomials_batched(gradients, tab)  # (G, U)
+    return mono * tab.mult.astype(np.float64)
+
+
+def adc_profile(tensor: SymmetricTensor | SymmetricTensorBatch, gradients: np.ndarray) -> np.ndarray:
+    """Evaluate ``D(g) = A g^m`` for every gradient (and every tensor, if a
+    batch): shape ``(G,)`` or ``(T, G)``."""
+    M = design_matrix(np.asarray(gradients), tensor.m)
+    return tensor.values @ M.T
+
+
+def fit_symmetric_tensor(
+    gradients: np.ndarray,
+    adc: np.ndarray,
+    m: int = 4,
+    rcond: float | None = None,
+) -> SymmetricTensor:
+    """Least-squares fit of one order-``m`` symmetric tensor in R^3.
+
+    Requires at least ``C(m+2, m)`` well-spread gradients; raises if the
+    system is underdetermined.
+    """
+    M = design_matrix(gradients, m)
+    adc = np.asarray(adc, dtype=np.float64)
+    if adc.shape != (M.shape[0],):
+        raise ValueError(f"adc must have shape ({M.shape[0]},), got {adc.shape}")
+    if M.shape[0] < M.shape[1]:
+        raise ValueError(
+            f"underdetermined fit: {M.shape[0]} measurements < {M.shape[1]} unknowns "
+            f"(order {m} needs at least {M.shape[1]} gradient directions)"
+        )
+    values, *_ = np.linalg.lstsq(M, adc, rcond=rcond)
+    return SymmetricTensor(values, m, 3)
+
+
+def fit_symmetric_batch(
+    gradients: np.ndarray,
+    adc: np.ndarray,
+    m: int = 4,
+    rcond: float | None = None,
+) -> SymmetricTensorBatch:
+    """Fit every voxel of a ``(T, G)`` ADC sample array at once (shared
+    pseudoinverse — one factorization for the whole brain volume)."""
+    M = design_matrix(gradients, m)
+    adc = np.asarray(adc, dtype=np.float64)
+    if adc.ndim != 2 or adc.shape[1] != M.shape[0]:
+        raise ValueError(f"adc must have shape (T, {M.shape[0]}), got {adc.shape}")
+    if M.shape[0] < M.shape[1]:
+        raise ValueError(
+            f"underdetermined fit: {M.shape[0]} measurements < {M.shape[1]} unknowns"
+        )
+    pinv = np.linalg.pinv(M, rcond=rcond if rcond is not None else 1e-12)
+    values = adc @ pinv.T
+    return SymmetricTensorBatch(values, m, 3)

@@ -1,0 +1,238 @@
+"""Synthetic DW-MRI phantom — the stand-in for the paper's SCI Institute
+test set.
+
+The paper's data: "1024 tensors corresponding to a 2D array of voxels which
+includes some with one and some with two principal fiber directions", each
+4th order, dimension 3 (15 unique values).  That set is not distributed, so
+this module synthesizes an equivalent one:
+
+* a ``rows x cols`` voxel grid (default ``32 x 32 = 1024``);
+* a *crossing region* (a centered band) whose voxels contain two fiber
+  populations at a configurable crossing angle, the rest single-fiber;
+* per-voxel ADC profiles from the standard multi-compartment model
+  ``D(g) = sum_f w_f (lam_perp + (lam_par - lam_perp) (g . d_f)^2)``
+  (each fiber population an axially symmetric rank-2 diffusion profile),
+  optionally with measurement noise;
+* order-``m`` symmetric tensors least-squares fitted from those profiles —
+  exactly the acquisition-and-fit pipeline Section IV describes.
+
+Ground-truth fiber directions are retained per voxel for the accuracy
+metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.mri.fit import design_matrix, fit_symmetric_batch
+from repro.mri.gradients import gradient_directions, min_directions
+from repro.symtensor.storage import SymmetricTensorBatch
+from repro.util.rng import make_rng
+
+__all__ = ["Phantom", "make_phantom", "adc_from_fibers"]
+
+# Typical white-matter diffusivities in um^2/ms (longitudinal and
+# transverse); only their ratio shapes the profile.
+DEFAULT_LAMBDA_PAR = 1.7
+DEFAULT_LAMBDA_PERP = 0.3
+
+
+@dataclass
+class Phantom:
+    """A synthetic voxel grid with fitted tensors and ground truth.
+
+    Attributes
+    ----------
+    tensors : the fitted order-``m`` symmetric tensor batch (``T = rows*cols``).
+    true_directions : list of ``(F_t, 3)`` arrays, the ground-truth fiber
+        directions per voxel (unit vectors, hemisphere-canonicalized).
+    gradients : the ``(G, 3)`` acquisition directions used.
+    adc : the ``(T, G)`` sampled (possibly noisy) ADC values.
+    rows, cols : grid shape.
+    """
+
+    tensors: SymmetricTensorBatch
+    true_directions: list[np.ndarray]
+    gradients: np.ndarray
+    adc: np.ndarray
+    rows: int
+    cols: int
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def num_voxels(self) -> int:
+        return self.rows * self.cols
+
+    def voxel_index(self, r: int, c: int) -> int:
+        if not (0 <= r < self.rows and 0 <= c < self.cols):
+            raise IndexError(f"voxel ({r}, {c}) outside {self.rows}x{self.cols} grid")
+        return r * self.cols + c
+
+    def num_fibers(self) -> np.ndarray:
+        """Ground-truth fiber count per voxel, shape ``(T,)``."""
+        return np.array([d.shape[0] for d in self.true_directions], dtype=np.int64)
+
+
+def adc_from_fibers(
+    gradients: np.ndarray,
+    directions: np.ndarray,
+    weights: np.ndarray,
+    lambda_par: float = DEFAULT_LAMBDA_PAR,
+    lambda_perp: float = DEFAULT_LAMBDA_PERP,
+    sharpness: int = 4,
+) -> np.ndarray:
+    """Multi-compartment ADC profile sampled at ``gradients``:
+
+    ``D(g) = sum_f w_f (lambda_perp + (lambda_par - lambda_perp)(g.d_f)^p)``
+
+    with even ``p = sharpness``.  A quadratic kernel (``p = 2``) would make
+    any mixture itself quadratic — a crossing voxel would then show a single
+    maximum at the bisector, which is exactly the failure of the 2nd-order
+    model that Section IV describes ("the approximation is often unable to
+    resolve the fiber directions").  The default ``p = 4`` is the
+    generalized-DTI (order-4 homogeneous form) profile: it is *exactly*
+    representable by an order-4 symmetric tensor, and well-separated fiber
+    populations each produce a local maximum of ``D`` along their direction.
+    """
+    if sharpness % 2 != 0 or sharpness < 2:
+        raise ValueError(f"sharpness must be a positive even power, got {sharpness}")
+    gradients = np.asarray(gradients, dtype=np.float64)
+    directions = np.atleast_2d(np.asarray(directions, dtype=np.float64))
+    weights = np.asarray(weights, dtype=np.float64)
+    dots = gradients @ directions.T  # (G, F)
+    per_fiber = lambda_perp + (lambda_par - lambda_perp) * dots**sharpness
+    return per_fiber @ weights
+
+
+def _unit(v: np.ndarray) -> np.ndarray:
+    return v / np.linalg.norm(v)
+
+
+def _canonical_hemisphere(d: np.ndarray) -> np.ndarray:
+    pivot = int(np.argmax(np.abs(d)))
+    return -d if d[pivot] < 0 else d
+
+
+def make_phantom(
+    rows: int = 32,
+    cols: int = 32,
+    order: int = 4,
+    num_gradients: int = 64,
+    crossing_angle_deg: float = 75.0,
+    crossing_band: tuple[float, float] = (0.375, 0.625),
+    noise_sigma: float = 0.0,
+    direction_jitter_deg: float = 3.0,
+    gradient_scheme: str = "electrostatic",
+    sharpness: int | None = None,
+    domain: str = "adc",
+    b_value: float = 1.0,
+    rng=None,
+) -> Phantom:
+    """Build the synthetic test set.
+
+    Parameters
+    ----------
+    rows, cols : grid shape (default 32x32 = the paper's 1024 voxels).
+    order : tensor order ``m`` (even; default 4 as in the paper).
+    num_gradients : acquisition directions (must be >= ``C(m+2, m)``).
+    crossing_angle_deg : angle between the two populations in the crossing
+        band.  Below ~60 degrees an order-4 profile can no longer resolve
+        both maxima — the physical limitation Section IV discusses.
+    crossing_band : fractional row range occupied by the two-fiber band.
+    noise_sigma : additive Gaussian noise on ADC samples (relative to the
+        mean ADC magnitude).
+    direction_jitter_deg : per-voxel random perturbation of the nominal
+        fiber directions (models anatomical variation).
+    sharpness : per-fiber kernel power (see :func:`adc_from_fibers`);
+        defaults to ``order``, making the noiseless ADC-domain fit exact.
+    domain : ``"adc"`` (default) samples ADC profiles directly with
+        additive Gaussian noise of relative level ``noise_sigma``;
+        ``"signal"`` simulates the full acquisition chain — exponential
+        multi-compartment signal at ``b_value``, Rician noise of absolute
+        std ``noise_sigma`` (relative to s0 = 1), log-recovery of the ADC
+        (see :mod:`repro.mri.acquisition`) — which introduces realistic
+        model mismatch for crossing voxels.
+    b_value : diffusion weighting for ``domain="signal"``.
+    rng : seed or Generator.
+    """
+    if order % 2 != 0:
+        raise ValueError(f"diffusion tensors must have even order, got {order}")
+    if num_gradients < min_directions(order):
+        raise ValueError(
+            f"order {order} needs >= {min_directions(order)} gradients, "
+            f"got {num_gradients}"
+        )
+    if sharpness is None:
+        sharpness = order
+    if domain not in ("adc", "signal"):
+        raise ValueError(f"domain must be 'adc' or 'signal', got {domain!r}")
+    rng = make_rng(rng)
+    gradients = gradient_directions(num_gradients, scheme=gradient_scheme, rng=rng)
+
+    half = np.deg2rad(crossing_angle_deg) / 2.0
+    # nominal populations: in-plane directions at +-half angle around x-axis
+    base_a = np.array([np.cos(half), np.sin(half), 0.0])
+    base_b = np.array([np.cos(half), -np.sin(half), 0.0])
+    base_single = np.array([1.0, 0.0, 0.0])
+    jitter = np.deg2rad(direction_jitter_deg)
+
+    lo = int(np.floor(crossing_band[0] * rows))
+    hi = int(np.ceil(crossing_band[1] * rows))
+
+    true_directions: list[np.ndarray] = []
+    adc = np.empty((rows * cols, num_gradients), dtype=np.float64)
+    for r in range(rows):
+        for c in range(cols):
+            def perturb(d: np.ndarray) -> np.ndarray:
+                noise = rng.normal(0.0, jitter, size=3)
+                return _canonical_hemisphere(_unit(d + noise))
+
+            if lo <= r < hi:
+                dirs = np.stack([perturb(base_a), perturb(base_b)])
+                weights = np.array([0.5, 0.5])
+            else:
+                dirs = perturb(base_single)[None, :]
+                weights = np.array([1.0])
+            if domain == "adc":
+                profile = adc_from_fibers(gradients, dirs, weights, sharpness=sharpness)
+                if noise_sigma > 0:
+                    profile = profile + rng.normal(
+                        0.0,
+                        noise_sigma * float(np.mean(np.abs(profile))),
+                        size=profile.shape,
+                    )
+            else:
+                from repro.mri.acquisition import (
+                    adc_from_signal,
+                    rician_noise,
+                    signal_from_fibers,
+                )
+
+                signal = signal_from_fibers(
+                    gradients, dirs, weights, b_value=b_value, sharpness=sharpness
+                )
+                signal = rician_noise(signal, noise_sigma, rng=rng)
+                profile = adc_from_signal(signal, b_value=b_value)
+            adc[r * cols + c] = profile
+            true_directions.append(dirs)
+
+    tensors = fit_symmetric_batch(gradients, adc, m=order)
+    return Phantom(
+        tensors=tensors,
+        true_directions=true_directions,
+        gradients=gradients,
+        adc=adc,
+        rows=rows,
+        cols=cols,
+        meta={
+            "order": order,
+            "crossing_angle_deg": crossing_angle_deg,
+            "noise_sigma": noise_sigma,
+            "num_gradients": num_gradients,
+            "sharpness": sharpness,
+            "domain": domain,
+            "b_value": b_value,
+        },
+    )

@@ -1,0 +1,25 @@
+"""CPU-parallel substrate: partitioning, a multi-worker driver, and the
+calibrated OpenMP-scaling performance model."""
+
+from repro.parallel.cpumodel import (
+    DEFAULT_CPU_PARAMS,
+    CpuPerfParams,
+    CpuPrediction,
+    predict_cpu_sshopm,
+    speedup_curve,
+)
+from repro.parallel.executor import ParallelRunReport, parallel_multistart_sshopm
+from repro.parallel.partition import chunk_sizes, interleaved_partition, static_partition
+
+__all__ = [
+    "DEFAULT_CPU_PARAMS",
+    "CpuPerfParams",
+    "CpuPrediction",
+    "predict_cpu_sshopm",
+    "speedup_curve",
+    "ParallelRunReport",
+    "parallel_multistart_sshopm",
+    "chunk_sizes",
+    "interleaved_partition",
+    "static_partition",
+]

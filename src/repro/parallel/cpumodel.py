@@ -1,0 +1,132 @@
+"""Calibrated CPU performance model for the paper's OpenMP baselines.
+
+The paper's CPU rows (Table III) come from a dual-socket quad-core Nehalem
+running scalar (no SSE, no memory-hierarchy tuning) code.  The model has
+two layers:
+
+* **single-core efficiency** per kernel variant — calibrated to the
+  measured 1-core rates: unrolled 2.05 GFLOPS (9% of the 22.4 GFLOPS SIMD
+  peak — consistent with scalar code that issues ~1 flop/cycle-ish with
+  overheads) and general 0.24 GFLOPS (the 8.47x unrolling speedup);
+* **scaling shape** — near-linear within a socket (the paper: "nearly
+  perfect parallel speedup over four threads"), degraded across sockets
+  ("we did not observe the same scaling using 8 threads ... due to
+  inefficient use of the memory hierarchy across both sockets").  The
+  degradation is variant-dependent: the unrolled kernel is fast enough per
+  byte to become memory-bound across sockets (measured 8-core speedup only
+  4.72x) while the slower general kernel stays compute-bound (7.14x).
+
+Calibrated constants are anchored to Table III and recorded in
+EXPERIMENTS.md; the *shape* (linear-then-kinked at the socket boundary) is
+structural.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.device import NEHALEM_2S, CpuSpec
+
+__all__ = [
+    "CpuPerfParams",
+    "CpuPrediction",
+    "predict_cpu_sshopm",
+    "speedup_curve",
+    "DEFAULT_CPU_PARAMS",
+]
+
+
+@dataclass(frozen=True)
+class CpuPerfParams:
+    """Calibrated constants for the CPU model (see module docstring).
+
+    ``eff_*`` are single-core achieved fractions of the per-core SIMD peak;
+    ``intra_*`` / ``inter_*`` are marginal per-core scaling efficiencies
+    within the first socket and on the second socket respectively.
+    """
+
+    eff_unrolled: float = 2.05 / 22.4  # ~0.0915 -> 2.05 GFLOPS on one core
+    eff_general: float = 0.24 / 22.4  # ~0.0107 -> 0.24 GFLOPS on one core
+    intra_unrolled: float = 3.45 / 4.0  # 4-core speedup 3.45
+    intra_general: float = 3.55 / 4.0  # 4-core speedup 3.55
+    inter_unrolled: float = (4.72 - 3.45) / 4.0  # 8-core speedup 4.72
+    inter_general: float = (7.14 - 3.55) / 4.0  # 8-core speedup 7.14
+
+
+DEFAULT_CPU_PARAMS = CpuPerfParams()
+
+
+@dataclass(frozen=True)
+class CpuPrediction:
+    """Model output for one CPU configuration."""
+
+    cpu_name: str
+    variant: str
+    cores: int
+    speedup: float  # over the same variant on one core
+    gflops: float
+    seconds: float
+    fraction_of_peak: float  # of the SIMD peak over the cores used
+
+
+def speedup_curve(cores: int, intra: float, inter: float, cores_per_socket: int) -> float:
+    """Parallel speedup: per-core efficiency ``intra`` on the first socket,
+    ``inter`` beyond it (one core always contributes 1.0)."""
+    if cores < 1:
+        raise ValueError(f"cores must be >= 1, got {cores}")
+    if cores == 1:
+        return 1.0
+    first = min(cores, cores_per_socket)
+    rest = cores - first
+    return 1.0 + (first - 1) * _marginal(intra, cores_per_socket) + rest * inter
+
+
+def _marginal(intra: float, cores_per_socket: int) -> float:
+    # intra is defined as (speedup at full socket) / cores_per_socket;
+    # convert to the marginal contribution of cores 2..cores_per_socket so
+    # that a full socket lands exactly on the calibrated speedup.
+    if cores_per_socket <= 1:
+        return intra
+    return (intra * cores_per_socket - 1.0) / (cores_per_socket - 1)
+
+
+def predict_cpu_sshopm(
+    total_flops: float,
+    variant: str = "unrolled",
+    cores: int = 1,
+    cpu: CpuSpec = NEHALEM_2S,
+    params: CpuPerfParams = DEFAULT_CPU_PARAMS,
+) -> CpuPrediction:
+    """Predict runtime/throughput of the CPU implementation.
+
+    Parameters
+    ----------
+    total_flops : useful flops of the workload (same basis as the GPU
+        model: the unrolled static count x iterations x threads).
+    variant : ``"unrolled"`` or ``"general"``.
+    cores : 1..cpu.total_cores.
+    """
+    if not 1 <= cores <= cpu.total_cores:
+        raise ValueError(f"cores must be in 1..{cpu.total_cores}, got {cores}")
+    if total_flops <= 0:
+        raise ValueError("total_flops must be positive")
+    if variant == "unrolled":
+        eff, intra, inter = params.eff_unrolled, params.intra_unrolled, params.inter_unrolled
+    elif variant == "general":
+        eff, intra, inter = params.eff_general, params.intra_general, params.inter_general
+    else:
+        raise ValueError(f"unknown variant {variant!r}")
+
+    single_core_gflops = eff * cpu.peak_gflops_per_core
+    s = speedup_curve(cores, intra, inter, cpu.cores_per_socket)
+    gflops = single_core_gflops * s
+    seconds = total_flops / (gflops * 1e9)
+    return CpuPrediction(
+        cpu_name=cpu.name,
+        variant=variant,
+        cores=cores,
+        speedup=s,
+        gflops=gflops,
+        seconds=seconds,
+        fraction_of_peak=gflops / (cpu.peak_gflops_per_core * cores),
+    )

@@ -1,0 +1,97 @@
+"""Multi-worker CPU driver for the batched eigenproblem.
+
+Functional counterpart of the paper's OpenMP loop: the tensor batch is
+statically partitioned and each worker runs multistart SS-HOPM on its chunk.
+Workers are Python threads — NumPy releases the GIL inside its vectorized
+kernels, so chunks of the batched backend genuinely overlap on multicore
+hosts; on a single-core host the driver still exercises the partitioning
+and merge logic (the performance *model* in
+:mod:`repro.parallel.cpumodel`, not this executor, reproduces the paper's
+scaling numbers — see DESIGN.md's substitution table).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+import time
+
+import numpy as np
+
+from repro.core.multistart import MultistartResult, multistart_sshopm, starting_vectors
+from repro.parallel.partition import static_partition
+from repro.symtensor.storage import SymmetricTensorBatch
+
+__all__ = ["ParallelRunReport", "parallel_multistart_sshopm"]
+
+
+@dataclass
+class ParallelRunReport:
+    """A merged multistart result plus execution metadata."""
+
+    result: MultistartResult
+    workers: int
+    seconds: float
+    chunk_sizes: list[int]
+
+
+def parallel_multistart_sshopm(
+    tensors: SymmetricTensorBatch,
+    workers: int = 1,
+    num_starts: int = 128,
+    alpha: float = 0.0,
+    tol: float = 1e-10,
+    max_iter: int = 500,
+    starts: np.ndarray | None = None,
+    scheme: str = "random",
+    backend: str = "batched",
+    dtype=np.float64,
+    rng=None,
+) -> ParallelRunReport:
+    """Partition ``tensors`` over ``workers`` threads and solve each chunk.
+
+    All workers share one starting-vector set (as on the GPU).  The merged
+    result is identical (up to chunk concatenation order, which preserves
+    tensor order) to a single-worker run with the same starts.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    T = len(tensors)
+    if starts is None:
+        starts = starting_vectors(num_starts, tensors.n, scheme=scheme, rng=rng, dtype=dtype)
+
+    ranges = [r for r in static_partition(T, workers) if len(r) > 0]
+    t0 = time.perf_counter()
+
+    def solve_chunk(r: range) -> MultistartResult:
+        chunk = tensors.subset(np.arange(r.start, r.stop))
+        return multistart_sshopm(
+            chunk,
+            alpha=alpha,
+            tol=tol,
+            max_iter=max_iter,
+            starts=starts,
+            backend=backend,
+            dtype=dtype,
+        )
+
+    if len(ranges) == 1:
+        parts = [solve_chunk(ranges[0])]
+    else:
+        with ThreadPoolExecutor(max_workers=len(ranges)) as pool:
+            parts = list(pool.map(solve_chunk, ranges))
+    seconds = time.perf_counter() - t0
+
+    merged = MultistartResult(
+        eigenvalues=np.concatenate([p.eigenvalues for p in parts], axis=0),
+        eigenvectors=np.concatenate([p.eigenvectors for p in parts], axis=0),
+        converged=np.concatenate([p.converged for p in parts], axis=0),
+        iterations=np.concatenate([p.iterations for p in parts], axis=0),
+        total_sweeps=max(p.total_sweeps for p in parts),
+    )
+    return ParallelRunReport(
+        result=merged,
+        workers=workers,
+        seconds=seconds,
+        chunk_sizes=[len(r) for r in ranges],
+    )

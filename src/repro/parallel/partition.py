@@ -1,0 +1,43 @@
+"""Work partitioning over tensors.
+
+The paper's CPU parallelization is a single ``omp for`` over the input
+tensors (Section V-E); these helpers reproduce OpenMP's static schedule
+(contiguous near-equal chunks) plus an interleaved variant, so the executor
+and its tests can verify both coverage and balance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["static_partition", "interleaved_partition", "chunk_sizes"]
+
+
+def chunk_sizes(total: int, workers: int) -> list[int]:
+    """Sizes of the static chunks: ``total`` items over ``workers`` chunks,
+    first ``total % workers`` chunks one larger (OpenMP static)."""
+    if workers < 1:
+        raise ValueError(f"need at least one worker, got {workers}")
+    if total < 0:
+        raise ValueError(f"total must be nonnegative, got {total}")
+    base, extra = divmod(total, workers)
+    return [base + (1 if w < extra else 0) for w in range(workers)]
+
+
+def static_partition(total: int, workers: int) -> list[range]:
+    """Contiguous index ranges per worker (OpenMP ``schedule(static)``)."""
+    sizes = chunk_sizes(total, workers)
+    out: list[range] = []
+    start = 0
+    for size in sizes:
+        out.append(range(start, start + size))
+        start += size
+    return out
+
+
+def interleaved_partition(total: int, workers: int) -> list[np.ndarray]:
+    """Cyclic index assignment (OpenMP ``schedule(static, 1)``): worker ``w``
+    gets indices ``w, w+workers, w+2*workers, ...``."""
+    if workers < 1:
+        raise ValueError(f"need at least one worker, got {workers}")
+    return [np.arange(w, total, workers) for w in range(workers)]

@@ -1,0 +1,85 @@
+"""Symmetric tensor storage format (Section III of the paper).
+
+Index-class enumeration and ranking, compressed single/batched storage, and
+random/structured constructors.
+"""
+
+from repro.symtensor.indexing import (
+    canonical_index,
+    class_lookup,
+    index_classes,
+    index_from_monomial,
+    index_table,
+    is_valid_index,
+    iter_index_classes,
+    iter_monomials,
+    monomial_from_index,
+    multiplicity_table,
+    rank_index,
+    sigma_table,
+    unrank_index,
+    update_index,
+)
+from repro.symtensor.random import (
+    identity_like_tensor,
+    kolda_mayo_example_3x3x3,
+    odeco_tensor,
+    random_odeco_tensor,
+    random_symmetric_batch,
+    random_symmetric_tensor,
+    rank_one_tensor,
+    sum_of_rank_ones,
+)
+from repro.symtensor.ops import (
+    RankOneApproximation,
+    best_rank_one,
+    evaluate_polynomial,
+    greedy_rank_r,
+    inner_product,
+    polynomial_coefficients,
+    symmetric_product,
+)
+from repro.symtensor.storage import (
+    SymmetricTensor,
+    SymmetricTensorBatch,
+    is_symmetric_dense,
+    symmetric_outer_power,
+    symmetrize_dense,
+)
+
+__all__ = [
+    "canonical_index",
+    "class_lookup",
+    "index_classes",
+    "index_from_monomial",
+    "index_table",
+    "is_valid_index",
+    "iter_index_classes",
+    "iter_monomials",
+    "monomial_from_index",
+    "multiplicity_table",
+    "rank_index",
+    "sigma_table",
+    "unrank_index",
+    "update_index",
+    "RankOneApproximation",
+    "best_rank_one",
+    "evaluate_polynomial",
+    "greedy_rank_r",
+    "inner_product",
+    "polynomial_coefficients",
+    "symmetric_product",
+    "SymmetricTensor",
+    "SymmetricTensorBatch",
+    "is_symmetric_dense",
+    "symmetric_outer_power",
+    "symmetrize_dense",
+    "identity_like_tensor",
+    "kolda_mayo_example_3x3x3",
+    "odeco_tensor",
+    "random_odeco_tensor",
+    "random_symmetric_batch",
+    "random_symmetric_tensor",
+    "rank_one_tensor",
+    "sum_of_rank_ones",
+]

@@ -1,0 +1,239 @@
+"""Index classes of symmetric tensors (Section III-A of the paper).
+
+A symmetric tensor ``A in R^[m,n]`` is determined by one value per *index
+class* — the orbit of a tensor index under permutation.  Each class has two
+canonical encodings:
+
+* **index representation** — the unique nondecreasing ``m``-tuple of indices
+  in ``{1, ..., n}`` (the paper stores this one: ``m`` integers, and usually
+  ``m << n``);
+* **monomial representation** — the ``n``-tuple ``[k_1, ..., k_n]`` of
+  occurrence counts (``sum k_i = m``), i.e. the exponent vector of the
+  monomial ``x_1^{k_1} ... x_n^{k_n}``.
+
+Classes are ordered lexicographically: increasing in the index
+representation, equivalently decreasing in the monomial representation
+(Table I of the paper shows the ordering for ``m=3, n=4``).
+
+This module provides the successor function of Figure 4 (``update_index``),
+full enumeration, O(m)-space ranking/unranking within the lex order, and the
+precomputed index/multiplicity tables that the GPU implementation shares
+across all thread blocks (Section V-C).
+
+Indices are **1-based** in the public tuple-level API, matching the paper;
+the array-level tables are 0-based for direct NumPy indexing and say so in
+their docstrings.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.util.combinatorics import (
+    binomial,
+    factorial,
+    multinomial,
+    multinomial1_from_index,
+    num_unique_entries,
+)
+
+__all__ = [
+    "update_index",
+    "iter_index_classes",
+    "index_classes",
+    "monomial_from_index",
+    "index_from_monomial",
+    "iter_monomials",
+    "rank_index",
+    "unrank_index",
+    "canonical_index",
+    "is_valid_index",
+    "multiplicity_table",
+    "index_table",
+    "class_lookup",
+    "sigma_table",
+]
+
+
+def is_valid_index(index: Sequence[int], n: int) -> bool:
+    """True iff ``index`` is a nondecreasing tuple over ``{1, ..., n}``."""
+    prev = 1
+    for idx in index:
+        if idx < prev or idx > n:
+            return False
+        prev = idx
+    return True
+
+
+def canonical_index(index: Sequence[int]) -> tuple[int, ...]:
+    """Index representation (sorted tuple) of an arbitrary tensor index."""
+    return tuple(sorted(index))
+
+
+def update_index(index: list[int], n: int) -> bool:
+    """Advance ``index`` (in place) to its lex successor — Figure 4.
+
+    Finds the least significant position not equal to ``n``, increments it,
+    and resets every less significant position to the new value, which is the
+    smallest nondecreasing completion.  Runs in ``O(m)``.
+
+    Returns
+    -------
+    bool
+        ``True`` if a successor existed; ``False`` if ``index`` was already
+        the last class ``[n, n, ..., n]`` (left unchanged).
+    """
+    m = len(index)
+    j = m - 1
+    while j >= 0 and index[j] == n:
+        j -= 1
+    if j < 0:
+        return False
+    index[j] += 1
+    for k in range(j + 1, m):
+        index[k] = index[j]
+    return True
+
+
+def iter_index_classes(m: int, n: int) -> Iterator[tuple[int, ...]]:
+    """Yield every index class of ``R^[m,n]`` in lexicographic order.
+
+    Exactly ``C(m+n-1, m)`` tuples, starting at ``(1, ..., 1)`` and ending at
+    ``(n, ..., n)``.
+    """
+    if m < 1 or n < 1:
+        raise ValueError(f"need m, n >= 1, got m={m}, n={n}")
+    index = [1] * m
+    yield tuple(index)
+    while update_index(index, n):
+        yield tuple(index)
+
+
+def index_classes(m: int, n: int) -> list[tuple[int, ...]]:
+    """All index classes of ``R^[m,n]`` in lex order, as a list."""
+    return list(iter_index_classes(m, n))
+
+
+def monomial_from_index(index: Sequence[int], n: int) -> tuple[int, ...]:
+    """Monomial representation ``[k_1, ..., k_n]`` of an index class."""
+    counts = [0] * n
+    for idx in index:
+        if not 1 <= idx <= n:
+            raise ValueError(f"index value {idx} outside 1..{n}")
+        counts[idx - 1] += 1
+    return tuple(counts)
+
+
+def index_from_monomial(mono: Sequence[int]) -> tuple[int, ...]:
+    """Index representation from a monomial representation."""
+    out: list[int] = []
+    for value, count in enumerate(mono, start=1):
+        if count < 0:
+            raise ValueError(f"negative multiplicity in {tuple(mono)}")
+        out.extend([value] * count)
+    return tuple(out)
+
+
+def iter_monomials(m: int, n: int) -> Iterator[tuple[int, ...]]:
+    """Monomial representations in the same (lex) class order."""
+    for index in iter_index_classes(m, n):
+        yield monomial_from_index(index, n)
+
+
+def rank_index(index: Sequence[int], n: int) -> int:
+    """Zero-based position of an index class in the lex order.
+
+    Counts nondecreasing tuples preceding ``index``: at each position ``j``
+    with previous value ``p``, choosing any value in ``[p, index_j - 1]``
+    leaves the remaining ``m-j-1`` slots free, contributing
+    ``C(n - v + m - j - 1, m - j - 1)`` nondecreasing completions for each
+    candidate ``v``.  Runs in ``O(m n)`` with exact integer arithmetic.
+    """
+    m = len(index)
+    if not is_valid_index(index, n):
+        raise ValueError(f"{tuple(index)} is not a nondecreasing index over 1..{n}")
+    rank = 0
+    prev = 1
+    for j, idx in enumerate(index):
+        remaining = m - j - 1
+        for v in range(prev, idx):
+            rank += binomial(n - v + remaining, remaining)
+        prev = idx
+    return rank
+
+
+def unrank_index(rank: int, m: int, n: int) -> tuple[int, ...]:
+    """Inverse of :func:`rank_index`: the class at zero-based ``rank``."""
+    total = num_unique_entries(m, n)
+    if not 0 <= rank < total:
+        raise ValueError(f"rank {rank} outside [0, {total}) for m={m}, n={n}")
+    out: list[int] = []
+    prev = 1
+    for j in range(m):
+        remaining = m - j - 1
+        v = prev
+        while True:
+            block = binomial(n - v + remaining, remaining)
+            if rank < block:
+                break
+            rank -= block
+            v += 1
+        out.append(v)
+        prev = v
+    return tuple(out)
+
+
+# ---------------------------------------------------------------------------
+# Precomputed tables (Section V-C: shared across all thread blocks since all
+# tensors have the same order and dimension).
+# ---------------------------------------------------------------------------
+
+
+@lru_cache(maxsize=None)
+def index_table(m: int, n: int) -> np.ndarray:
+    """All index representations as a read-only ``(U, m)`` int64 array,
+    **0-based** for direct NumPy indexing (paper's ``m x U`` index array)."""
+    table = np.array(index_classes(m, n), dtype=np.int64) - 1
+    table.setflags(write=False)
+    return table
+
+
+@lru_cache(maxsize=None)
+def multiplicity_table(m: int, n: int) -> np.ndarray:
+    """Multinomial coefficient ``C(m; k_1..k_n)`` of every class, in class
+    order — the per-entry occurrence counts stored by the GPU code."""
+    table = np.array(
+        [multinomial(monomial_from_index(ix, n)) for ix in iter_index_classes(m, n)],
+        dtype=np.int64,
+    )
+    table.setflags(write=False)
+    return table
+
+
+@lru_cache(maxsize=None)
+def sigma_table(m: int, n: int) -> np.ndarray:
+    """``(U, n)`` table of the Figure-3 coefficients ``sigma(j)``.
+
+    ``sigma_table[u, j] = C(m-1; k_1, ..., k_{j+1}-1, ..., k_n)`` when index
+    ``j+1`` occurs in class ``u``, else 0 (the class does not contribute to
+    output entry ``j``).  Derivable from :func:`multiplicity_table` via
+    ``sigma(j) = mult * k_j / m`` (the footnote-3 identity), but computed
+    exactly here.
+    """
+    classes = index_classes(m, n)
+    table = np.zeros((len(classes), n), dtype=np.int64)
+    m1fact = factorial(m - 1)
+    for u, index in enumerate(classes):
+        for j in set(index):
+            table[u, j - 1] = multinomial1_from_index(index, j, m1fact)
+    table.setflags(write=False)
+    return table
+
+
+@lru_cache(maxsize=None)
+def class_lookup(m: int, n: int) -> dict[tuple[int, ...], int]:
+    """Map from (1-based) index representation to class position."""
+    return {index: u for u, index in enumerate(iter_index_classes(m, n))}

@@ -1,0 +1,176 @@
+"""Constructors for random and structured symmetric tensors.
+
+Used by tests (random instances of every size), benchmarks (the Table III /
+Figure 5 workloads), and examples (the worked tensors from the SS-HOPM
+literature).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.symtensor.storage import SymmetricTensor, SymmetricTensorBatch, symmetric_outer_power
+from repro.util.combinatorics import num_unique_entries
+from repro.util.rng import make_rng, random_unit_vectors
+
+__all__ = [
+    "random_symmetric_tensor",
+    "random_symmetric_batch",
+    "rank_one_tensor",
+    "sum_of_rank_ones",
+    "odeco_tensor",
+    "random_odeco_tensor",
+    "identity_like_tensor",
+    "kolda_mayo_example_3x3x3",
+]
+
+
+def random_symmetric_tensor(
+    m: int,
+    n: int,
+    rng: int | np.random.Generator | None = None,
+    scale: float = 1.0,
+    dtype=np.float64,
+) -> SymmetricTensor:
+    """Symmetric tensor whose unique values are iid normal(0, scale)."""
+    rng = make_rng(rng)
+    values = rng.normal(0.0, scale, size=num_unique_entries(m, n)).astype(dtype)
+    return SymmetricTensor(values, m, n)
+
+
+def random_symmetric_batch(
+    count: int,
+    m: int,
+    n: int,
+    rng: int | np.random.Generator | None = None,
+    scale: float = 1.0,
+    dtype=np.float64,
+) -> SymmetricTensorBatch:
+    """Batch of ``count`` iid random symmetric tensors."""
+    rng = make_rng(rng)
+    values = rng.normal(0.0, scale, size=(count, num_unique_entries(m, n))).astype(dtype)
+    return SymmetricTensorBatch(values, m, n)
+
+
+def rank_one_tensor(x: np.ndarray, m: int, weight: float = 1.0) -> SymmetricTensor:
+    """``weight * x^{(x) m}`` — a symmetric rank-one tensor."""
+    t = symmetric_outer_power(np.asarray(x, dtype=np.float64), m)
+    return t * weight
+
+
+def sum_of_rank_ones(
+    directions: np.ndarray, weights: np.ndarray | None = None, m: int = 4
+) -> SymmetricTensor:
+    """``sum_i w_i * d_i^{(x) m}`` for rows ``d_i`` of ``directions``.
+
+    This is the structure of the MRI diffusion tensors: each fiber
+    population contributes a rank-one term along its direction.
+    """
+    directions = np.atleast_2d(np.asarray(directions, dtype=np.float64))
+    count = directions.shape[0]
+    if weights is None:
+        weights = np.ones(count)
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.shape != (count,):
+        raise ValueError(f"need {count} weights, got shape {weights.shape}")
+    acc = rank_one_tensor(directions[0], m, float(weights[0]))
+    for i in range(1, count):
+        acc = acc + rank_one_tensor(directions[i], m, float(weights[i]))
+    return acc
+
+
+def odeco_tensor(basis: np.ndarray, weights: np.ndarray, m: int = 4) -> SymmetricTensor:
+    """Orthogonally decomposable tensor ``A = sum_i w_i u_i^{(x) m}`` with
+    *orthonormal* ``u_i`` (rows of ``basis``).
+
+    Odeco tensors have known eigenpairs: each ``(w_i, u_i)`` is an
+    eigenpair (``A u_i^{m-1} = w_i u_i`` since ``u_j . u_i = 0`` for
+    ``j != i``), and these "robust" eigenpairs are exactly the possible
+    limits of the unshifted power iteration — making odeco tensors exact
+    ground truth for eigen-solver tests.
+
+    Raises if the rows of ``basis`` are not orthonormal to ``1e-10``.
+    """
+    basis = np.atleast_2d(np.asarray(basis, dtype=np.float64))
+    weights = np.asarray(weights, dtype=np.float64)
+    gram = basis @ basis.T
+    if not np.allclose(gram, np.eye(basis.shape[0]), atol=1e-10):
+        raise ValueError("odeco components must be orthonormal")
+    return sum_of_rank_ones(basis, weights, m=m)
+
+
+def random_odeco_tensor(
+    m: int,
+    n: int,
+    rank: int | None = None,
+    rng: int | np.random.Generator | None = None,
+    weight_range: tuple[float, float] = (0.5, 2.0),
+) -> tuple[SymmetricTensor, np.ndarray, np.ndarray]:
+    """Random odeco tensor from a Haar-random orthonormal frame.
+
+    Returns ``(tensor, basis, weights)`` where ``basis`` has ``rank``
+    orthonormal rows (default ``rank = n``) and ``weights`` are positive
+    and strictly decreasing (so the spectrum is simple and identifiable).
+    """
+    rng = make_rng(rng)
+    rank = n if rank is None else rank
+    if not 1 <= rank <= n:
+        raise ValueError(f"rank must be in 1..{n}, got {rank}")
+    q, _ = np.linalg.qr(rng.normal(size=(n, n)))
+    basis = q.T[:rank]
+    lo, hi = weight_range
+    weights = np.sort(rng.uniform(lo, hi, size=rank))[::-1]
+    # enforce strict separation for identifiability
+    weights = weights + np.linspace(0.1 * (hi - lo), 0.0, rank)
+    return odeco_tensor(basis, weights, m=m), basis, weights
+
+
+def identity_like_tensor(m: int, n: int) -> SymmetricTensor:
+    """The symmetric tensor ``E`` with ``E x^{m-1} = ||x||^{m-2} x``: the
+    symmetrization of ``I (x) I (x) ... (x) I`` for even ``m``.
+
+    For ``m = 2`` this is the identity matrix.  For even ``m > 2`` it is the
+    symmetric tensor representing the polynomial ``(x_1^2 + ... + x_n^2)^{m/2}``
+    so that ``E x^m = ||x||^m``; on the unit sphere every vector is then an
+    eigenvector with eigenvalue 1 — a useful degenerate test case.
+    """
+    if m % 2 != 0:
+        raise ValueError("identity-like tensor only defined for even order m")
+    # Build from the dense polynomial representation: symmetrize the m-fold
+    # outer product of identity matrices.  Cheap because sizes are small.
+    from repro.symtensor.storage import symmetrize_dense
+
+    eye = np.eye(n)
+    dense = eye
+    for _ in range(m // 2 - 1):
+        dense = np.tensordot(dense, eye, axes=0)
+    dense_sym = symmetrize_dense(dense)
+    return SymmetricTensor.from_dense(dense_sym, check=False)
+
+
+def kolda_mayo_example_3x3x3() -> SymmetricTensor:
+    """A fixed symmetric tensor in R^[3,3] (entries after the worked example
+    in Kolda & Mayo's SS-HOPM paper) used as a deterministic correctness
+    target for eigenpair solvers.
+
+    Its SS-HOPM-reachable real eigenpairs (lambda > 0 representatives of the
+    odd-order sign symmetry; verified to residual < 1e-7 against the dense
+    reference kernels) are
+    ``lambda ~= 0.8730, 0.4306, 0.0180, 0.0006``, the first three positive
+    stable (local maxima of ``A x^3`` on the sphere) and the last negative
+    stable.  The theoretical count of complex eigenpairs for m=3, n=3 is
+    ``((m-1)^n - 1)/(m-2) = 7``.
+    """
+    entries = {
+        (0, 0, 0): -0.1281,
+        (0, 0, 1): 0.0516,
+        (0, 0, 2): -0.0954,
+        (0, 1, 1): -0.1958,
+        (0, 1, 2): -0.1790,
+        (0, 2, 2): -0.2676,
+        (1, 1, 1): 0.3251,
+        (1, 1, 2): 0.2513,
+        (1, 2, 2): 0.1773,
+        (2, 2, 2): 0.0338,
+    }
+    return SymmetricTensor.from_dict(entries, 3, 3)

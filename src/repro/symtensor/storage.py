@@ -1,0 +1,341 @@
+"""Compressed symmetric tensor storage (Section III-A).
+
+:class:`SymmetricTensor` stores only the ``U = C(m+n-1, m)`` unique values of
+a symmetric ``A in R^[m,n]``, in lexicographic class order, with no explicit
+index information — the position of a value determines its index class.
+:class:`SymmetricTensorBatch` stacks ``T`` same-shaped symmetric tensors into
+a ``(T, U)`` array, exactly the layout the paper ships to the GPU (tensor
+data of size ``T * U``, Section V-C).
+
+Element access uses 0-based indices like NumPy; conversion to the paper's
+1-based index representations happens at the :mod:`repro.symtensor.indexing`
+boundary.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.symtensor.indexing import (
+    class_lookup,
+    index_table,
+    multiplicity_table,
+)
+from repro.util.combinatorics import (
+    factorial,
+    num_total_entries,
+    num_unique_entries,
+)
+
+__all__ = [
+    "SymmetricTensor",
+    "SymmetricTensorBatch",
+    "symmetrize_dense",
+    "is_symmetric_dense",
+    "symmetric_outer_power",
+]
+
+
+def symmetrize_dense(dense: np.ndarray) -> np.ndarray:
+    """Symmetric part of an arbitrary ``m``-way cube tensor: the average of
+    ``dense`` over all ``m!`` axis permutations."""
+    m = dense.ndim
+    if m < 1:
+        raise ValueError("tensor must have at least one mode")
+    n = dense.shape[0]
+    if any(s != n for s in dense.shape):
+        raise ValueError(f"all modes must have equal dimension, got {dense.shape}")
+    acc = np.zeros_like(dense, dtype=np.result_type(dense.dtype, np.float64))
+    for perm in permutations(range(m)):
+        acc += np.transpose(dense, perm)
+    acc /= factorial(m)
+    return acc.astype(dense.dtype, copy=False) if np.issubdtype(dense.dtype, np.floating) else acc
+
+
+def is_symmetric_dense(dense: np.ndarray, tol: float = 1e-10) -> bool:
+    """True iff ``dense`` is invariant (to ``tol``, relative to its max
+    magnitude) under every axis permutation."""
+    scale = float(np.max(np.abs(dense))) or 1.0
+    for perm in permutations(range(dense.ndim)):
+        if not np.allclose(dense, np.transpose(dense, perm), atol=tol * scale, rtol=0.0):
+            return False
+    return True
+
+
+def symmetric_outer_power(x: np.ndarray, m: int, dtype=None) -> "SymmetricTensor":
+    """Compressed rank-one symmetric tensor ``x^{(x) m}`` (the m-fold
+    symmetric outer power): unique value of class ``I`` is
+    ``prod_j x[I_j]``."""
+    x = np.asarray(x)
+    if x.ndim != 1:
+        raise ValueError(f"x must be a vector, got shape {x.shape}")
+    n = x.shape[0]
+    tab = index_table(m, n)  # (U, m), 0-based
+    values = np.prod(x[tab], axis=1)
+    if dtype is not None:
+        values = values.astype(dtype)
+    return SymmetricTensor(values, m, n)
+
+
+class SymmetricTensor:
+    """A symmetric tensor in ``R^[m,n]`` stored as its unique values.
+
+    Parameters
+    ----------
+    values : array of shape ``(U,)`` with ``U = C(m+n-1, m)``, the unique
+        entries in lexicographic class order.
+    m : tensor order (number of modes).
+    n : dimension of every mode.
+
+    The ``values`` array is kept by reference (no copy) when it already has
+    a floating dtype; mutate it through the ``values`` attribute if needed.
+    """
+
+    __slots__ = ("values", "m", "n")
+
+    def __init__(self, values: np.ndarray | Sequence[float], m: int, n: int):
+        values = np.asarray(values)
+        expected = num_unique_entries(m, n)
+        if values.shape != (expected,):
+            raise ValueError(
+                f"expected {expected} unique values for R^[{m},{n}], "
+                f"got shape {values.shape}"
+            )
+        if not np.issubdtype(values.dtype, np.floating):
+            values = values.astype(np.float64)
+        self.values = values
+        self.m = int(m)
+        self.n = int(n)
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def from_dense(
+        cls, dense: np.ndarray, check: bool = True, tol: float = 1e-8
+    ) -> "SymmetricTensor":
+        """Compress a dense symmetric tensor.
+
+        With ``check=True`` (default) raises ``ValueError`` if ``dense`` is
+        not symmetric to within ``tol``; with ``check=False`` the entries at
+        the canonical (sorted) index positions are taken as-is.
+        """
+        m = dense.ndim
+        n = dense.shape[0]
+        if any(s != n for s in dense.shape):
+            raise ValueError(f"all modes must have equal dimension, got {dense.shape}")
+        if check and not is_symmetric_dense(dense, tol=tol):
+            raise ValueError("dense tensor is not symmetric; use symmetrize_dense first")
+        tab = index_table(m, n)  # (U, m) 0-based
+        values = dense[tuple(tab[:, j] for j in range(m))]
+        return cls(np.array(values), m, n)
+
+    @classmethod
+    def zeros(cls, m: int, n: int, dtype=np.float64) -> "SymmetricTensor":
+        return cls(np.zeros(num_unique_entries(m, n), dtype=dtype), m, n)
+
+    @classmethod
+    def from_dict(
+        cls, entries: dict[tuple[int, ...], float], m: int, n: int, dtype=np.float64
+    ) -> "SymmetricTensor":
+        """Build from a sparse dict mapping (0-based, any-order) tensor
+        indices to values; unspecified classes are zero."""
+        lookup = class_lookup(m, n)
+        values = np.zeros(num_unique_entries(m, n), dtype=dtype)
+        for index, val in entries.items():
+            if len(index) != m:
+                raise ValueError(f"index {index} has wrong length for order {m}")
+            key = tuple(sorted(i + 1 for i in index))
+            if key not in lookup:
+                raise ValueError(f"index {index} out of bounds for dimension {n}")
+            values[lookup[key]] = val
+        return cls(values, m, n)
+
+    # -- conversions --------------------------------------------------------
+
+    def to_dense(self, dtype=None) -> np.ndarray:
+        """Expand to the full ``n^m``-entry dense array."""
+        dtype = dtype or self.values.dtype
+        dense = np.empty((self.n,) * self.m, dtype=dtype)
+        tab = index_table(self.m, self.n)
+        for u in range(tab.shape[0]):
+            base = tuple(int(v) for v in tab[u])
+            for perm in set(permutations(base)):
+                dense[perm] = self.values[u]
+        return dense
+
+    def astype(self, dtype) -> "SymmetricTensor":
+        return SymmetricTensor(self.values.astype(dtype), self.m, self.n)
+
+    def copy(self) -> "SymmetricTensor":
+        return SymmetricTensor(self.values.copy(), self.m, self.n)
+
+    # -- element access (0-based, any index order) --------------------------
+
+    def __getitem__(self, index: tuple[int, ...]) -> float:
+        if np.isscalar(index):
+            index = (index,)
+        if len(index) != self.m:
+            raise IndexError(f"need {self.m} indices, got {len(index)}")
+        key = tuple(sorted(i + 1 for i in index))
+        u = class_lookup(self.m, self.n).get(key)
+        if u is None:
+            raise IndexError(f"index {index} out of bounds for dimension {self.n}")
+        return float(self.values[u])
+
+    def __setitem__(self, index: tuple[int, ...], value: float) -> None:
+        if np.isscalar(index):
+            index = (index,)
+        if len(index) != self.m:
+            raise IndexError(f"need {self.m} indices, got {len(index)}")
+        key = tuple(sorted(i + 1 for i in index))
+        u = class_lookup(self.m, self.n).get(key)
+        if u is None:
+            raise IndexError(f"index {index} out of bounds for dimension {self.n}")
+        self.values[u] = value
+
+    # -- algebra -------------------------------------------------------------
+
+    def __add__(self, other: "SymmetricTensor") -> "SymmetricTensor":
+        self._check_same_shape(other)
+        return SymmetricTensor(self.values + other.values, self.m, self.n)
+
+    def __sub__(self, other: "SymmetricTensor") -> "SymmetricTensor":
+        self._check_same_shape(other)
+        return SymmetricTensor(self.values - other.values, self.m, self.n)
+
+    def __mul__(self, scalar: float) -> "SymmetricTensor":
+        return SymmetricTensor(self.values * float(scalar), self.m, self.n)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, scalar: float) -> "SymmetricTensor":
+        return SymmetricTensor(self.values / float(scalar), self.m, self.n)
+
+    def __neg__(self) -> "SymmetricTensor":
+        return SymmetricTensor(-self.values, self.m, self.n)
+
+    def _check_same_shape(self, other: "SymmetricTensor") -> None:
+        if not isinstance(other, SymmetricTensor):
+            raise TypeError(f"expected SymmetricTensor, got {type(other).__name__}")
+        if (self.m, self.n) != (other.m, other.n):
+            raise ValueError(
+                f"shape mismatch: R^[{self.m},{self.n}] vs R^[{other.m},{other.n}]"
+            )
+
+    def frobenius_norm(self) -> float:
+        """Frobenius norm of the *dense* tensor, computed from unique values
+        weighted by their class multiplicities."""
+        mult = multiplicity_table(self.m, self.n).astype(self.values.dtype)
+        return float(np.sqrt(np.sum(mult * self.values**2)))
+
+    def allclose(self, other: "SymmetricTensor", rtol=1e-9, atol=1e-12) -> bool:
+        self._check_same_shape(other)
+        return bool(np.allclose(self.values, other.values, rtol=rtol, atol=atol))
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    @property
+    def num_unique(self) -> int:
+        return self.values.shape[0]
+
+    @property
+    def num_dense(self) -> int:
+        return num_total_entries(self.m, self.n)
+
+    @property
+    def compression_ratio(self) -> float:
+        """Dense / compressed element count (→ ``m!`` for large ``n``)."""
+        return self.num_dense / self.num_unique
+
+    @property
+    def nbytes(self) -> int:
+        return self.values.nbytes
+
+    @property
+    def dtype(self):
+        return self.values.dtype
+
+    def __repr__(self) -> str:
+        return (
+            f"SymmetricTensor(m={self.m}, n={self.n}, "
+            f"unique={self.num_unique}, dtype={self.values.dtype})"
+        )
+
+
+class SymmetricTensorBatch:
+    """``T`` symmetric tensors of identical order/dimension, stored as a
+    contiguous ``(T, U)`` array — the paper's device-side tensor layout.
+
+    Index/multiplicity tables are shared across the batch exactly as the GPU
+    implementation shares them across thread blocks.
+    """
+
+    __slots__ = ("values", "m", "n")
+
+    def __init__(self, values: np.ndarray, m: int, n: int):
+        values = np.asarray(values)
+        expected = num_unique_entries(m, n)
+        if values.ndim != 2 or values.shape[1] != expected:
+            raise ValueError(
+                f"expected shape (T, {expected}) for R^[{m},{n}] batch, "
+                f"got {values.shape}"
+            )
+        if not np.issubdtype(values.dtype, np.floating):
+            values = values.astype(np.float64)
+        self.values = values
+        self.m = int(m)
+        self.n = int(n)
+
+    @classmethod
+    def from_tensors(cls, tensors: Iterable[SymmetricTensor]) -> "SymmetricTensorBatch":
+        tensors = list(tensors)
+        if not tensors:
+            raise ValueError("cannot build a batch from zero tensors")
+        m, n = tensors[0].m, tensors[0].n
+        for t in tensors:
+            if (t.m, t.n) != (m, n):
+                raise ValueError("all tensors in a batch must share (m, n)")
+        return cls(np.stack([t.values for t in tensors]), m, n)
+
+    def __len__(self) -> int:
+        return self.values.shape[0]
+
+    def __getitem__(self, t: int) -> SymmetricTensor:
+        return SymmetricTensor(self.values[t], self.m, self.n)
+
+    def __iter__(self):
+        for t in range(len(self)):
+            yield self[t]
+
+    def subset(self, count_or_indices) -> "SymmetricTensorBatch":
+        """First ``k`` tensors (int argument) or an arbitrary index subset —
+        used by the Figure-5 sweep over subsets of the 1024-tensor set."""
+        if np.isscalar(count_or_indices):
+            return SymmetricTensorBatch(
+                self.values[: int(count_or_indices)], self.m, self.n
+            )
+        return SymmetricTensorBatch(self.values[np.asarray(count_or_indices)], self.m, self.n)
+
+    def astype(self, dtype) -> "SymmetricTensorBatch":
+        return SymmetricTensorBatch(self.values.astype(dtype), self.m, self.n)
+
+    @property
+    def num_unique(self) -> int:
+        return self.values.shape[1]
+
+    @property
+    def nbytes(self) -> int:
+        return self.values.nbytes
+
+    @property
+    def dtype(self):
+        return self.values.dtype
+
+    def __repr__(self) -> str:
+        return (
+            f"SymmetricTensorBatch(T={len(self)}, m={self.m}, n={self.n}, "
+            f"dtype={self.values.dtype})"
+        )

@@ -1,0 +1,105 @@
+"""Dependency-free ASCII plotting for examples and benchmark reports.
+
+Terminal-friendly line/scatter plots with optional logarithmic axes —
+enough to render Figure 5-style curves without matplotlib (which this
+offline environment does not ship).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ascii_plot", "ascii_bars"]
+
+
+def ascii_plot(
+    series: dict[str, tuple[np.ndarray, np.ndarray]],
+    width: int = 64,
+    height: int = 18,
+    logx: bool = False,
+    logy: bool = False,
+    xlabel: str = "",
+    ylabel: str = "",
+) -> str:
+    """Render multiple (x, y) series on one character grid.
+
+    Parameters
+    ----------
+    series : mapping from a 1-character-or-longer label to ``(x, y)``
+        arrays; the first character of each label is used as its marker.
+    width, height : grid dimensions in characters.
+    logx, logy : logarithmic axes (values must then be positive).
+
+    Returns the plot as a multi-line string (y axis annotated with min/max).
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    xs_all, ys_all = [], []
+    for label, (x, y) in series.items():
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if x.shape != y.shape or x.ndim != 1 or x.size == 0:
+            raise ValueError(f"series {label!r} must be equal-length 1-D arrays")
+        if logx and np.any(x <= 0):
+            raise ValueError(f"series {label!r} has nonpositive x with logx")
+        if logy and np.any(y <= 0):
+            raise ValueError(f"series {label!r} has nonpositive y with logy")
+        xs_all.append(x)
+        ys_all.append(y)
+
+    def tx(v):
+        return np.log10(v) if logx else v
+
+    def ty(v):
+        return np.log10(v) if logy else v
+
+    xmin = min(tx(x).min() for x in xs_all)
+    xmax = max(tx(x).max() for x in xs_all)
+    ymin = min(ty(y).min() for y in ys_all)
+    ymax = max(ty(y).max() for y in ys_all)
+    xspan = (xmax - xmin) or 1.0
+    yspan = (ymax - ymin) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for label, (x, y) in series.items():
+        mark = label[0]
+        for xv, yv in zip(tx(np.asarray(x, float)), ty(np.asarray(y, float))):
+            col = int(round((xv - xmin) / xspan * (width - 1)))
+            row = int(round((yv - ymin) / yspan * (height - 1)))
+            grid[height - 1 - row][col] = mark
+
+    top = f"{(10**ymax if logy else ymax):.3g}"
+    bottom = f"{(10**ymin if logy else ymin):.3g}"
+    lines = []
+    for r, row in enumerate(grid):
+        prefix = top if r == 0 else (bottom if r == height - 1 else "")
+        lines.append(f"{prefix:>10s} |" + "".join(row))
+    left = f"{(10**xmin if logx else xmin):.3g}"
+    right = f"{(10**xmax if logx else xmax):.3g}"
+    lines.append(" " * 11 + "+" + "-" * width)
+    lines.append(" " * 12 + f"{left}{' ' * max(1, width - len(left) - len(right))}{right}")
+    legend = "  ".join(f"{label[0]}={label}" for label in series)
+    footer = f"   {xlabel}  [{legend}]" if xlabel else f"   [{legend}]"
+    if ylabel:
+        footer += f"  y={ylabel}"
+    lines.append(footer)
+    return "\n".join(lines)
+
+
+def ascii_bars(
+    labels: list[str], values: list[float], width: int = 50, unit: str = ""
+) -> str:
+    """Horizontal bar chart (linear scale, bars normalized to the max)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not labels:
+        raise ValueError("need at least one bar")
+    vmax = max(values)
+    if vmax <= 0:
+        raise ValueError("values must contain a positive maximum")
+    label_w = max(len(s) for s in labels)
+    lines = []
+    for label, v in zip(labels, values):
+        bar = "#" * max(0, int(round(v / vmax * width)))
+        lines.append(f"{label:>{label_w}s} |{bar} {v:.3g}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,172 @@
+"""Combinatorial primitives used throughout the symmetric tensor machinery.
+
+The storage format of Ballard, Kolda & Plantenga (Section III of the paper)
+rests on two counting facts:
+
+* Property 1 — a symmetric tensor in ``R^[m,n]`` has ``C(m+n-1, m)`` unique
+  values (index classes), counted as weak compositions ("m indistinguishable
+  balls into n distinguishable bins").
+* Property 2 — the index class with monomial representation
+  ``[k_1, ..., k_n]`` contains ``m! / (k_1! ... k_n!)`` tensor indices
+  (the multinomial coefficient).
+
+Everything here is exact integer arithmetic; no floats are involved, so the
+counts are valid far beyond what fits in a double.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "binomial",
+    "factorial",
+    "multinomial",
+    "multinomial_from_index",
+    "multinomial1_from_index",
+    "num_unique_entries",
+    "num_total_entries",
+    "symmetry_savings_factor",
+    "factorial_table",
+]
+
+
+def factorial(k: int) -> int:
+    """Exact ``k!`` for ``k >= 0``."""
+    if k < 0:
+        raise ValueError(f"factorial undefined for negative k={k}")
+    return math.factorial(k)
+
+
+def binomial(n: int, k: int) -> int:
+    """Exact binomial coefficient ``C(n, k)``; zero outside ``0 <= k <= n``."""
+    if k < 0 or k > n:
+        return 0
+    return math.comb(n, k)
+
+
+def multinomial(counts: Sequence[int] | Iterable[int]) -> int:
+    """Exact multinomial coefficient ``(sum k_i)! / prod(k_i!)``.
+
+    ``counts`` is the monomial representation ``[k_1, ..., k_n]`` of an index
+    class; the result is the number of tensor indices in that class
+    (Property 2 of the paper).
+    """
+    counts = list(counts)
+    if any(k < 0 for k in counts):
+        raise ValueError(f"multinomial counts must be nonnegative, got {counts}")
+    total = sum(counts)
+    result = factorial(total)
+    for k in counts:
+        result //= factorial(k)
+    return result
+
+
+def multinomial_from_index(index: Sequence[int], m_factorial: int | None = None) -> int:
+    """MULTINOMIAL0 of Figure 2: multiplicity of an index class from its
+    *index representation* (a nondecreasing tuple), in one pass.
+
+    Since the index representation is nondecreasing, repeats of each value
+    are contiguous; the j-th consecutive repeat of a value multiplies the
+    divisor by j, so the accumulated divisor is ``k_1! k_2! ... k_n!``
+    without ever materializing the monomial representation.
+
+    Parameters
+    ----------
+    index : nondecreasing sequence of ``m`` indices.
+    m_factorial : optional precomputed ``m!`` (constant across classes; the
+        paper precomputes it once per kernel invocation).
+    """
+    m = len(index)
+    if m_factorial is None:
+        m_factorial = factorial(m)
+    div = 1
+    curr = None
+    mult = 0
+    for idx in index:
+        if idx != curr:
+            mult = 1
+            curr = idx
+        else:
+            mult += 1
+            div *= mult
+    return m_factorial // div
+
+
+def multinomial1_from_index(
+    index: Sequence[int], drop: int, m1_factorial: int | None = None
+) -> int:
+    """MULTINOMIAL1 of Figure 3: number of tensor indices in the class of
+    ``index`` whose *first* position holds the value ``drop``.
+
+    Equals ``C(m-1; k_1, ..., k_drop - 1, ..., k_n)``: one occurrence of
+    ``drop`` is pinned to position 1 and the remaining ``m-1`` positions are
+    permuted freely.  Computed with the same streaming pass as
+    :func:`multinomial_from_index` but excluding the pinned occurrence — the
+    first element of ``drop``'s (contiguous) run is simply skipped, so the
+    run contributes ``(k_drop - 1)!`` to the divisor instead of ``k_drop!``.
+
+    Raises
+    ------
+    ValueError
+        If ``drop`` does not occur in ``index`` (that class contributes
+        nothing to output entry ``drop``; calling this would be a logic
+        error in the kernel).
+    """
+    m = len(index)
+    if m1_factorial is None:
+        m1_factorial = factorial(m - 1)
+    div = 1
+    curr = None
+    mult = 0
+    seen_drop = False
+    for idx in index:
+        if idx == drop and not seen_drop:
+            seen_drop = True
+            continue
+        if idx != curr:
+            mult = 1
+            curr = idx
+        else:
+            mult += 1
+            div *= mult
+    if not seen_drop:
+        raise ValueError(f"index value {drop} does not occur in {tuple(index)}")
+    return m1_factorial // div
+
+
+def num_unique_entries(m: int, n: int) -> int:
+    """Property 1: number of unique values of a symmetric ``R^[m,n]`` tensor,
+    ``C(m+n-1, m)``."""
+    if m < 1 or n < 1:
+        raise ValueError(f"need m, n >= 1, got m={m}, n={n}")
+    return binomial(m + n - 1, m)
+
+
+def num_total_entries(m: int, n: int) -> int:
+    """Total entry count ``n**m`` of a dense ``R^[m,n]`` tensor."""
+    if m < 1 or n < 1:
+        raise ValueError(f"need m, n >= 1, got m={m}, n={n}")
+    return n**m
+
+
+def symmetry_savings_factor(m: int, n: int) -> float:
+    """Storage-compression ratio ``n^m / C(m+n-1, m)`` — approaches ``m!``
+    as ``n`` grows (the paper's headline factor)."""
+    return num_total_entries(m, n) / num_unique_entries(m, n)
+
+
+@lru_cache(maxsize=None)
+def factorial_table(up_to: int) -> np.ndarray:
+    """``[0!, 1!, ..., up_to!]`` as an int64 array (valid through 20!)."""
+    if up_to > 20:
+        raise ValueError("factorial_table overflows int64 past 20!")
+    out = np.ones(up_to + 1, dtype=np.int64)
+    for k in range(2, up_to + 1):
+        out[k] = out[k - 1] * k
+    out.setflags(write=False)
+    return out

@@ -1,0 +1,107 @@
+"""Floating-point operation accounting.
+
+The paper reports performance in GFLOPS; since this reproduction's "GPU" is
+a simulator, absolute rates come from a performance model while *flop counts*
+are exact.  Kernels accept an optional :class:`FlopCounter` and charge their
+arithmetic to it, which lets the Table II / Table III benchmarks compare the
+counted cost of the symmetric kernels with the closed-form expressions
+(``~n^m/(m-1)!`` vs ``2 n^m`` general) and feed measured flops into the
+device models.
+
+The counter distinguishes flops (float multiply/add/div) from integer "index
+ops" (the index-array and multinomial bookkeeping of Figures 2-4) because the
+paper's Section III-B.5 storage/compute tradeoff is precisely about removing
+the latter.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["FlopCounter", "null_counter", "counting"]
+
+
+@dataclass
+class FlopCounter:
+    """Mutable tally of arithmetic performed by instrumented kernels.
+
+    Attributes
+    ----------
+    flops : float multiply/add/subtract/divide operations.
+    intops : integer index/multinomial bookkeeping operations.
+    loads : array elements read (for arithmetic-intensity estimates).
+    stores : array elements written.
+    """
+
+    flops: int = 0
+    intops: int = 0
+    loads: int = 0
+    stores: int = 0
+    _stack: list = field(default_factory=list, repr=False)
+
+    def add_flops(self, k: int) -> None:
+        self.flops += k
+
+    def add_intops(self, k: int) -> None:
+        self.intops += k
+
+    def add_loads(self, k: int) -> None:
+        self.loads += k
+
+    def add_stores(self, k: int) -> None:
+        self.stores += k
+
+    def reset(self) -> None:
+        self.flops = self.intops = self.loads = self.stores = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "flops": self.flops,
+            "intops": self.intops,
+            "loads": self.loads,
+            "stores": self.stores,
+        }
+
+    @contextmanager
+    def section(self):
+        """Context manager yielding the delta accumulated inside the block."""
+        before = self.snapshot()
+        delta: dict = {}
+        try:
+            yield delta
+        finally:
+            after = self.snapshot()
+            for key in before:
+                delta[key] = after[key] - before[key]
+
+
+class _NullCounter(FlopCounter):
+    """Counter that ignores all charges (zero-overhead default)."""
+
+    def add_flops(self, k: int) -> None:  # noqa: D102 - intentional no-op
+        pass
+
+    def add_intops(self, k: int) -> None:
+        pass
+
+    def add_loads(self, k: int) -> None:
+        pass
+
+    def add_stores(self, k: int) -> None:
+        pass
+
+
+_NULL = _NullCounter()
+
+
+def null_counter() -> FlopCounter:
+    """Shared no-op counter used when a caller passes ``counter=None``."""
+    return _NULL
+
+
+@contextmanager
+def counting():
+    """Convenience: ``with counting() as c: kernel(..., counter=c)``."""
+    counter = FlopCounter()
+    yield counter

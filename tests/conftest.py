@@ -1,0 +1,29 @@
+"""Shared fixtures and hypothesis configuration for the test suite."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+# CI-friendly hypothesis defaults: modest example counts, no deadline (the
+# kernels under test intentionally include slow spec-faithful loops).
+settings.register_profile(
+    "repro",
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+# (m, n) sizes exercised by cross-variant agreement tests: matrix case,
+# odd/even orders, n < m and n > m, and the paper's application size (4, 3).
+SMALL_SIZES = [(2, 2), (2, 5), (3, 2), (3, 3), (3, 4), (4, 3), (4, 5), (5, 2), (5, 3), (6, 2)]
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(20110516)  # IPDPS 2011 conference date
+
+
+@pytest.fixture(params=SMALL_SIZES, ids=lambda p: f"m{p[0]}n{p[1]}")
+def size(request):
+    return request.param

@@ -1,0 +1,66 @@
+"""Tests for the ASCII plotting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.util.asciiplot import ascii_bars, ascii_plot
+
+
+class TestAsciiPlot:
+    def test_basic_plot_contains_markers(self):
+        x = np.arange(1, 11)
+        out = ascii_plot({"gpu": (x, x**2), "cpu": (x, x * 0 + 5.0)})
+        assert "g" in out and "c" in out
+        assert "g=gpu" in out and "c=cpu" in out
+
+    def test_log_axes(self):
+        x = np.geomspace(1, 1000, 10)
+        out = ascii_plot({"s": (x, x)}, logx=True, logy=True)
+        assert "1e+03" in out or "1000" in out
+
+    def test_log_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ascii_plot({"s": (np.array([0.0, 1.0]), np.array([1.0, 2.0]))}, logx=True)
+        with pytest.raises(ValueError):
+            ascii_plot({"s": (np.array([1.0, 2.0]), np.array([-1.0, 2.0]))}, logy=True)
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot({})
+        with pytest.raises(ValueError):
+            ascii_plot({"s": (np.array([]), np.array([]))})
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot({"s": (np.arange(3), np.arange(4))})
+
+    def test_constant_series_no_crash(self):
+        out = ascii_plot({"f": (np.arange(5), np.ones(5))})
+        assert "f" in out
+
+    def test_dimensions(self):
+        out = ascii_plot({"a": (np.arange(4), np.arange(4))}, width=30, height=8)
+        lines = out.splitlines()
+        # height rows + axis + xlabels + legend
+        assert len(lines) == 8 + 3
+        assert all(len(l) <= 30 + 14 for l in lines[:8])
+
+
+class TestAsciiBars:
+    def test_bars_scale_to_max(self):
+        out = ascii_bars(["a", "bb"], [1.0, 2.0], width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_unit_suffix(self):
+        out = ascii_bars(["x"], [3.0], unit="x")
+        assert "3x" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_bars(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            ascii_bars([], [])
+        with pytest.raises(ValueError):
+            ascii_bars(["a"], [0.0])

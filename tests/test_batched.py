@@ -1,0 +1,131 @@
+"""Tests for the batched vectorized kernels and their table machinery."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.batched import ax_m1_batched, ax_m_batched, monomials_batched
+from repro.kernels.reference import ax_m1_dense, ax_m_dense
+from repro.kernels.tables import kernel_tables
+from repro.symtensor.random import random_symmetric_batch, random_symmetric_tensor
+from repro.util.flopcount import FlopCounter
+
+
+class TestShapes:
+    def test_single_pair(self, rng):
+        t = random_symmetric_tensor(4, 3, rng=rng)
+        x = rng.normal(size=3)
+        assert np.isscalar(float(ax_m_batched(t.values, x)))
+        assert ax_m1_batched(t.values, x).shape == (3,)
+
+    def test_tensor_batch_one_vector(self, rng):
+        batch = random_symmetric_batch(6, 4, 3, rng=rng)
+        x = rng.normal(size=3)
+        y = ax_m_batched(batch.values, x)
+        v = ax_m1_batched(batch.values, x)
+        assert y.shape == (6,)
+        assert v.shape == (6, 3)
+
+    def test_full_grid_broadcast(self, rng):
+        batch = random_symmetric_batch(4, 3, 3, rng=rng)
+        X = rng.normal(size=(4, 9, 3))
+        y = ax_m_batched(batch.values[:, None, :], X)
+        v = ax_m1_batched(batch.values[:, None, :], X)
+        assert y.shape == (4, 9)
+        assert v.shape == (4, 9, 3)
+        for t in range(4):
+            for k in range(9):
+                dense = batch[t].to_dense()
+                assert np.isclose(y[t, k], ax_m_dense(dense, X[t, k]))
+                assert np.allclose(v[t, k], ax_m1_dense(dense, X[t, k]))
+
+    def test_shared_starts_broadcast(self, rng):
+        """The GPU layout: every block (tensor) uses the same start set."""
+        batch = random_symmetric_batch(3, 4, 3, rng=rng)
+        starts = rng.normal(size=(5, 3))
+        y = ax_m_batched(batch.values[:, None, :], starts[None, :, :])
+        assert y.shape == (3, 5)
+
+
+class TestMonomials:
+    def test_monomials_match_outer_power(self, size, rng):
+        from repro.symtensor.storage import symmetric_outer_power
+
+        m, n = size
+        tab = kernel_tables(m, n)
+        x = rng.normal(size=n)
+        mono = monomials_batched(x, tab)
+        assert np.allclose(mono, symmetric_outer_power(x, m).values)
+
+    def test_monomials_batch_axis(self, rng):
+        tab = kernel_tables(3, 4)
+        X = rng.normal(size=(7, 4))
+        mono = monomials_batched(X, tab)
+        assert mono.shape == (7, tab.num_unique)
+
+
+class TestTableInference:
+    def test_inference_from_shapes(self, rng):
+        t = random_symmetric_tensor(5, 3, rng=rng)
+        x = rng.normal(size=3)
+        dense = t.to_dense()
+        assert np.isclose(ax_m_batched(t.values, x), ax_m_dense(dense, x))
+
+    def test_inference_failure_raises(self, rng):
+        with pytest.raises(ValueError):
+            ax_m_batched(rng.normal(size=7), rng.normal(size=3))  # 7 != C(m+2,m)
+
+
+class TestFlopCounter:
+    def test_counts_scale_with_batch(self, rng):
+        batch = random_symmetric_batch(4, 4, 3, rng=rng)
+        X = rng.normal(size=(4, 8, 3))
+        c1, c2 = FlopCounter(), FlopCounter()
+        ax_m_batched(batch.values[:, None, :], X[:, :1], counter=c1)
+        ax_m_batched(batch.values[:, None, :], X, counter=c2)
+        assert c2.flops == 8 * c1.flops
+
+    def test_vector_kernel_counts(self, rng):
+        t = random_symmetric_tensor(4, 3, rng=rng)
+        c = FlopCounter()
+        ax_m1_batched(t.values, rng.normal(size=3), counter=c)
+        tab = kernel_tables(4, 3)
+        assert c.flops == tab.num_rows * 6  # (m+2) per row
+
+
+class TestKernelTables:
+    def test_row_expansion_sorted_by_output(self, size):
+        m, n = size
+        tab = kernel_tables(m, n)
+        assert np.all(np.diff(tab.row_out) >= 0)
+        assert tab.out_starts[0] == 0
+        assert tab.out_starts[-1] == tab.num_rows
+
+    def test_every_output_entry_has_rows(self, size):
+        m, n = size
+        tab = kernel_tables(m, n)
+        assert np.all(np.diff(tab.out_starts) > 0)
+
+    def test_row_count_equals_distinct_index_pairs(self, size):
+        from repro.symtensor.indexing import iter_index_classes
+
+        m, n = size
+        tab = kernel_tables(m, n)
+        expected = sum(len(set(ix)) for ix in iter_index_classes(m, n))
+        assert tab.num_rows == expected
+
+    def test_row_factor_shape(self, size):
+        m, n = size
+        tab = kernel_tables(m, n)
+        assert tab.row_factors.shape == (tab.num_rows, m - 1)
+
+    def test_extra_storage_accounting(self):
+        tab = kernel_tables(4, 3)
+        # at least the paper's (m+2)x integer data: m*U index + U mult
+        assert tab.extra_storage_elements() >= (4 + 1) * tab.num_unique
+
+    def test_rejects_order_one(self):
+        with pytest.raises(ValueError):
+            kernel_tables(1, 3)
+
+    def test_caching(self):
+        assert kernel_tables(4, 3) is kernel_tables(4, 3)

@@ -1,0 +1,97 @@
+"""CLI tests (invoking main() in-process and checking output/exit codes)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestSpectrum:
+    def test_example_tensor(self, capsys):
+        assert main(["spectrum", "--example", "--starts", "48"]) == 0
+        out = capsys.readouterr().out
+        assert "pos_stable" in out
+        assert "+0.87" in out  # principal eigenvalue of the example
+
+    def test_random_tensor(self, capsys):
+        assert main(["spectrum", "--m", "4", "--n", "3", "--seed", "42",
+                     "--starts", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "lambda" in out
+
+    def test_adaptive_flag(self, capsys):
+        assert main(["spectrum", "--example", "--starts", "16", "--adaptive"]) == 0
+        assert "adaptive run" in capsys.readouterr().out
+
+    def test_explicit_alpha(self, capsys):
+        assert main(["spectrum", "--example", "--starts", "16",
+                     "--alpha", "6.0"]) == 0
+
+
+class TestPhantomDetect:
+    def test_phantom_then_detect(self, tmp_path, capsys):
+        out_file = str(tmp_path / "p.npz")
+        assert main(["phantom", "--rows", "4", "--cols", "4",
+                     "--gradients", "20", "--noise", "0.0",
+                     "-o", out_file]) == 0
+        out = capsys.readouterr().out
+        assert "16 voxels" in out
+        assert main(["detect", out_file, "--starts", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "correct fiber count" in out
+
+
+class TestGpuModel:
+    def test_default_device(self, capsys):
+        assert main(["gpu-model"]) == 0
+        out = capsys.readouterr().out
+        assert "Tesla C2050" in out
+        assert "GPU   unrolled" in out
+
+    def test_unknown_device_falls_back(self, capsys):
+        assert main(["gpu-model", "--device", "H100"]) == 0
+        assert "Tesla C2050" in capsys.readouterr().out
+
+    def test_custom_workload(self, capsys):
+        assert main(["gpu-model", "--tensors", "64", "--iterations", "20"]) == 0
+
+
+class TestKernels:
+    def test_small_size(self, capsys):
+        assert main(["kernels", "--m", "3", "--n", "3", "--reps", "5"]) == 0
+        out = capsys.readouterr().out
+        for name in ("compressed", "precomputed", "unrolled", "vectorized", "blocked"):
+            assert name in out
+
+
+class TestBasins:
+    def test_basin_map_output(self, capsys):
+        assert main(["basins", "--example", "--resolution", "150",
+                     "--width", "30", "--height", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "converged:" in out
+        assert "random starts for 99%" in out
+
+
+class TestCudagen:
+    def test_print_to_stdout(self, capsys):
+        assert main(["cudagen"]) == 0
+        out = capsys.readouterr().out
+        assert "__global__" in out
+        assert "sshopm_unrolled" in out
+
+    def test_write_to_file(self, tmp_path, capsys):
+        out_file = str(tmp_path / "sshopm.cu")
+        assert main(["cudagen", "--m", "4", "--n", "3", "-o", out_file]) == 0
+        text = open(out_file).read()
+        assert "sshopm_general" in text
+        assert "wrote" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,91 @@
+"""Tests for multi-device scheduling (the Section V-B generalization)."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.cluster import predict_cluster
+from repro.gpu.device import GTX_480, TESLA_C1060, TESLA_C2050
+from repro.gpu.perfmodel import predict_sshopm
+
+HETERO = [TESLA_C2050, TESLA_C1060, GTX_480]
+
+
+class TestStaticPolicies:
+    def test_single_device_matches_perfmodel(self):
+        c = predict_cluster(devices=[TESLA_C2050], policy="equal", iterations=40.0)
+        p = predict_sshopm(iterations=40.0)
+        assert np.isclose(c.seconds, p.seconds, rtol=1e-6)
+
+    def test_homogeneous_equal_is_peak(self):
+        devs = [TESLA_C2050, TESLA_C2050]
+        a = predict_cluster(devices=devs, policy="equal")
+        b = predict_cluster(devices=devs, policy="peak")
+        assert np.isclose(a.seconds, b.seconds, rtol=1e-9)
+        assert a.device_blocks == b.device_blocks == (512, 512)
+
+    def test_heterogeneous_peak_beats_equal(self):
+        equal = predict_cluster(devices=HETERO, policy="equal")
+        peak = predict_cluster(devices=HETERO, policy="peak")
+        assert peak.seconds < equal.seconds
+        # the strongest device gets the most blocks
+        assert peak.device_blocks[2] > peak.device_blocks[1]
+
+    def test_all_blocks_scheduled(self):
+        for policy in ("equal", "peak", "dynamic"):
+            p = predict_cluster(devices=HETERO, policy=policy, num_tensors=777)
+            assert sum(p.device_blocks) == 777
+
+    def test_two_identical_devices_halve_time(self):
+        one = predict_cluster(devices=[TESLA_C2050], policy="equal")
+        two = predict_cluster(devices=[TESLA_C2050] * 2, policy="equal")
+        assert 1.8 < one.seconds / two.seconds < 2.05
+
+
+class TestDynamicPolicy:
+    def test_dynamic_beats_static_on_heterogeneous_work(self):
+        rng = np.random.default_rng(0)
+        iters = rng.integers(5, 120, size=512).astype(float)
+        peak = predict_cluster(devices=HETERO, policy="peak",
+                               num_tensors=512, iterations=iters)
+        dyn = predict_cluster(devices=HETERO, policy="dynamic",
+                              num_tensors=512, iterations=iters)
+        assert dyn.seconds < peak.seconds
+
+    def test_dynamic_efficiency_near_one(self):
+        p = predict_cluster(devices=HETERO, policy="dynamic")
+        assert p.efficiency > 0.9
+
+    def test_chunk_size_tradeoff(self):
+        """Very coarse chunks lose end-game balance vs fine chunks."""
+        rng = np.random.default_rng(1)
+        iters = rng.integers(5, 120, size=512).astype(float)
+        fine = predict_cluster(devices=HETERO, policy="dynamic",
+                               num_tensors=512, iterations=iters, chunk=8)
+        coarse = predict_cluster(devices=HETERO, policy="dynamic",
+                                 num_tensors=512, iterations=iters, chunk=256)
+        assert fine.seconds <= coarse.seconds * 1.001
+
+    def test_device_loads_balance_by_speed(self):
+        p = predict_cluster(devices=HETERO, policy="dynamic")
+        # GTX 480 (fastest) takes more blocks than C1060 (slowest)
+        assert p.device_blocks[2] > p.device_blocks[1]
+
+
+class TestValidation:
+    def test_empty_devices(self):
+        with pytest.raises(ValueError):
+            predict_cluster(devices=[], policy="equal")
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            predict_cluster(policy="round-robin")
+
+    def test_bad_inputs(self):
+        with pytest.raises(ValueError):
+            predict_cluster(num_tensors=0)
+        with pytest.raises(ValueError):
+            predict_cluster(chunk=0)
+        with pytest.raises(ValueError):
+            predict_cluster(iterations=np.ones(5), num_tensors=10)
+        with pytest.raises(ValueError):
+            predict_cluster(iterations=0.0)

@@ -1,0 +1,165 @@
+"""Unit and property tests for repro.util.combinatorics."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.combinatorics import (
+    binomial,
+    factorial,
+    factorial_table,
+    multinomial,
+    multinomial1_from_index,
+    multinomial_from_index,
+    num_total_entries,
+    num_unique_entries,
+    symmetry_savings_factor,
+)
+
+
+class TestFactorial:
+    def test_small_values(self):
+        assert [factorial(k) for k in range(6)] == [1, 1, 2, 6, 24, 120]
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            factorial(-1)
+
+    def test_table_matches(self):
+        tab = factorial_table(12)
+        for k in range(13):
+            assert tab[k] == math.factorial(k)
+
+    def test_table_overflow_guard(self):
+        with pytest.raises(ValueError):
+            factorial_table(25)
+
+    def test_table_is_cached_and_readonly(self):
+        tab = factorial_table(8)
+        assert tab is factorial_table(8)
+        with pytest.raises(ValueError):
+            tab[0] = 99
+
+
+class TestBinomial:
+    def test_pascal_row(self):
+        assert [binomial(5, k) for k in range(6)] == [1, 5, 10, 10, 5, 1]
+
+    def test_out_of_range_is_zero(self):
+        assert binomial(4, -1) == 0
+        assert binomial(4, 5) == 0
+
+    @given(st.integers(0, 40), st.integers(0, 40))
+    def test_pascal_identity(self, n, k):
+        assert binomial(n + 1, k) == binomial(n, k) + binomial(n, k - 1)
+
+    @given(st.integers(0, 30))
+    def test_row_sum(self, n):
+        assert sum(binomial(n, k) for k in range(n + 1)) == 2**n
+
+
+class TestMultinomial:
+    def test_basic(self):
+        assert multinomial([2, 1]) == 3
+        assert multinomial([1, 1, 1]) == 6
+        assert multinomial([4]) == 1
+        assert multinomial([0, 0, 3]) == 1
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            multinomial([2, -1])
+
+    @given(st.lists(st.integers(0, 6), min_size=1, max_size=5))
+    def test_matches_factorial_formula(self, counts):
+        total = sum(counts)
+        expected = math.factorial(total)
+        for k in counts:
+            expected //= math.factorial(k)
+        assert multinomial(counts) == expected
+
+    @given(st.integers(1, 7), st.integers(1, 5))
+    def test_sum_over_classes_is_n_to_m(self, m, n):
+        """Property 2 consistency: multiplicities over all classes tile the
+        full dense tensor."""
+        from repro.symtensor.indexing import iter_monomials
+
+        total = sum(multinomial(mono) for mono in iter_monomials(m, n))
+        assert total == n**m
+
+
+class TestStreamingMultinomial:
+    def test_worked_example_from_paper(self):
+        # Section III-B.4: index [1,2,2,5,5,5,5] -> divisor 1!*2!*4!
+        index = [1, 2, 2, 5, 5, 5, 5]
+        m = len(index)
+        expected = math.factorial(m) // (1 * 2 * 24)
+        assert multinomial_from_index(index) == expected
+
+    def test_worked_example_multinomial1(self):
+        # Section III-B.4: same index, output entry 5 -> divisor 1!*2!*3!
+        index = [1, 2, 2, 5, 5, 5, 5]
+        expected = math.factorial(6) // (1 * 2 * 6)
+        assert multinomial1_from_index(index, 5) == expected
+
+    def test_multinomial1_missing_index_raises(self):
+        with pytest.raises(ValueError):
+            multinomial1_from_index([1, 1, 2], 3)
+
+    @given(st.lists(st.integers(1, 6), min_size=1, max_size=8))
+    def test_matches_monomial_formula(self, values):
+        index = sorted(values)
+        n = max(index)
+        counts = [index.count(i) for i in range(1, n + 1)]
+        assert multinomial_from_index(index) == multinomial(counts)
+
+    @given(st.lists(st.integers(1, 6), min_size=2, max_size=8), st.data())
+    def test_multinomial1_matches_formula(self, values, data):
+        index = sorted(values)
+        drop = data.draw(st.sampled_from(sorted(set(index))))
+        n = max(index)
+        counts = [index.count(i) for i in range(1, n + 1)]
+        counts[drop - 1] -= 1
+        assert multinomial1_from_index(index, drop) == multinomial(counts)
+
+    @given(st.lists(st.integers(1, 5), min_size=2, max_size=7))
+    def test_sigma_sums_to_full_multiplicity(self, values):
+        """sum over distinct i of sigma(i) == C(m; k): pinning each possible
+        first index partitions the orbit."""
+        index = sorted(values)
+        total = sum(multinomial1_from_index(index, i) for i in set(index))
+        assert total == multinomial_from_index(index)
+
+
+class TestCounts:
+    @pytest.mark.parametrize(
+        "m,n,expected",
+        [(3, 4, 20), (4, 3, 15), (2, 3, 6), (6, 3, 28), (8, 3, 45), (1, 5, 5)],
+    )
+    def test_num_unique_entries(self, m, n, expected):
+        # 15/28/45 are the measurement minima quoted in Section IV
+        assert num_unique_entries(m, n) == expected
+
+    def test_num_total_entries(self):
+        assert num_total_entries(4, 3) == 81  # "81 total entries" (Section V-A)
+
+    def test_invalid_dims_raise(self):
+        with pytest.raises(ValueError):
+            num_unique_entries(0, 3)
+        with pytest.raises(ValueError):
+            num_total_entries(3, 0)
+
+    @given(st.integers(2, 8))
+    def test_savings_factor_approaches_m_factorial(self, m):
+        """Property 1: n^m / C(m+n-1, m) -> m! as n grows."""
+        lo = symmetry_savings_factor(m, 10)
+        hi = symmetry_savings_factor(m, 200)
+        assert lo < hi < math.factorial(m)
+        # ratio is m! * prod(n/(n+i)) ~= m! (1 - m(m-1)/(2n))
+        assert hi > (1 - m * m / 400) * math.factorial(m)
+
+    @given(st.integers(1, 8), st.integers(1, 8))
+    def test_unique_never_exceeds_total(self, m, n):
+        assert num_unique_entries(m, n) <= num_total_entries(m, n)

@@ -1,0 +1,46 @@
+"""Smoke tests for the example scripts: importable, documented, and with a
+runnable main() (full runs are exercised manually / in benchmarks — some
+take minutes)."""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_imports_and_has_main(path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    assert callable(getattr(module, "main", None)), f"{path.name} lacks main()"
+    assert module.__doc__ and "Run:" in module.__doc__
+
+
+def test_expected_example_set():
+    names = {p.stem for p in EXAMPLES}
+    assert {
+        "quickstart",
+        "mri_fiber_detection",
+        "eigenpair_survey",
+        "gpu_performance_model",
+        "blocked_general_sizes",
+        "tensor_algebra",
+        "basin_explorer",
+    } <= names
+
+
+def test_quickstart_runs_end_to_end(capsys):
+    """The quickstart is fast enough to execute fully."""
+    path = next(p for p in EXAMPLES if p.stem == "quickstart")
+    spec = importlib.util.spec_from_file_location("example_quickstart_run", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    module.main()
+    out = capsys.readouterr().out
+    assert "eigenpairs" in out
+    assert "pos_stable" in out

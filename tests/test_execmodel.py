@@ -1,0 +1,168 @@
+"""Tests for the event-driven grid execution simulator."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.device import TESLA_C2050, DeviceSpec
+from repro.gpu.execmodel import simulate_grid
+from repro.gpu.kernelspec import KernelLaunch
+from repro.gpu.occupancy import compute_occupancy
+
+
+def toy_device(num_sms=2, warps_full=4):
+    return DeviceSpec(
+        name="toy",
+        num_sms=num_sms,
+        cores_per_sm=32,
+        clock_ghz=1.0,
+        warps_full_pipeline=warps_full,
+    )
+
+
+def toy_launch(threads=128, regs=10, smem=64):
+    return KernelLaunch(
+        name="toy-kernel",
+        threads_per_block=threads,
+        registers_per_thread=regs,
+        shared_mem_per_block=smem,
+        flops_per_thread_iter=10.0,
+        instr_per_thread_iter=12.0,
+    )
+
+
+class TestSingleBlock:
+    def test_single_block_analytic_time(self):
+        """One block of 4 warps on an SM needing 4 warps for full pipeline:
+        rate = 1 warp-instr/cycle, so cycles == work."""
+        dev = toy_device()
+        launch = toy_launch(threads=128)
+        occ = compute_occupancy(dev, launch)
+        rep = simulate_grid(dev, launch, occ, block_work=1000.0, num_blocks=1)
+        assert np.isclose(rep.cycles, 1000.0)
+        assert rep.blocks_executed == 1
+
+    def test_underfilled_pipeline_slows_down(self):
+        """A 1-warp block on an SM needing 4 warps runs at 1/4 rate."""
+        dev = toy_device()
+        launch = toy_launch(threads=32)
+        occ = compute_occupancy(dev, launch)
+        rep = simulate_grid(dev, launch, occ, block_work=1000.0, num_blocks=1)
+        assert np.isclose(rep.cycles, 4000.0)
+
+    def test_issue_efficiency_scales_time(self):
+        dev = toy_device()
+        launch = toy_launch()
+        occ = compute_occupancy(dev, launch)
+        a = simulate_grid(dev, launch, occ, 1000.0, 1, issue_efficiency=1.0)
+        b = simulate_grid(dev, launch, occ, 1000.0, 1, issue_efficiency=0.5)
+        assert np.isclose(b.cycles, 2 * a.cycles)
+
+
+class TestWaves:
+    def test_uniform_waves_match_analytic(self):
+        """With full pipeline per block, T identical blocks on S SMs with B
+        resident each take ceil-ish waves; per-block rate on k resident
+        blocks at full pipeline is 1/k, so a full SM finishes k blocks in
+        k * work cycles — makespan == (blocks on busiest SM) * work."""
+        dev = toy_device(num_sms=2, warps_full=4)
+        launch = toy_launch(threads=128)  # 4 warps/block -> full at 1 block
+        occ = compute_occupancy(dev, launch)
+        # 8 slots per SM (block cap); 16 blocks over 2 SMs -> 8 each
+        rep = simulate_grid(dev, launch, occ, 100.0, 16)
+        assert np.isclose(rep.cycles, 8 * 100.0)
+        assert np.isclose(rep.issue_utilization, 1.0, atol=1e-9)
+
+    def test_remainder_tail(self):
+        dev = toy_device(num_sms=2)
+        launch = toy_launch(threads=128)
+        occ = compute_occupancy(dev, launch)
+        even = simulate_grid(dev, launch, occ, 100.0, 16)
+        odd = simulate_grid(dev, launch, occ, 100.0, 17)
+        assert odd.cycles > even.cycles
+
+    def test_throughput_ramps_with_blocks(self):
+        """Figure 5's structural ramp: per-block time constant, so total
+        throughput grows until all SMs are saturated."""
+        dev = TESLA_C2050
+        launch = toy_launch(threads=128)
+        occ = compute_occupancy(dev, launch)
+        rates = []
+        for T in (1, 7, 14, 56, 112, 448):
+            rep = simulate_grid(dev, launch, occ, 1000.0, T)
+            rates.append(T / rep.cycles)
+        assert all(r2 >= r1 * 0.99 for r1, r2 in zip(rates, rates[1:]))
+        # saturation: doubling blocks past full residency doesn't double rate
+        rep1 = simulate_grid(dev, launch, occ, 1000.0, 448)
+        rep2 = simulate_grid(dev, launch, occ, 1000.0, 896)
+        assert rep2.cycles > rep1.cycles * 1.9
+
+
+class TestHeterogeneousWork:
+    def test_work_conservation(self):
+        """Total issued warp-instructions equals total work submitted."""
+        dev = toy_device()
+        launch = toy_launch(threads=128)
+        occ = compute_occupancy(dev, launch)
+        rng = np.random.default_rng(0)
+        work = rng.uniform(50, 500, size=37)
+        rep = simulate_grid(dev, launch, occ, work)
+        capacity = dev.num_sms * 1.0 * rep.cycles  # base rate 1/cycle/SM
+        assert rep.issue_utilization <= 1.0
+        assert np.isclose(rep.issue_utilization * capacity, work.sum(), rtol=1e-6)
+
+    def test_heterogeneous_longer_than_uniform_mean(self):
+        dev = toy_device(num_sms=1)
+        launch = toy_launch(threads=128)
+        occ = compute_occupancy(dev, launch)
+        work = np.array([100.0, 900.0])
+        uneven = simulate_grid(dev, launch, occ, work)
+        even = simulate_grid(dev, launch, occ, 500.0, 2)
+        assert uneven.cycles >= even.cycles * 0.999
+
+    def test_seconds_scale_with_clock(self):
+        launch = toy_launch()
+        d1 = toy_device()
+        d2 = DeviceSpec(name="fast", num_sms=2, cores_per_sm=32, clock_ghz=2.0,
+                        warps_full_pipeline=4)
+        r1 = simulate_grid(d1, launch, compute_occupancy(d1, launch), 100.0, 4)
+        r2 = simulate_grid(d2, launch, compute_occupancy(d2, launch), 100.0, 4)
+        assert np.isclose(r1.seconds, 2 * r2.seconds)
+
+
+class TestEdgeCases:
+    def test_zero_blocks(self):
+        dev = toy_device()
+        launch = toy_launch()
+        occ = compute_occupancy(dev, launch)
+        rep = simulate_grid(dev, launch, occ, np.zeros(0))
+        assert rep.cycles == 0.0
+        assert rep.blocks_executed == 0
+
+    def test_scalar_work_requires_num_blocks(self):
+        dev = toy_device()
+        launch = toy_launch()
+        occ = compute_occupancy(dev, launch)
+        with pytest.raises(ValueError):
+            simulate_grid(dev, launch, occ, 100.0)
+
+    def test_nonpositive_work_rejected(self):
+        dev = toy_device()
+        launch = toy_launch()
+        occ = compute_occupancy(dev, launch)
+        with pytest.raises(ValueError):
+            simulate_grid(dev, launch, occ, np.array([10.0, 0.0]))
+
+    def test_unlaunchable_kernel_rejected(self):
+        dev = toy_device()
+        launch = toy_launch(smem=10**7)
+        occ = compute_occupancy(dev, launch)
+        with pytest.raises(ValueError):
+            simulate_grid(dev, launch, occ, 100.0, 4)
+
+    def test_many_blocks_complete(self):
+        dev = TESLA_C2050
+        launch = toy_launch()
+        occ = compute_occupancy(dev, launch)
+        rep = simulate_grid(dev, launch, occ, 50.0, 1024)
+        assert rep.blocks_executed == 1024
+        assert rep.waves == pytest.approx(1024 / (14 * occ.blocks_per_sm))

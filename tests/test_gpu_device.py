@@ -1,0 +1,63 @@
+"""Tests for the simulated device specifications."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.device import (
+    GTX_480,
+    KNOWN_DEVICES,
+    NEHALEM_2S,
+    TESLA_C1060,
+    TESLA_C2050,
+    CpuSpec,
+    DeviceSpec,
+)
+
+
+class TestPaperHardwareAnchors:
+    def test_c2050_peak_is_papers_1030(self):
+        assert np.isclose(TESLA_C2050.peak_gflops, 1030.4, atol=0.5)
+
+    def test_nehalem_per_core_peak_is_papers_22_4(self):
+        assert np.isclose(NEHALEM_2S.peak_gflops_per_core, 22.4)
+
+    def test_nehalem_topology(self):
+        assert NEHALEM_2S.total_cores == 8
+        assert NEHALEM_2S.sockets == 2
+
+
+class TestDeviceSpec:
+    def test_sm_flops_per_cycle(self):
+        assert TESLA_C2050.sm_flops_per_cycle == 64  # 32 cores x FMA
+
+    def test_max_warps(self):
+        assert TESLA_C2050.max_warps_per_sm == 48  # 1536 / 32
+
+    def test_known_devices_registry(self):
+        assert TESLA_C2050.name in KNOWN_DEVICES
+        assert TESLA_C1060.name in KNOWN_DEVICES
+        assert GTX_480.name in KNOWN_DEVICES
+
+    def test_specs_frozen(self):
+        with pytest.raises(Exception):
+            TESLA_C2050.num_sms = 2
+
+    def test_other_gpus_have_plausible_peaks(self):
+        """Section V-E: 'two other NVIDIA GPUs' — both must be within the
+        era's plausible envelope."""
+        for dev in (TESLA_C1060, GTX_480):
+            assert 100 < dev.peak_gflops < 2000
+
+    def test_custom_device(self):
+        dev = DeviceSpec(name="toy", num_sms=2, cores_per_sm=8, clock_ghz=1.0)
+        assert dev.peak_gflops == 32.0
+
+
+class TestCpuSpec:
+    def test_total_peak(self):
+        assert np.isclose(NEHALEM_2S.peak_gflops, 8 * 22.4)
+
+    def test_custom_cpu(self):
+        cpu = CpuSpec(name="toy", sockets=1, cores_per_socket=2, clock_ghz=2.0)
+        assert cpu.total_cores == 2
+        assert cpu.peak_gflops_per_core == 16.0

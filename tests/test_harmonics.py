@@ -1,0 +1,145 @@
+"""Tests for the spherical-harmonics <-> symmetric-tensor correspondence
+(Section IV, Schultz & Seidel reference [6])."""
+
+import numpy as np
+import pytest
+
+from repro.mri.fit import adc_profile, fit_symmetric_tensor
+from repro.mri.gradients import gradient_directions
+from repro.mri.harmonics import (
+    even_sh_index_list,
+    evaluate_sh,
+    fit_sh,
+    num_even_sh_coefficients,
+    real_sph_harm_basis,
+    sh_to_tensor,
+    tensor_to_sh,
+)
+from repro.symtensor.random import random_symmetric_tensor, sum_of_rank_ones
+from repro.util.rng import fibonacci_sphere
+
+
+class TestBasis:
+    def test_paper_coefficient_counts(self):
+        """Section IV: 2nd order 6 terms; m=4/6/8 need 15/28/45."""
+        assert num_even_sh_coefficients(2) == 6
+        assert num_even_sh_coefficients(4) == 15
+        assert num_even_sh_coefficients(6) == 28
+        assert num_even_sh_coefficients(8) == 45
+
+    def test_index_list(self):
+        idx = even_sh_index_list(4)
+        assert len(idx) == 15
+        assert (0, 0) in idx and (4, -4) in idx and (4, 4) in idx
+        assert all(l % 2 == 0 for l, _ in idx)
+
+    def test_degree_validation(self):
+        with pytest.raises(ValueError):
+            num_even_sh_coefficients(3)
+        with pytest.raises(ValueError):
+            even_sh_index_list(-2)
+
+    def test_orthonormality(self):
+        """Real SH basis is orthonormal on the sphere (Fibonacci
+        quadrature)."""
+        pts = fibonacci_sphere(20000)
+        B = real_sph_harm_basis(4, pts)
+        gram = B.T @ B * (4 * np.pi / len(pts))
+        assert np.abs(gram - np.eye(15)).max() < 0.01
+
+    def test_basis_is_real(self):
+        pts = fibonacci_sphere(10)
+        B = real_sph_harm_basis(6, pts)
+        assert B.dtype == np.float64
+        assert B.shape == (10, 28)
+
+    def test_even_parity(self):
+        """Even-degree SH are antipodally symmetric — like ADC profiles."""
+        pts = fibonacci_sphere(50)
+        assert np.allclose(
+            real_sph_harm_basis(4, pts), real_sph_harm_basis(4, -pts), atol=1e-12
+        )
+
+    def test_direction_validation(self):
+        with pytest.raises(ValueError):
+            real_sph_harm_basis(4, np.zeros((3, 2)))
+        with pytest.raises(ValueError):
+            real_sph_harm_basis(4, np.zeros((3, 3)))
+
+
+class TestConversion:
+    @pytest.mark.parametrize("m", [2, 4, 6])
+    def test_round_trip(self, m, rng):
+        t = random_symmetric_tensor(m, 3, rng=rng)
+        back = sh_to_tensor(tensor_to_sh(t), m)
+        assert back.allclose(t, rtol=1e-8, atol=1e-10)
+
+    def test_functions_agree_on_sphere(self, rng):
+        t = random_symmetric_tensor(4, 3, rng=rng)
+        coeffs = tensor_to_sh(t)
+        g = gradient_directions(60, rng=rng)
+        assert np.allclose(evaluate_sh(coeffs, 4, g), adc_profile(t, g), atol=1e-9)
+
+    def test_isotropic_profile_is_l0_only(self):
+        """A = identity-like (D(g) = const on the sphere): only the l=0
+        coefficient survives."""
+        from repro.symtensor.random import identity_like_tensor
+
+        t = identity_like_tensor(4, 3)
+        coeffs = tensor_to_sh(t)
+        assert abs(coeffs[0]) > 0.1
+        assert np.abs(coeffs[1:]).max() < 1e-10
+
+    def test_single_fiber_has_high_degree_content(self, rng):
+        """An anisotropic rank-one profile needs l=4 terms."""
+        t = sum_of_rank_ones(np.array([[0.0, 0.0, 1.0]]), np.array([1.0]), m=4)
+        coeffs = tensor_to_sh(t)
+        idx = even_sh_index_list(4)
+        l4 = [abs(c) for (l, _), c in zip(idx, coeffs) if l == 4]
+        assert max(l4) > 1e-3
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            sh_to_tensor(np.zeros(10), 4)  # wrong length
+        with pytest.raises(ValueError):
+            tensor_to_sh(random_symmetric_tensor(3, 3, rng=rng))  # odd order
+        with pytest.raises(ValueError):
+            tensor_to_sh(random_symmetric_tensor(4, 4, rng=rng))  # not n=3
+        with pytest.raises(ValueError):
+            evaluate_sh(np.zeros(14), 4, fibonacci_sphere(4))
+
+
+class TestFitting:
+    def test_sh_route_equals_tensor_route(self, rng):
+        """Fitting in SH coefficients then converting equals fitting the
+        tensor directly — the Section IV correspondence, operationally."""
+        t = random_symmetric_tensor(4, 3, rng=rng)
+        g = gradient_directions(40, rng=rng)
+        d = adc_profile(t, g)
+        via_sh = sh_to_tensor(fit_sh(g, d, degree=4), 4)
+        direct = fit_symmetric_tensor(g, d, m=4)
+        assert np.allclose(via_sh.values, direct.values, atol=1e-8)
+        assert via_sh.allclose(t, rtol=1e-6, atol=1e-8)
+
+    def test_underdetermined_raises(self, rng):
+        g = gradient_directions(10, rng=rng)
+        with pytest.raises(ValueError):
+            fit_sh(g, np.zeros(10), degree=4)
+
+    def test_sample_count_mismatch(self, rng):
+        g = gradient_directions(20, rng=rng)
+        with pytest.raises(ValueError):
+            fit_sh(g, np.zeros(19), degree=4)
+
+    def test_degree2_insufficient_for_crossing(self, rng):
+        """Section IV's motivation: the 6-coefficient (degree-2) model
+        cannot represent a two-maximum crossing profile; the degree-4 fit
+        can.  Compare fit residuals."""
+        from repro.mri.phantom import adc_from_fibers
+
+        g = gradient_directions(48, rng=rng)
+        dirs = np.stack([[1.0, 0, 0], [0, 1.0, 0]])
+        d = adc_from_fibers(g, dirs, np.array([0.5, 0.5]))
+        res2 = d - evaluate_sh(fit_sh(g, d, degree=2), 2, g)
+        res4 = d - evaluate_sh(fit_sh(g, d, degree=4), 4, g)
+        assert np.linalg.norm(res4) < 0.05 * np.linalg.norm(res2)

@@ -1,0 +1,176 @@
+"""Tests for index-class enumeration, ranking, and the precomputed tables
+(Section III-A, Figure 4, Table I)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.symtensor.indexing import (
+    canonical_index,
+    class_lookup,
+    index_classes,
+    index_from_monomial,
+    index_table,
+    is_valid_index,
+    iter_index_classes,
+    iter_monomials,
+    monomial_from_index,
+    multiplicity_table,
+    rank_index,
+    sigma_table,
+    unrank_index,
+    update_index,
+)
+from repro.util.combinatorics import num_unique_entries
+
+# Table I of the paper, verbatim: index classes of R^[3,4] in lex order.
+TABLE_I_INDEX = [
+    (1, 1, 1), (1, 1, 2), (1, 1, 3), (1, 1, 4), (1, 2, 2),
+    (1, 2, 3), (1, 2, 4), (1, 3, 3), (1, 3, 4), (1, 4, 4),
+    (2, 2, 2), (2, 2, 3), (2, 2, 4), (2, 3, 3), (2, 3, 4),
+    (2, 4, 4), (3, 3, 3), (3, 3, 4), (3, 4, 4), (4, 4, 4),
+]
+TABLE_I_MONOMIAL = [
+    (3, 0, 0, 0), (2, 1, 0, 0), (2, 0, 1, 0), (2, 0, 0, 1), (1, 2, 0, 0),
+    (1, 1, 1, 0), (1, 1, 0, 1), (1, 0, 2, 0), (1, 0, 1, 1), (1, 0, 0, 2),
+    (0, 3, 0, 0), (0, 2, 1, 0), (0, 2, 0, 1), (0, 1, 2, 0), (0, 1, 1, 1),
+    (0, 1, 0, 2), (0, 0, 3, 0), (0, 0, 2, 1), (0, 0, 1, 2), (0, 0, 0, 3),
+]
+
+
+class TestTableI:
+    def test_index_representations(self):
+        assert index_classes(3, 4) == TABLE_I_INDEX
+
+    def test_monomial_representations(self):
+        assert list(iter_monomials(3, 4)) == TABLE_I_MONOMIAL
+
+    def test_count(self):
+        assert len(TABLE_I_INDEX) == num_unique_entries(3, 4) == 20
+
+
+class TestUpdateIndex:
+    def test_simple_increment(self):
+        index = [1, 1, 1]
+        assert update_index(index, 4)
+        assert index == [1, 1, 2]
+
+    def test_carry_example_from_paper(self):
+        # "the successor of [2, 4, 4] is [3, 3, 3]"
+        index = [2, 4, 4]
+        assert update_index(index, 4)
+        assert index == [3, 3, 3]
+
+    def test_no_n_footnote_case(self):
+        # footnote 2: no instances of n, successor increments last index
+        index = [1, 2, 3]
+        assert update_index(index, 4)
+        assert index == [1, 2, 4]
+
+    def test_last_class_returns_false(self):
+        index = [4, 4, 4]
+        assert not update_index(index, 4)
+        assert index == [4, 4, 4]
+
+    @given(st.integers(1, 6), st.integers(1, 5))
+    def test_enumeration_is_complete_sorted_and_unique(self, m, n):
+        classes = list(iter_index_classes(m, n))
+        assert len(classes) == num_unique_entries(m, n)
+        assert len(set(classes)) == len(classes)
+        assert classes == sorted(classes)
+        for c in classes:
+            assert is_valid_index(c, n)
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            list(iter_index_classes(0, 3))
+
+
+class TestMonomialConversion:
+    @given(st.integers(1, 6), st.integers(1, 5))
+    def test_round_trip(self, m, n):
+        for index in iter_index_classes(m, n):
+            mono = monomial_from_index(index, n)
+            assert sum(mono) == m
+            assert index_from_monomial(mono) == index
+
+    def test_out_of_bounds_raises(self):
+        with pytest.raises(ValueError):
+            monomial_from_index((1, 5), 4)
+
+    def test_negative_monomial_raises(self):
+        with pytest.raises(ValueError):
+            index_from_monomial((2, -1))
+
+    def test_monomial_order_is_reverse_lex(self):
+        """Paper: increasing index order == decreasing monomial order."""
+        monos = list(iter_monomials(3, 4))
+        assert monos == sorted(monos, reverse=True)
+
+
+class TestRanking:
+    @given(st.integers(1, 6), st.integers(1, 5))
+    def test_rank_matches_enumeration(self, m, n):
+        for r, index in enumerate(iter_index_classes(m, n)):
+            assert rank_index(index, n) == r
+            assert unrank_index(r, m, n) == index
+
+    def test_rank_invalid_index_raises(self):
+        with pytest.raises(ValueError):
+            rank_index((2, 1), 3)  # not nondecreasing
+        with pytest.raises(ValueError):
+            rank_index((1, 4), 3)  # out of range
+
+    def test_unrank_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            unrank_index(20, 3, 3)  # only 10 classes
+        with pytest.raises(ValueError):
+            unrank_index(-1, 3, 3)
+
+    def test_canonical_index(self):
+        assert canonical_index((3, 1, 2)) == (1, 2, 3)
+        assert canonical_index((2, 2, 1)) == (1, 2, 2)
+
+
+class TestPrecomputedTables:
+    def test_index_table_is_zero_based(self, size):
+        m, n = size
+        tab = index_table(m, n)
+        assert tab.shape == (num_unique_entries(m, n), m)
+        assert tab.min() == 0 and tab.max() == n - 1
+
+    def test_index_table_readonly(self):
+        tab = index_table(3, 3)
+        with pytest.raises(ValueError):
+            tab[0, 0] = 7
+
+    def test_multiplicity_table_sums_to_dense_count(self, size):
+        m, n = size
+        assert multiplicity_table(m, n).sum() == n**m
+
+    def test_sigma_footnote3_identity(self, size):
+        """Footnote 3: sigma(j) = C(m; k) * k_j / m."""
+        m, n = size
+        mult = multiplicity_table(m, n)
+        sig = sigma_table(m, n)
+        for u, index in enumerate(iter_index_classes(m, n)):
+            mono = monomial_from_index(index, n)
+            for j in range(n):
+                expected = mult[u] * mono[j] // m
+                assert sig[u, j] == expected
+                if mono[j] == 0:
+                    assert sig[u, j] == 0
+
+    def test_sigma_rows_sum_to_multiplicity(self, size):
+        m, n = size
+        assert np.array_equal(sigma_table(m, n).sum(axis=1), multiplicity_table(m, n))
+
+    def test_class_lookup_round_trip(self):
+        lookup = class_lookup(4, 3)
+        for u, index in enumerate(iter_index_classes(4, 3)):
+            assert lookup[index] == u
+
+    def test_paper_application_size(self):
+        """m=4, n=3: 15 unique values (Section V-A)."""
+        assert index_table(4, 3).shape == (15, 4)

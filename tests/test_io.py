@@ -1,0 +1,87 @@
+"""Round-trip tests for the persistence layer."""
+
+import numpy as np
+import pytest
+
+from repro.core.multistart import multistart_sshopm
+from repro.io import (
+    load_batch,
+    load_phantom,
+    load_results,
+    load_tensor,
+    save_batch,
+    save_phantom,
+    save_results,
+    save_tensor,
+)
+from repro.mri.phantom import make_phantom
+from repro.symtensor.random import random_symmetric_batch, random_symmetric_tensor
+
+
+class TestTensorIO:
+    def test_round_trip(self, tmp_path, rng):
+        t = random_symmetric_tensor(4, 3, rng=rng)
+        path = tmp_path / "t.npz"
+        save_tensor(path, t)
+        back = load_tensor(path)
+        assert back.allclose(t)
+        assert (back.m, back.n) == (4, 3)
+
+    def test_batch_round_trip(self, tmp_path, rng):
+        b = random_symmetric_batch(7, 4, 3, rng=rng)
+        path = tmp_path / "b.npz"
+        save_batch(path, b)
+        back = load_batch(path)
+        assert np.array_equal(back.values, b.values)
+        assert len(back) == 7
+
+    def test_kind_mismatch_rejected(self, tmp_path, rng):
+        t = random_symmetric_tensor(4, 3, rng=rng)
+        path = tmp_path / "t.npz"
+        save_tensor(path, t)
+        with pytest.raises(ValueError):
+            load_batch(path)
+
+    def test_arbitrary_npz_rejected(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, a=np.zeros(3))
+        with pytest.raises((ValueError, KeyError)):
+            load_tensor(path)
+
+
+class TestPhantomIO:
+    def test_round_trip(self, tmp_path):
+        ph = make_phantom(rows=4, cols=5, num_gradients=20, noise_sigma=0.01, rng=9)
+        path = tmp_path / "ph.npz"
+        save_phantom(path, ph)
+        back = load_phantom(path)
+        assert np.array_equal(back.tensors.values, ph.tensors.values)
+        assert np.array_equal(back.gradients, ph.gradients)
+        assert np.array_equal(back.adc, ph.adc)
+        assert (back.rows, back.cols) == (4, 5)
+        assert back.meta == ph.meta
+        assert len(back.true_directions) == len(ph.true_directions)
+        for a, b in zip(back.true_directions, ph.true_directions):
+            assert np.array_equal(a, b)
+
+    def test_ragged_directions_preserved(self, tmp_path):
+        ph = make_phantom(rows=4, cols=4, num_gradients=20, rng=10)
+        path = tmp_path / "ph.npz"
+        save_phantom(path, ph)
+        back = load_phantom(path)
+        assert np.array_equal(back.num_fibers(), ph.num_fibers())
+        assert set(back.num_fibers()) == {1, 2}
+
+
+class TestResultsIO:
+    def test_round_trip(self, tmp_path, rng):
+        batch = random_symmetric_batch(3, 4, 3, rng=rng)
+        res = multistart_sshopm(batch, num_starts=8, alpha=5.0, rng=11, max_iter=500)
+        path = tmp_path / "res.npz"
+        save_results(path, res)
+        back = load_results(path)
+        assert np.array_equal(back.eigenvalues, res.eigenvalues)
+        assert np.array_equal(back.eigenvectors, res.eigenvectors)
+        assert np.array_equal(back.converged, res.converged)
+        assert np.array_equal(back.iterations, res.iterations)
+        assert back.total_sweeps == res.total_sweeps

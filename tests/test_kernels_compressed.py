@@ -1,0 +1,130 @@
+"""Spec-level tests of the Figure 2/3 kernels, the flop accounting, and the
+general A x^{m-p} extension."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.compressed import (
+    ax_m1_compressed,
+    ax_m_compressed,
+    symmetric_flops_scalar,
+    symmetric_flops_vector,
+    ttsv_compressed,
+)
+from repro.kernels.reference import general_flops, ttsv_dense
+from repro.symtensor.random import random_symmetric_tensor
+from repro.symtensor.storage import SymmetricTensor
+from repro.util.combinatorics import factorial, num_unique_entries
+from repro.util.flopcount import FlopCounter
+
+
+class TestFlopAccounting:
+    def test_scalar_kernel_counted_flops(self, size, rng):
+        m, n = size
+        tensor = random_symmetric_tensor(m, n, rng=rng)
+        counter = FlopCounter()
+        ax_m_compressed(tensor, rng.normal(size=n), counter=counter)
+        assert counter.flops == symmetric_flops_scalar(m, n)
+        assert counter.intops > 0
+
+    def test_vector_kernel_counted_flops(self, size, rng):
+        m, n = size
+        tensor = random_symmetric_tensor(m, n, rng=rng)
+        counter = FlopCounter()
+        ax_m1_compressed(tensor, rng.normal(size=n), counter=counter)
+        assert counter.flops == symmetric_flops_vector(m, n)
+
+    def test_symmetric_beats_general_asymptotically(self):
+        """Table II: symmetric kernel flops ~ (m+3) n^m / m! vs 2 n^m
+        general — the ratio approaches (m+3)/(2 m!) from above."""
+        for m in (3, 4, 5):
+            n = 8
+            sym = symmetric_flops_scalar(m, n)
+            gen = general_flops(m, n)
+            asymptotic = (m + 3) / (2 * factorial(m))
+            # exact finite-n correction: prod_{i=1}^{m-1} (1 + i/n)
+            correction = np.prod([1 + i / n for i in range(1, m)])
+            assert np.isclose(sym / gen, asymptotic * correction)
+            assert sym / gen > asymptotic  # approached from above
+        # for higher orders the win is large in absolute terms too
+        assert symmetric_flops_scalar(5, 8) < general_flops(5, 8) / 10
+
+    def test_table2_ratio_shape(self):
+        """The symmetric/general flop ratio should shrink like ~1/(m-1)!
+        (up to the constant (m+3)/2) as m grows at fixed large n."""
+        n = 6
+        ratios = [
+            symmetric_flops_scalar(m, n) / general_flops(m, n) for m in (2, 3, 4, 5, 6)
+        ]
+        assert all(r2 < r1 for r1, r2 in zip(ratios, ratios[1:]))
+
+    def test_vector_kernel_costs_more_than_scalar(self, size):
+        m, n = size
+        if n == 1:
+            pytest.skip("single-entry output")
+        assert symmetric_flops_vector(m, n) >= symmetric_flops_scalar(m, n)
+
+
+class TestGeneralTtsv:
+    def test_matches_dense_for_all_p(self, rng):
+        for m, n in [(3, 3), (4, 3), (5, 2), (4, 4)]:
+            tensor = random_symmetric_tensor(m, n, rng=rng)
+            dense = tensor.to_dense()
+            x = rng.normal(size=n)
+            for p in range(m):
+                out = ttsv_compressed(tensor, x, p)
+                ref = ttsv_dense(dense, x, p)
+                if p == 0:
+                    assert np.isclose(out, ref)
+                elif p == 1:
+                    assert np.allclose(out, ref)
+                else:
+                    assert isinstance(out, SymmetricTensor)
+                    assert out.m == p and out.n == n
+                    assert np.allclose(out.to_dense(), ref)
+
+    def test_result_is_symmetric(self, rng):
+        """Footnote 1: the result of a symmetric ttsv is symmetric."""
+        from repro.symtensor.storage import is_symmetric_dense
+
+        tensor = random_symmetric_tensor(5, 3, rng=rng)
+        out = ttsv_compressed(tensor, rng.normal(size=3), 3)
+        assert is_symmetric_dense(out.to_dense())
+
+    def test_p_out_of_range(self, rng):
+        tensor = random_symmetric_tensor(3, 3, rng=rng)
+        x = rng.normal(size=3)
+        with pytest.raises(ValueError):
+            ttsv_compressed(tensor, x, 3)
+        with pytest.raises(ValueError):
+            ttsv_compressed(tensor, x, -1)
+        with pytest.raises(ValueError):
+            ttsv_dense(tensor.to_dense(), x, 5)
+
+    def test_wrong_x_shape(self, rng):
+        tensor = random_symmetric_tensor(4, 3, rng=rng)
+        with pytest.raises(ValueError):
+            ttsv_compressed(tensor, np.zeros(5), 2)
+        with pytest.raises(ValueError):
+            ttsv_dense(tensor.to_dense(), np.zeros(5), 2)
+
+    def test_nested_contraction_consistency(self, rng):
+        """Contracting one mode at a time: (A x^{m-2}) x^{1} applied to the
+        order-2 result equals A x^{m-1}."""
+        tensor = random_symmetric_tensor(4, 3, rng=rng)
+        x = rng.normal(size=3)
+        axm2 = ttsv_compressed(tensor, x, 2)  # order-2 symmetric
+        v = ttsv_compressed(axm2, x, 1)
+        assert np.allclose(v, ax_m1_compressed(tensor, x))
+
+
+class TestCostFormulas:
+    def test_scalar_flops_closed_form(self, size):
+        m, n = size
+        assert symmetric_flops_scalar(m, n) == (m + 3) * num_unique_entries(m, n)
+
+    def test_scalar_flops_near_leading_term(self):
+        """Section III-B.5: complexity O(n^m/(m-1)!) with O(m) work/entry."""
+        m, n = 4, 20
+        leading = (m + 3) * n**m / factorial(m)
+        assert abs(symmetric_flops_scalar(m, n) - leading) / leading < 0.4

@@ -1,0 +1,66 @@
+"""Tests for the matricized general-tensor baseline (Table II caption)."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.matricized import ax_m1_matricized, ax_m_matricized, fold, unfold
+from repro.kernels.reference import ax_m1_dense, ax_m_dense
+from repro.symtensor.random import random_symmetric_tensor
+from repro.util.flopcount import FlopCounter
+
+
+class TestUnfold:
+    def test_round_trip_all_modes(self, rng):
+        dense = rng.normal(size=(3, 3, 3, 3))
+        for mode in range(4):
+            mat = unfold(dense, mode)
+            assert mat.shape == (3, 27)
+            assert np.array_equal(fold(mat, mode, dense.shape), dense)
+
+    def test_mode_zero_is_plain_reshape(self, rng):
+        dense = rng.normal(size=(2, 2, 2))
+        assert np.array_equal(unfold(dense, 0), dense.reshape(2, 4))
+
+    def test_fibers_are_columns(self, rng):
+        dense = rng.normal(size=(3, 3, 3))
+        mat = unfold(dense, 1)
+        # column 0 holds the fiber dense[0, :, 0]
+        assert np.array_equal(mat[:, 0], dense[0, :, 0])
+
+    def test_mode_validation(self, rng):
+        dense = rng.normal(size=(2, 2))
+        with pytest.raises(ValueError):
+            unfold(dense, 2)
+        with pytest.raises(ValueError):
+            fold(np.zeros((2, 2)), -1, (2, 2))
+
+
+class TestMatricizedKernels:
+    def test_matches_reference(self, size, rng):
+        m, n = size
+        dense = random_symmetric_tensor(m, n, rng=rng).to_dense()
+        x = rng.normal(size=n)
+        assert np.isclose(ax_m_matricized(dense, x), ax_m_dense(dense, x))
+        assert np.allclose(ax_m1_matricized(dense, x), ax_m1_dense(dense, x))
+
+    def test_works_on_nonsymmetric_tensors(self, rng):
+        """The general path must not assume symmetry."""
+        dense = rng.normal(size=(3, 3, 3))
+        x = rng.normal(size=3)
+        expected = np.einsum("ijk,j,k->i", dense, x, x)
+        assert np.allclose(ax_m1_matricized(dense, x), expected)
+
+    def test_flop_count_is_2nm_leading(self, rng):
+        """Table II: general cost 2 n^m + O(n^{m-1})."""
+        m, n = 4, 5
+        dense = random_symmetric_tensor(m, n, rng=rng).to_dense()
+        counter = FlopCounter()
+        ax_m_matricized(dense, rng.normal(size=n), counter=counter)
+        expected = sum(2 * n**k for k in range(1, m + 1))
+        assert counter.flops == expected
+        assert counter.flops < 2 * n**m * (1 + 2.0 / n)
+
+    def test_x_shape_validation(self, rng):
+        dense = random_symmetric_tensor(3, 3, rng=rng).to_dense()
+        with pytest.raises(ValueError):
+            ax_m1_matricized(dense, np.zeros(4))

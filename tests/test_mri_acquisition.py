@@ -1,0 +1,133 @@
+"""Tests for the signal-domain acquisition chain."""
+
+import numpy as np
+import pytest
+
+from repro.mri.acquisition import adc_from_signal, rician_noise, signal_from_fibers
+from repro.mri.fibers import extract_fibers_batch
+from repro.mri.gradients import gradient_directions
+from repro.mri.metrics import evaluate_detection
+from repro.mri.phantom import adc_from_fibers, make_phantom
+
+
+class TestSignalModel:
+    def test_single_compartment_round_trip(self, rng):
+        """One fiber: -ln(exp(-b D))/b == D exactly (no model mismatch)."""
+        g = gradient_directions(24, rng=rng)
+        d = np.array([[1.0, 0.0, 0.0]])
+        w = np.array([1.0])
+        truth = adc_from_fibers(g, d, w)
+        signal = signal_from_fibers(g, d, w, b_value=2.0)
+        recovered = adc_from_signal(signal, b_value=2.0)
+        assert np.allclose(recovered, truth, atol=1e-12)
+
+    def test_low_b_approaches_weighted_sum(self, rng):
+        """Two compartments: at small b the log-sum-exp linearizes to the
+        weighted ADC sum (the ADC-domain model)."""
+        g = gradient_directions(24, rng=rng)
+        d = np.stack([[1.0, 0, 0], [0, 1.0, 0]])
+        w = np.array([0.5, 0.5])
+        truth = adc_from_fibers(g, d, w)
+        errs = {}
+        for b in (0.01, 0.1, 1.0):
+            rec = adc_from_signal(signal_from_fibers(g, d, w, b_value=b), b_value=b)
+            errs[b] = np.abs(rec - truth).max()
+        scale = np.abs(truth).max()
+        assert errs[0.01] < 5e-3 * scale
+        assert errs[1.0] < 0.25 * scale
+        # mismatch shrinks ~linearly with b
+        assert errs[0.01] < errs[0.1] < errs[1.0]
+
+    def test_signal_bounded_by_s0(self, rng):
+        g = gradient_directions(16, rng=rng)
+        s = signal_from_fibers(g, np.eye(3)[:2], np.array([0.3, 0.7]), s0=2.5)
+        assert np.all(s <= 2.5 + 1e-12)
+        assert np.all(s > 0)
+
+    def test_weights_normalized(self, rng):
+        g = gradient_directions(16, rng=rng)
+        a = signal_from_fibers(g, np.eye(3)[:1], np.array([1.0]))
+        b = signal_from_fibers(g, np.eye(3)[:1], np.array([7.0]))
+        assert np.allclose(a, b)
+
+    def test_validation(self, rng):
+        g = gradient_directions(16, rng=rng)
+        with pytest.raises(ValueError):
+            signal_from_fibers(g, np.eye(3)[:1], np.array([1.0]), b_value=0)
+        with pytest.raises(ValueError):
+            signal_from_fibers(g, np.eye(3)[:1], np.array([0.0]))
+        with pytest.raises(ValueError):
+            adc_from_signal(np.ones(3), b_value=-1)
+        with pytest.raises(ValueError):
+            adc_from_signal(np.ones(3), s0=0)
+
+
+class TestRicianNoise:
+    def test_zero_sigma_identity(self):
+        s = np.linspace(0.1, 1.0, 5)
+        assert np.array_equal(rician_noise(s, 0.0), s)
+
+    def test_noise_is_nonnegative(self, rng):
+        s = np.full(1000, 0.01)
+        noisy = rician_noise(s, 0.5, rng=rng)
+        assert np.all(noisy >= 0)
+
+    def test_rician_bias_at_low_snr(self, rng):
+        """The Rician magnitude floor: near-zero signal has mean
+        ~ sigma * sqrt(pi/2), not zero."""
+        noisy = rician_noise(np.zeros(20000), 1.0, rng=rng)
+        assert abs(noisy.mean() - np.sqrt(np.pi / 2)) < 0.05
+
+    def test_high_snr_nearly_gaussian(self, rng):
+        s = np.full(20000, 100.0)
+        noisy = rician_noise(s, 1.0, rng=rng)
+        assert abs(noisy.mean() - 100.0) < 0.05
+        assert abs(noisy.std() - 1.0) < 0.05
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            rician_noise(np.ones(3), -0.1)
+
+    def test_log_floor_guards_against_nonpositive(self):
+        adc = adc_from_signal(np.array([0.0, -0.5, 1.0]), b_value=1.0)
+        assert np.all(np.isfinite(adc))
+
+
+class TestSignalDomainPhantom:
+    def test_phantom_builds(self):
+        ph = make_phantom(rows=4, cols=4, num_gradients=24, domain="signal",
+                          b_value=1.0, noise_sigma=0.0, rng=3)
+        assert ph.meta["domain"] == "signal"
+        assert ph.tensors.values.shape == (16, 15)
+
+    def test_unknown_domain_rejected(self):
+        with pytest.raises(ValueError):
+            make_phantom(rows=2, cols=2, num_gradients=20, domain="kspace", rng=0)
+
+    def test_detection_survives_model_mismatch(self):
+        """End to end through the realistic chain: moderate b-value and
+        Rician noise, order-4 fit of a non-polynomial profile — detection
+        should still be mostly correct (the regime the paper's application
+        actually lives in)."""
+        ph = make_phantom(rows=6, cols=6, num_gradients=48, domain="signal",
+                          b_value=0.5, noise_sigma=0.005, rng=4)
+        fibers = extract_fibers_batch(ph.tensors, num_starts=64, rng=5)
+        rep = evaluate_detection([f.directions for f in fibers], ph.true_directions)
+        assert rep.correct_count_fraction > 0.8
+        assert rep.mean_angular_error_deg < 10.0
+
+    def test_high_b_degrades_crossing_detection(self):
+        """Ablation-style check: stronger diffusion weighting increases
+        log-sum-exp mismatch, hurting crossing voxels more."""
+        def crossing_accuracy(b):
+            ph = make_phantom(rows=6, cols=6, num_gradients=48, domain="signal",
+                              b_value=b, noise_sigma=0.0, rng=6)
+            fibers = extract_fibers_batch(ph.tensors, num_starts=64, rng=7)
+            rep = evaluate_detection([f.directions for f in fibers],
+                                     ph.true_directions)
+            two = rep.by_fiber_count.get(2)
+            return two[1] / two[0] if two else 0.0
+
+        low = crossing_accuracy(0.2)
+        high = crossing_accuracy(6.0)
+        assert low >= high

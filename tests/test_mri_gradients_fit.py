@@ -1,0 +1,127 @@
+"""Tests for gradient schemes and the symmetric tensor least-squares fit."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.compressed import ax_m_compressed
+from repro.mri.fit import adc_profile, design_matrix, fit_symmetric_batch, fit_symmetric_tensor
+from repro.mri.gradients import electrostatic_directions, gradient_directions, min_directions
+from repro.symtensor.random import random_symmetric_batch, random_symmetric_tensor
+
+
+class TestGradients:
+    def test_unit_norms_all_schemes(self):
+        for scheme in ("electrostatic", "fibonacci", "random"):
+            g = gradient_directions(20, scheme=scheme, rng=0)
+            assert g.shape == (20, 3)
+            assert np.allclose(np.linalg.norm(g, axis=1), 1.0, atol=1e-9)
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            gradient_directions(20, scheme="sunflower")
+
+    def test_electrostatic_projective_separation(self):
+        """Directions must be well spread modulo antipodal symmetry."""
+        for count, min_deg in [(15, 25.0), (32, 15.0)]:
+            g = electrostatic_directions(count, iterations=200)
+            dots = np.abs(g @ g.T)
+            np.fill_diagonal(dots, 0.0)
+            worst = np.degrees(np.arccos(np.clip(dots.max(), -1, 1)))
+            assert worst > min_deg, (count, worst)
+
+    def test_electrostatic_deterministic(self):
+        a = electrostatic_directions(16, iterations=50, rng=3)
+        b = electrostatic_directions(16, iterations=50, rng=3)
+        assert np.array_equal(a, b)
+
+    def test_electrostatic_count_validation(self):
+        with pytest.raises(ValueError):
+            electrostatic_directions(0)
+
+    def test_min_directions_matches_paper(self):
+        """Section IV: m = 4, 6, 8 need at least 15, 28, 45 measurements."""
+        assert min_directions(4) == 15
+        assert min_directions(6) == 28
+        assert min_directions(8) == 45
+
+
+class TestDesignMatrix:
+    def test_rows_evaluate_the_form(self, rng):
+        """M @ values == A g^m for every gradient row."""
+        tensor = random_symmetric_tensor(4, 3, rng=rng)
+        g = gradient_directions(20, rng=rng)
+        M = design_matrix(g, 4)
+        predicted = M @ tensor.values
+        for i in range(20):
+            assert np.isclose(predicted[i], ax_m_compressed(tensor, g[i]))
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ValueError):
+            design_matrix(rng.normal(size=(10, 2)), 4)
+
+    def test_full_column_rank_with_enough_directions(self):
+        g = gradient_directions(20, rng=0)
+        M = design_matrix(g, 4)
+        assert np.linalg.matrix_rank(M) == 15
+
+
+class TestFit:
+    def test_exact_recovery_noiseless(self, rng):
+        """Sampling A g^m at >= U well-spread directions determines A."""
+        for m in (2, 4, 6):
+            tensor = random_symmetric_tensor(m, 3, rng=rng)
+            g = gradient_directions(min_directions(m) + 10, rng=rng)
+            samples = np.array([ax_m_compressed(tensor, gi) for gi in g])
+            fitted = fit_symmetric_tensor(g, samples, m=m)
+            assert np.allclose(fitted.values, tensor.values, atol=1e-8), m
+
+    def test_exact_recovery_at_minimum_count(self, rng):
+        """The paper's '15 measurements for m=4' is tight: U directions in
+        general position already determine the tensor."""
+        tensor = random_symmetric_tensor(4, 3, rng=rng)
+        g = gradient_directions(15, rng=rng)
+        samples = np.array([ax_m_compressed(tensor, gi) for gi in g])
+        fitted = fit_symmetric_tensor(g, samples, m=4)
+        assert np.allclose(fitted.values, tensor.values, atol=1e-6)
+
+    def test_underdetermined_raises(self, rng):
+        g = gradient_directions(10, rng=rng)
+        with pytest.raises(ValueError):
+            fit_symmetric_tensor(g, np.zeros(10), m=4)
+        with pytest.raises(ValueError):
+            fit_symmetric_batch(g, np.zeros((3, 10)), m=4)
+
+    def test_wrong_sample_count_raises(self, rng):
+        g = gradient_directions(20, rng=rng)
+        with pytest.raises(ValueError):
+            fit_symmetric_tensor(g, np.zeros(19), m=4)
+        with pytest.raises(ValueError):
+            fit_symmetric_batch(g, np.zeros((3, 19)), m=4)
+
+    def test_batch_fit_matches_individual(self, rng):
+        batch = random_symmetric_batch(5, 4, 3, rng=rng)
+        g = gradient_directions(24, rng=rng)
+        adc = adc_profile(batch, g)
+        fitted = fit_symmetric_batch(g, adc, m=4)
+        for t in range(5):
+            single = fit_symmetric_tensor(g, adc[t], m=4)
+            assert np.allclose(fitted[t].values, single.values, atol=1e-8)
+            assert np.allclose(fitted[t].values, batch[t].values, atol=1e-8)
+
+    def test_adc_profile_shapes(self, rng):
+        tensor = random_symmetric_tensor(4, 3, rng=rng)
+        batch = random_symmetric_batch(3, 4, 3, rng=rng)
+        g = gradient_directions(17, rng=rng)
+        assert adc_profile(tensor, g).shape == (17,)
+        assert adc_profile(batch, g).shape == (3, 17)
+
+    def test_noise_robustness(self, rng):
+        """Moderate noise with plenty of measurements perturbs the fit only
+        moderately (least-squares averaging)."""
+        tensor = random_symmetric_tensor(4, 3, rng=rng)
+        g = gradient_directions(64, rng=rng)
+        clean = adc_profile(tensor, g)
+        noisy = clean + rng.normal(0, 0.01 * np.abs(clean).mean(), size=clean.shape)
+        fitted = fit_symmetric_tensor(g, noisy, m=4)
+        rel = np.linalg.norm(fitted.values - tensor.values) / np.linalg.norm(tensor.values)
+        assert rel < 0.05

@@ -1,0 +1,178 @@
+"""Tests for the synthetic phantom, fiber extraction, and detection metrics."""
+
+import numpy as np
+import pytest
+
+from repro.mri.fibers import extract_fibers, extract_fibers_batch
+from repro.mri.fit import adc_profile
+from repro.mri.metrics import angular_error_deg, evaluate_detection, match_fibers
+from repro.mri.phantom import adc_from_fibers, make_phantom
+from repro.symtensor.random import sum_of_rank_ones
+
+
+class TestAdcModel:
+    def test_maxima_at_fiber_directions(self):
+        """Two fibers at 75 degrees: ADC along each fiber beats the bisector
+        (the property the quadratic model lacks)."""
+        half = np.deg2rad(75.0) / 2
+        a = np.array([np.cos(half), np.sin(half), 0.0])
+        b = np.array([np.cos(half), -np.sin(half), 0.0])
+        bisector = np.array([1.0, 0.0, 0.0])
+        probes = np.stack([a, b, bisector])
+        adc = adc_from_fibers(probes, np.stack([a, b]), np.array([0.5, 0.5]))
+        assert adc[0] > adc[2] and adc[1] > adc[2]
+
+    def test_single_fiber_peak(self):
+        d = np.array([0.0, 0.0, 1.0])
+        probes = np.stack([d, np.array([1.0, 0, 0])])
+        adc = adc_from_fibers(probes, d[None], np.array([1.0]))
+        assert adc[0] > adc[1]
+
+    def test_odd_sharpness_rejected(self):
+        with pytest.raises(ValueError):
+            adc_from_fibers(np.eye(3), np.eye(3)[:1], np.ones(1), sharpness=3)
+
+
+class TestPhantom:
+    def test_shapes_and_counts(self):
+        ph = make_phantom(rows=8, cols=8, num_gradients=24, rng=1)
+        assert ph.num_voxels == 64
+        assert len(ph.tensors) == 64
+        assert ph.adc.shape == (64, 24)
+        assert len(ph.true_directions) == 64
+        counts = ph.num_fibers()
+        assert set(counts) == {1, 2}
+
+    def test_crossing_band_geometry(self):
+        ph = make_phantom(rows=8, cols=4, num_gradients=24,
+                          crossing_band=(0.25, 0.75), rng=2)
+        counts = ph.num_fibers().reshape(8, 4)
+        assert np.all(counts[2:6] == 2)
+        assert np.all(counts[:2] == 1)
+        assert np.all(counts[6:] == 1)
+
+    def test_voxel_index(self):
+        ph = make_phantom(rows=4, cols=4, num_gradients=24, rng=3)
+        assert ph.voxel_index(1, 2) == 6
+        with pytest.raises(IndexError):
+            ph.voxel_index(4, 0)
+
+    def test_noiseless_fit_is_exact(self):
+        """sharpness == order makes the profile an exact order-m form."""
+        ph = make_phantom(rows=4, cols=4, num_gradients=24, noise_sigma=0.0, rng=4)
+        recon = adc_profile(ph.tensors, ph.gradients)
+        assert np.allclose(recon, ph.adc, atol=1e-9)
+
+    def test_noise_perturbs_fit(self):
+        a = make_phantom(rows=2, cols=2, num_gradients=24, noise_sigma=0.0, rng=5)
+        b = make_phantom(rows=2, cols=2, num_gradients=24, noise_sigma=0.05, rng=5)
+        assert not np.allclose(a.tensors.values, b.tensors.values)
+
+    def test_paper_sized_phantom(self):
+        """32 x 32 = 1024 order-4 tensors with 15 unique values each —
+        exactly the paper's synthetic set dimensions."""
+        ph = make_phantom(rows=32, cols=32, num_gradients=20, rng=6)
+        assert ph.tensors.values.shape == (1024, 15)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_phantom(order=3, rng=0)  # odd order
+        with pytest.raises(ValueError):
+            make_phantom(order=4, num_gradients=10, rng=0)  # too few gradients
+
+    def test_ground_truth_unit_vectors(self):
+        ph = make_phantom(rows=3, cols=3, num_gradients=24, rng=7)
+        for dirs in ph.true_directions:
+            assert np.allclose(np.linalg.norm(dirs, axis=1), 1.0)
+
+
+class TestMetrics:
+    def test_angular_error_basics(self):
+        a = np.array([1.0, 0.0, 0.0])
+        assert angular_error_deg(a, a) == pytest.approx(0.0)
+        assert angular_error_deg(a, -a) == pytest.approx(0.0)  # antipodal = same fiber
+        b = np.array([0.0, 1.0, 0.0])
+        assert angular_error_deg(a, b) == pytest.approx(90.0)
+
+    def test_angular_error_unnormalized_inputs(self):
+        assert angular_error_deg(np.array([2.0, 0, 0]), np.array([0.5, 0, 0])) == pytest.approx(0.0)
+
+    def test_match_fibers_assignment(self):
+        est = np.stack([[0.0, 1.0, 0.0], [1.0, 0.0, 0.0]])
+        true = np.stack([[1.0, 0.0, 0.0], [0.0, 1.0, 0.0]])
+        matches, fp, miss = match_fibers(est, true)
+        assert len(matches) == 2 and fp == 0 and miss == 0
+
+    def test_match_fibers_threshold(self):
+        est = np.array([[1.0, 0.0, 0.0]])
+        true = np.array([[0.0, 1.0, 0.0]])
+        matches, fp, miss = match_fibers(est, true, max_error_deg=20)
+        assert matches == [] and fp == 1 and miss == 1
+
+    def test_match_fibers_empty(self):
+        matches, fp, miss = match_fibers(np.zeros((0, 3)), np.eye(3)[:2])
+        assert matches == [] and fp == 0 and miss == 2
+
+    def test_evaluate_detection_perfect(self):
+        dirs = [np.array([[1.0, 0, 0]]), np.array([[0, 1.0, 0], [0, 0, 1.0]])]
+        rep = evaluate_detection(dirs, dirs)
+        assert rep.correct_count_fraction == 1.0
+        assert rep.mean_angular_error_deg == pytest.approx(0.0)
+        assert rep.false_positives == 0 and rep.misses == 0
+        assert set(rep.by_fiber_count) == {1, 2}
+
+    def test_evaluate_detection_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            evaluate_detection([np.eye(3)[:1]], [])
+
+
+class TestFiberExtraction:
+    def test_single_voxel_single_fiber(self, rng):
+        d = np.array([0.6, 0.64, 0.48])
+        d = d / np.linalg.norm(d)
+        tensor = sum_of_rank_ones(d[None, :], np.array([1.0]), m=4)
+        result = extract_fibers(tensor, num_starts=48, rng=rng)
+        assert result.count == 1
+        assert angular_error_deg(result.directions[0], d) < 1.0
+
+    def test_negative_alpha_rejected(self, rng):
+        tensor = sum_of_rank_ones(np.eye(3)[:1], np.array([1.0]), m=4)
+        with pytest.raises(ValueError):
+            extract_fibers(tensor, alpha=-1.0)
+        from repro.symtensor.storage import SymmetricTensorBatch
+
+        batch = SymmetricTensorBatch(tensor.values[None], 4, 3)
+        with pytest.raises(ValueError):
+            extract_fibers_batch(batch, alpha=-1.0)
+
+    def test_phantom_detection_end_to_end(self):
+        """The headline application result: on a noiseless phantom the
+        pipeline recovers fiber counts and directions voxel-by-voxel."""
+        ph = make_phantom(rows=6, cols=6, num_gradients=32, noise_sigma=0.0, rng=11)
+        fibers = extract_fibers_batch(ph.tensors, num_starts=64, rng=12)
+        rep = evaluate_detection([f.directions for f in fibers], ph.true_directions)
+        assert rep.correct_count_fraction == 1.0
+        assert rep.mean_angular_error_deg < 3.0
+
+    def test_phantom_detection_with_noise(self):
+        ph = make_phantom(rows=4, cols=4, num_gradients=48, noise_sigma=0.02, rng=13)
+        fibers = extract_fibers_batch(ph.tensors, num_starts=64, rng=14)
+        rep = evaluate_detection([f.directions for f in fibers], ph.true_directions)
+        assert rep.correct_count_fraction >= 0.8
+        assert rep.mean_angular_error_deg < 8.0
+
+    def test_max_fibers_cap(self, rng):
+        ph = make_phantom(rows=2, cols=2, num_gradients=24, rng=15)
+        fibers = extract_fibers_batch(ph.tensors, num_starts=32, max_fibers=1, rng=16)
+        assert all(f.count <= 1 for f in fibers)
+
+    def test_rel_threshold_filters_weak_maxima(self):
+        """A strongly dominant fiber plus a weak one: a high threshold keeps
+        only the dominant direction."""
+        d1 = np.array([1.0, 0.0, 0.0])
+        d2 = np.array([0.0, 1.0, 0.0])
+        tensor = sum_of_rank_ones(np.stack([d1, d2]), np.array([1.0, 0.3]), m=4)
+        strict = extract_fibers(tensor, num_starts=64, rel_threshold=0.9, rng=17)
+        loose = extract_fibers(tensor, num_starts=64, rel_threshold=0.2, rng=17)
+        assert strict.count == 1
+        assert loose.count == 2

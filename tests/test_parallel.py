@@ -1,0 +1,151 @@
+"""Tests for the CPU-parallel substrate: partitioning, the multi-worker
+executor, and the calibrated CPU scaling model."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.multistart import starting_vectors
+from repro.gpu.device import NEHALEM_2S, CpuSpec
+from repro.parallel.cpumodel import CpuPerfParams, predict_cpu_sshopm, speedup_curve
+from repro.parallel.executor import parallel_multistart_sshopm
+from repro.parallel.partition import chunk_sizes, interleaved_partition, static_partition
+from repro.symtensor.random import random_symmetric_batch
+
+
+class TestPartition:
+    @given(st.integers(0, 500), st.integers(1, 16))
+    def test_static_covers_everything_once(self, total, workers):
+        ranges = static_partition(total, workers)
+        seen = [i for r in ranges for i in r]
+        assert seen == list(range(total))
+
+    @given(st.integers(0, 500), st.integers(1, 16))
+    def test_static_balance(self, total, workers):
+        sizes = chunk_sizes(total, workers)
+        assert sum(sizes) == total
+        assert max(sizes) - min(sizes) <= 1
+
+    @given(st.integers(0, 200), st.integers(1, 8))
+    def test_interleaved_covers_everything_once(self, total, workers):
+        parts = interleaved_partition(total, workers)
+        seen = sorted(i for p in parts for i in p)
+        assert seen == list(range(total))
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            static_partition(5, 0)
+        with pytest.raises(ValueError):
+            chunk_sizes(-1, 3)
+        with pytest.raises(ValueError):
+            interleaved_partition(5, 0)
+
+
+class TestExecutor:
+    def test_worker_count_invariance(self, rng):
+        """The merged result is identical for any worker count (the paper's
+        OpenMP loop is embarrassingly parallel)."""
+        batch = random_symmetric_batch(9, 4, 3, rng=rng)
+        starts = starting_vectors(8, 3, rng=1)
+        base = parallel_multistart_sshopm(batch, workers=1, starts=starts,
+                                          alpha=8.0, max_iter=1500)
+        for workers in (2, 4, 9, 16):
+            rep = parallel_multistart_sshopm(batch, workers=workers, starts=starts,
+                                             alpha=8.0, max_iter=1500)
+            assert np.allclose(rep.result.eigenvalues, base.result.eigenvalues)
+            assert np.allclose(rep.result.eigenvectors, base.result.eigenvectors)
+            assert np.array_equal(rep.result.converged, base.result.converged)
+
+    def test_chunk_metadata(self, rng):
+        batch = random_symmetric_batch(10, 4, 3, rng=rng)
+        rep = parallel_multistart_sshopm(batch, workers=3, num_starts=4,
+                                         rng=2, max_iter=100)
+        assert rep.workers == 3
+        assert sum(rep.chunk_sizes) == 10
+        assert rep.seconds > 0
+
+    def test_more_workers_than_tensors(self, rng):
+        batch = random_symmetric_batch(2, 4, 3, rng=rng)
+        rep = parallel_multistart_sshopm(batch, workers=8, num_starts=4,
+                                         rng=3, max_iter=100)
+        assert sum(rep.chunk_sizes) == 2
+
+    def test_invalid_worker_count(self, rng):
+        batch = random_symmetric_batch(2, 4, 3, rng=rng)
+        with pytest.raises(ValueError):
+            parallel_multistart_sshopm(batch, workers=0)
+
+
+class TestCpuModelAnchors:
+    """Table III CPU rows (the calibration targets, recorded here so any
+    regression in the model surfaces immediately)."""
+
+    def test_general_rates(self):
+        for cores, expected in [(1, 0.24), (4, 0.86), (8, 1.73)]:
+            p = predict_cpu_sshopm(1e9, variant="general", cores=cores)
+            assert abs(p.gflops - expected) / expected < 0.03, (cores, p.gflops)
+
+    def test_unrolled_rates(self):
+        for cores, expected in [(1, 2.05), (4, 7.07), (8, 9.67)]:
+            p = predict_cpu_sshopm(1e9, variant="unrolled", cores=cores)
+            assert abs(p.gflops - expected) / expected < 0.03, (cores, p.gflops)
+
+    def test_unrolled_sequential_speedup(self):
+        """Paper Table III(a): 8.47x sequential unrolling speedup."""
+        g = predict_cpu_sshopm(1e9, variant="general", cores=1)
+        u = predict_cpu_sshopm(1e9, variant="unrolled", cores=1)
+        assert abs(g.seconds / u.seconds - 8.47) / 8.47 < 0.03
+
+    def test_relative_speedups_table3c(self):
+        for variant, expected in [("general", {4: 3.55, 8: 7.14}),
+                                  ("unrolled", {4: 3.45, 8: 4.72})]:
+            for cores, s in expected.items():
+                p = predict_cpu_sshopm(1e9, variant=variant, cores=cores)
+                assert abs(p.speedup - s) < 0.02, (variant, cores, p.speedup)
+
+    def test_fraction_of_peak_about_nine_percent_unrolled(self):
+        """Paper: 9% of peak sequential, 5% at 8 cores."""
+        one = predict_cpu_sshopm(1e9, variant="unrolled", cores=1)
+        eight = predict_cpu_sshopm(1e9, variant="unrolled", cores=8)
+        assert 0.08 < one.fraction_of_peak < 0.10
+        assert 0.04 < eight.fraction_of_peak < 0.06
+
+
+class TestCpuModelShape:
+    @given(st.integers(1, 8))
+    def test_speedup_monotone_in_cores(self, cores):
+        if cores < 8:
+            a = predict_cpu_sshopm(1e9, cores=cores).speedup
+            b = predict_cpu_sshopm(1e9, cores=cores + 1).speedup
+            assert b >= a
+
+    def test_cross_socket_kink(self):
+        """Marginal speedup per core drops at the socket boundary for the
+        memory-bound unrolled variant."""
+        s = [predict_cpu_sshopm(1e9, variant="unrolled", cores=c).speedup
+             for c in range(1, 9)]
+        intra_marginal = s[3] - s[2]
+        inter_marginal = s[5] - s[4]
+        assert inter_marginal < intra_marginal
+
+    def test_speedup_curve_one_core_is_unity(self):
+        assert speedup_curve(1, 0.9, 0.3, 4) == 1.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            predict_cpu_sshopm(1e9, cores=0)
+        with pytest.raises(ValueError):
+            predict_cpu_sshopm(1e9, cores=9)
+        with pytest.raises(ValueError):
+            predict_cpu_sshopm(-5.0)
+        with pytest.raises(ValueError):
+            predict_cpu_sshopm(1e9, variant="avx512")
+        with pytest.raises(ValueError):
+            speedup_curve(0, 0.9, 0.3, 4)
+
+    def test_custom_cpu_and_params(self):
+        cpu = CpuSpec(name="toy", sockets=1, cores_per_socket=2, clock_ghz=2.0)
+        params = CpuPerfParams(eff_unrolled=0.5, intra_unrolled=1.0)
+        p = predict_cpu_sshopm(1e9, cpu=cpu, cores=2, params=params)
+        assert np.isclose(p.gflops, 0.5 * 16.0 * 2.0)

@@ -1,0 +1,130 @@
+"""Tests for the calibrated GPU performance model: Table III anchors,
+Figure 5 shape, occupancy falloff, and multi-device projection."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.device import GTX_480, TESLA_C1060, TESLA_C2050
+from repro.gpu.perfmodel import GpuPerfParams, predict_sshopm
+
+
+class TestTableIIIAnchors:
+    def test_unrolled_gflops_near_paper(self):
+        """Paper: 317.83 GFLOPS, 31% of peak (m=4, n=3, T=1024, V=128)."""
+        p = predict_sshopm(variant="unrolled")
+        assert abs(p.gflops - 317.83) / 317.83 < 0.03
+        assert 0.28 < p.fraction_of_peak < 0.33
+
+    def test_general_gflops_near_paper(self):
+        """Paper: 17.00 GFLOPS for the general GPU implementation."""
+        g = predict_sshopm(variant="general")
+        assert abs(g.gflops - 17.0) / 17.0 < 0.05
+
+    def test_unrolled_speedup_near_paper(self):
+        """Paper: 18.70x unrolled-over-general on the GPU."""
+        p = predict_sshopm(variant="unrolled")
+        g = predict_sshopm(variant="general")
+        speedup = g.seconds / p.seconds
+        assert abs(speedup - 18.7) / 18.7 < 0.05
+
+    def test_rates_iteration_invariant(self):
+        """GFLOPS is a rate: doubling the iteration count must not change it
+        at saturation."""
+        a = predict_sshopm(iterations=20.0)
+        b = predict_sshopm(iterations=40.0)
+        assert np.isclose(a.gflops, b.gflops, rtol=1e-6)
+        assert np.isclose(b.seconds, 2 * a.seconds, rtol=1e-6)
+
+
+class TestFigure5Shape:
+    def test_ramp_then_saturation(self):
+        rates = [predict_sshopm(num_tensors=T).gflops for T in (2, 8, 32, 64, 512, 1024)]
+        # small-T region far below saturation
+        assert rates[0] < 0.1 * rates[-1]
+        # large-T region saturated: 512 -> 1024 changes little
+        assert abs(rates[-1] - rates[-2]) / rates[-1] < 0.1
+
+    def test_cpu_gpu_crossover_at_small_t(self):
+        """Figure 5: for very small tensor counts the CPU implementations
+        are competitive; the GPU only wins once enough blocks exist."""
+        from repro.parallel.cpumodel import predict_cpu_sshopm
+
+        tiny = predict_sshopm(num_tensors=1)
+        # same workload on 8 CPU cores
+        flops = tiny.gflops * tiny.seconds * 1e9
+        cpu = predict_cpu_sshopm(flops, variant="unrolled", cores=8)
+        assert tiny.gflops < 4 * cpu.gflops  # GPU advantage largely gone
+
+    def test_fifty_tensors_fills_multiprocessors(self):
+        """Section V-B: 'as long as the number of tensors is at least 50 or
+        so, all of the multiprocessors are utilized' — throughput at T=56
+        should be a large fraction of saturation."""
+        r56 = predict_sshopm(num_tensors=56).gflops
+        r1024 = predict_sshopm(num_tensors=1024).gflops
+        assert r56 > 0.4 * r1024
+
+
+class TestOccupancyFalloff:
+    def test_performance_drops_past_dimension_threshold(self):
+        """Section V-E: decreased performance past ~order 4 / dimension 5."""
+        base = predict_sshopm(m=4, n=3).fraction_of_peak
+        at5 = predict_sshopm(m=4, n=5).fraction_of_peak
+        at6 = predict_sshopm(m=4, n=6).fraction_of_peak
+        assert at5 > 0.8 * base  # still healthy at the threshold
+        assert at6 < 0.8 * base  # fallen past it
+
+    def test_other_gpus_similar_relative_performance(self):
+        """Section V-E: similar fraction-of-peak on two other NVIDIA GPUs
+        for the m=4, n=3 problem."""
+        frac_c2050 = predict_sshopm(device=TESLA_C2050).fraction_of_peak
+        frac_gtx = predict_sshopm(device=GTX_480).fraction_of_peak
+        assert abs(frac_gtx - frac_c2050) / frac_c2050 < 0.25
+
+
+class TestMultiDevice:
+    def test_two_devices_near_double_throughput(self):
+        one = predict_sshopm(num_devices=1)
+        two = predict_sshopm(num_devices=2)
+        assert 1.7 < one.seconds / two.seconds <= 2.01
+        assert two.fraction_of_peak <= one.fraction_of_peak + 1e-9
+
+    def test_many_devices_diminishing_returns_at_fixed_t(self):
+        """With T fixed, devices eventually starve (ramp region per device)."""
+        four = predict_sshopm(num_tensors=64, num_devices=4)
+        one = predict_sshopm(num_tensors=64, num_devices=1)
+        assert four.fraction_of_peak < one.fraction_of_peak
+
+
+class TestInputs:
+    def test_per_tensor_iteration_array(self):
+        iters = np.full(1024, 40.0)
+        a = predict_sshopm(iterations=iters)
+        b = predict_sshopm(iterations=40.0)
+        assert np.isclose(a.seconds, b.seconds, rtol=1e-9)
+
+    def test_iteration_array_shape_checked(self):
+        with pytest.raises(ValueError):
+            predict_sshopm(iterations=np.ones(7))
+
+    def test_nonpositive_iterations_rejected(self):
+        with pytest.raises(ValueError):
+            predict_sshopm(iterations=0.0)
+
+    def test_zero_tensors_rejected(self):
+        with pytest.raises(ValueError):
+            predict_sshopm(num_tensors=0)
+
+    def test_bad_variant(self):
+        with pytest.raises(ValueError):
+            predict_sshopm(variant="simd")
+
+    def test_custom_params(self):
+        slow = predict_sshopm(params=GpuPerfParams(issue_efficiency=0.38))
+        fast = predict_sshopm(params=GpuPerfParams(issue_efficiency=0.76))
+        assert np.isclose(slow.gflops * 2, fast.gflops, rtol=1e-6)
+
+    def test_c1060_runs(self):
+        """Previous-generation device with smaller register file/shared mem
+        still executes the application kernel."""
+        p = predict_sshopm(device=TESLA_C1060)
+        assert p.gflops > 0

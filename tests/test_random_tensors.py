@@ -1,0 +1,102 @@
+"""Tests for the structured tensor constructors."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.compressed import ax_m1_compressed, ax_m_compressed
+from repro.symtensor.random import (
+    identity_like_tensor,
+    kolda_mayo_example_3x3x3,
+    random_symmetric_batch,
+    random_symmetric_tensor,
+    rank_one_tensor,
+    sum_of_rank_ones,
+)
+from repro.util.rng import random_unit_vector
+
+
+class TestRandomTensor:
+    def test_deterministic_with_seed(self):
+        a = random_symmetric_tensor(4, 3, rng=5)
+        b = random_symmetric_tensor(4, 3, rng=5)
+        assert np.array_equal(a.values, b.values)
+
+    def test_scale(self):
+        big = random_symmetric_tensor(4, 3, rng=5, scale=100.0)
+        small = random_symmetric_tensor(4, 3, rng=5, scale=1.0)
+        assert np.allclose(big.values, 100.0 * small.values)
+
+    def test_dtype(self):
+        t = random_symmetric_tensor(4, 3, rng=5, dtype=np.float32)
+        assert t.dtype == np.float32
+
+    def test_batch(self):
+        b = random_symmetric_batch(7, 4, 3, rng=6)
+        assert len(b) == 7
+
+
+class TestRankOne:
+    def test_eigen_identity(self, rng):
+        """(w d^{(x)m}) x^{m-1} = w (d.x)^{m-1} d."""
+        d = random_unit_vector(3, rng=rng)
+        t = rank_one_tensor(d, 4, weight=2.5)
+        x = rng.normal(size=3)
+        assert np.allclose(ax_m1_compressed(t, x), 2.5 * (d @ x) ** 3 * d)
+
+    def test_principal_value(self, rng):
+        d = random_unit_vector(4, rng=rng)
+        t = rank_one_tensor(d, 3, weight=-1.5)
+        assert np.isclose(ax_m_compressed(t, d), -1.5)
+
+    def test_sum_of_rank_ones_additivity(self, rng):
+        d1, d2 = random_unit_vector(3, rng=rng), random_unit_vector(3, rng=rng)
+        combined = sum_of_rank_ones(np.stack([d1, d2]), np.array([1.0, 2.0]), m=4)
+        manual = rank_one_tensor(d1, 4, 1.0) + rank_one_tensor(d2, 4, 2.0)
+        assert combined.allclose(manual)
+
+    def test_sum_default_weights(self, rng):
+        dirs = np.stack([random_unit_vector(3, rng=rng) for _ in range(3)])
+        t = sum_of_rank_ones(dirs, m=4)
+        manual = sum_of_rank_ones(dirs, np.ones(3), m=4)
+        assert t.allclose(manual)
+
+    def test_weight_shape_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            sum_of_rank_ones(np.eye(3), np.ones(2), m=4)
+
+
+class TestIdentityLike:
+    def test_m2_is_identity(self):
+        t = identity_like_tensor(2, 4)
+        assert np.allclose(t.to_dense(), np.eye(4))
+
+    def test_every_unit_vector_is_eigenvector(self, rng):
+        t = identity_like_tensor(4, 3)
+        for _ in range(5):
+            x = random_unit_vector(3, rng=rng)
+            assert np.allclose(ax_m1_compressed(t, x), x, atol=1e-10)
+            assert np.isclose(ax_m_compressed(t, x), 1.0)
+
+    def test_norm_power_property(self, rng):
+        """E x^m = ||x||^m off the sphere too."""
+        t = identity_like_tensor(4, 3)
+        x = rng.normal(size=3) * 2.0
+        assert np.isclose(ax_m_compressed(t, x), np.linalg.norm(x) ** 4)
+
+    def test_odd_order_rejected(self):
+        with pytest.raises(ValueError):
+            identity_like_tensor(3, 3)
+
+
+class TestKoldaMayoExample:
+    def test_is_fixed(self):
+        a = kolda_mayo_example_3x3x3()
+        b = kolda_mayo_example_3x3x3()
+        assert a.allclose(b)
+        assert a.m == 3 and a.n == 3
+
+    def test_specific_entries(self):
+        t = kolda_mayo_example_3x3x3()
+        assert t[(0, 0, 0)] == pytest.approx(-0.1281)
+        assert t[(1, 1, 2)] == pytest.approx(0.2513)
+        assert t[(2, 1, 1)] == pytest.approx(0.2513)  # symmetry

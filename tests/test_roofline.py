@@ -1,0 +1,84 @@
+"""Tests for the roofline/traffic analysis of the SS-HOPM launch."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.gpu.device import GTX_480, TESLA_C1060, TESLA_C2050
+from repro.gpu.kernelspec import FLOAT_BYTES
+from repro.gpu.perfmodel import predict_sshopm
+from repro.gpu.roofline import analyze_traffic, is_compute_bound, roofline_gflops
+from repro.util.combinatorics import num_unique_entries
+
+
+class TestTraffic:
+    def test_paper_data_volumes(self):
+        """Section V-C byte accounting for T=1024, U=15, V=128, n=3."""
+        a = analyze_traffic(iterations=40.0)
+        T, U, V, n = 1024, 15, 128, 3
+        expected = FLOAT_BYTES * (T * U + V * n + T * V * n + T * V)
+        assert a.dram_bytes == expected
+
+    def test_flops_scale_with_iterations(self):
+        a = analyze_traffic(iterations=10.0)
+        b = analyze_traffic(iterations=20.0)
+        assert np.isclose(b.total_flops, 2 * a.total_flops)
+        assert b.arithmetic_intensity > a.arithmetic_intensity
+
+    def test_paper_launch_is_strongly_compute_bound(self):
+        """The whole point of Section V-C: data lives on-chip, so the
+        kernel is far above the memory roof on every modeled device."""
+        a = analyze_traffic(iterations=40.0)
+        assert a.arithmetic_intensity > 100
+        for dev in (TESLA_C2050, TESLA_C1060, GTX_480):
+            assert is_compute_bound(dev, a)
+
+    def test_memory_bound_regime_exists(self):
+        """With almost no iterations per load, the launch becomes
+        bandwidth-limited — the regime the on-chip strategy avoids."""
+        a = analyze_traffic(iterations=0.2)
+        assert not is_compute_bound(TESLA_C2050, a)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            analyze_traffic(num_tensors=0)
+        with pytest.raises(ValueError):
+            analyze_traffic(iterations=0)
+        with pytest.raises(ValueError):
+            roofline_gflops(TESLA_C2050, -1.0)
+
+
+class TestRooflineBound:
+    def test_bound_shape(self):
+        assert roofline_gflops(TESLA_C2050, 0.0) == 0.0
+        assert roofline_gflops(TESLA_C2050, 1e9) == TESLA_C2050.peak_gflops
+        knee = TESLA_C2050.peak_gflops / TESLA_C2050.mem_bandwidth_gbs
+        assert np.isclose(
+            roofline_gflops(TESLA_C2050, knee), TESLA_C2050.peak_gflops
+        )
+
+    @given(st.floats(0, 1e4, allow_nan=False))
+    def test_monotone_in_intensity(self, ai):
+        assert roofline_gflops(TESLA_C2050, ai) <= roofline_gflops(TESLA_C2050, ai + 1)
+
+    def test_perfmodel_respects_roofline(self):
+        """The issue-rate model's prediction must not exceed the roofline
+        bound for the same launch (consistency between the two models)."""
+        a = analyze_traffic(iterations=40.0)
+        p = predict_sshopm(iterations=40.0, variant="unrolled")
+        assert p.gflops <= roofline_gflops(TESLA_C2050, a.arithmetic_intensity)
+
+    def test_intensity_grows_with_order(self):
+        """Higher order at fixed dimension means more on-chip work per
+        (small, fixed-size) output — intensity increases, reinforcing that
+        the application kernel only gets more compute-bound as m grows."""
+        small = analyze_traffic(m=4, n=3, iterations=40.0)
+        big = analyze_traffic(m=8, n=3, iterations=40.0)
+        assert num_unique_entries(8, 3) > num_unique_entries(4, 3)
+        assert big.arithmetic_intensity > small.arithmetic_intensity
+
+    def test_intensity_linear_in_iterations(self):
+        a = analyze_traffic(iterations=10.0)
+        b = analyze_traffic(iterations=40.0)
+        assert np.isclose(b.arithmetic_intensity / a.arithmetic_intensity, 4.0)

@@ -1,0 +1,240 @@
+"""Tests for compressed symmetric tensor storage (SymmetricTensor and
+SymmetricTensorBatch)."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.symtensor.random import random_symmetric_batch, random_symmetric_tensor
+from repro.symtensor.storage import (
+    SymmetricTensor,
+    SymmetricTensorBatch,
+    is_symmetric_dense,
+    symmetric_outer_power,
+    symmetrize_dense,
+)
+from repro.util.combinatorics import num_unique_entries
+
+
+class TestSymmetrize:
+    def test_symmetrize_produces_symmetric(self, rng):
+        dense = rng.normal(size=(3, 3, 3))
+        sym = symmetrize_dense(dense)
+        assert is_symmetric_dense(sym)
+
+    def test_symmetrize_fixes_symmetric_input(self, rng):
+        t = random_symmetric_tensor(3, 3, rng=rng)
+        dense = t.to_dense()
+        assert np.allclose(symmetrize_dense(dense), dense)
+
+    def test_symmetrize_is_projection(self, rng):
+        dense = rng.normal(size=(2, 2, 2, 2))
+        once = symmetrize_dense(dense)
+        twice = symmetrize_dense(once)
+        assert np.allclose(once, twice)
+
+    def test_symmetrize_preserves_trace_like_sum(self, rng):
+        """Averaging over permutations preserves the total entry sum."""
+        dense = rng.normal(size=(3, 3, 3))
+        assert np.isclose(symmetrize_dense(dense).sum(), dense.sum())
+
+    def test_nonsquare_raises(self, rng):
+        with pytest.raises(ValueError):
+            symmetrize_dense(rng.normal(size=(2, 3, 2)))
+
+    def test_is_symmetric_detects_asymmetry(self, rng):
+        dense = rng.normal(size=(3, 3, 3))
+        assert not is_symmetric_dense(dense)
+
+
+class TestRoundTrip:
+    def test_pack_unpack(self, size, rng):
+        m, n = size
+        t = random_symmetric_tensor(m, n, rng=rng)
+        dense = t.to_dense()
+        assert is_symmetric_dense(dense)
+        back = SymmetricTensor.from_dense(dense)
+        assert back.allclose(t)
+
+    def test_dense_entries_match_getitem(self, rng):
+        t = random_symmetric_tensor(3, 3, rng=rng)
+        dense = t.to_dense()
+        for idx in itertools.product(range(3), repeat=3):
+            assert np.isclose(dense[idx], t[idx])
+
+    def test_from_dense_rejects_asymmetric(self, rng):
+        with pytest.raises(ValueError):
+            SymmetricTensor.from_dense(rng.normal(size=(3, 3, 3)))
+
+    def test_from_dense_nocheck_uses_canonical_entries(self, rng):
+        dense = rng.normal(size=(3, 3, 3))
+        t = SymmetricTensor.from_dense(dense, check=False)
+        assert np.isclose(t[(0, 1, 2)], dense[0, 1, 2])
+
+    def test_from_dense_rejects_nonsquare(self, rng):
+        with pytest.raises(ValueError):
+            SymmetricTensor.from_dense(rng.normal(size=(2, 3)))
+
+
+class TestConstruction:
+    def test_wrong_length_raises(self):
+        with pytest.raises(ValueError):
+            SymmetricTensor(np.zeros(14), 4, 3)  # needs 15
+
+    def test_zeros(self):
+        t = SymmetricTensor.zeros(4, 3)
+        assert t.num_unique == 15
+        assert np.all(t.values == 0)
+
+    def test_integer_values_promoted_to_float(self):
+        t = SymmetricTensor(np.arange(6), 2, 3)
+        assert np.issubdtype(t.dtype, np.floating)
+
+    def test_from_dict(self):
+        t = SymmetricTensor.from_dict({(0, 1, 1): 2.0, (2, 0, 1): -1.0}, 3, 3)
+        assert t[(1, 0, 1)] == 2.0  # any permutation
+        assert t[(0, 1, 2)] == -1.0
+        assert t[(0, 0, 0)] == 0.0
+
+    def test_from_dict_bad_index(self):
+        with pytest.raises(ValueError):
+            SymmetricTensor.from_dict({(0, 1): 1.0}, 3, 3)
+        with pytest.raises(ValueError):
+            SymmetricTensor.from_dict({(0, 1, 5): 1.0}, 3, 3)
+
+    def test_symmetric_outer_power(self, rng):
+        x = rng.normal(size=4)
+        t = symmetric_outer_power(x, 3)
+        dense = t.to_dense()
+        expected = np.einsum("i,j,k->ijk", x, x, x)
+        assert np.allclose(dense, expected)
+
+    def test_symmetric_outer_power_rejects_matrix(self, rng):
+        with pytest.raises(ValueError):
+            symmetric_outer_power(rng.normal(size=(2, 2)), 3)
+
+
+class TestElementAccess:
+    def test_getitem_any_permutation(self, rng):
+        t = random_symmetric_tensor(4, 3, rng=rng)
+        base = t[(0, 1, 1, 2)]
+        for perm in itertools.permutations((0, 1, 1, 2)):
+            assert t[perm] == base
+
+    def test_setitem_updates_class(self, rng):
+        t = SymmetricTensor.zeros(3, 3)
+        t[(2, 0, 1)] = 5.0
+        assert t[(0, 1, 2)] == 5.0
+
+    def test_wrong_arity_raises(self):
+        t = SymmetricTensor.zeros(3, 3)
+        with pytest.raises(IndexError):
+            t[(0, 1)]
+        with pytest.raises(IndexError):
+            t[(0, 1, 2, 0)]
+
+    def test_out_of_bounds_raises(self):
+        t = SymmetricTensor.zeros(3, 3)
+        with pytest.raises(IndexError):
+            t[(0, 1, 3)]
+        with pytest.raises(IndexError):
+            t[(0, 1, 5)] = 1.0
+
+
+class TestAlgebra:
+    def test_add_sub_scale(self, rng):
+        a = random_symmetric_tensor(3, 3, rng=rng)
+        b = random_symmetric_tensor(3, 3, rng=rng)
+        assert np.allclose((a + b).values, a.values + b.values)
+        assert np.allclose((a - b).values, a.values - b.values)
+        assert np.allclose((2.5 * a).values, 2.5 * a.values)
+        assert np.allclose((a / 2).values, a.values / 2)
+        assert np.allclose((-a).values, -a.values)
+
+    def test_shape_mismatch_raises(self, rng):
+        a = random_symmetric_tensor(3, 3, rng=rng)
+        b = random_symmetric_tensor(3, 4, rng=rng)
+        with pytest.raises(ValueError):
+            a + b
+
+    def test_type_mismatch_raises(self, rng):
+        a = random_symmetric_tensor(3, 3, rng=rng)
+        with pytest.raises(TypeError):
+            a + np.zeros(10)
+
+    def test_frobenius_matches_dense(self, size, rng):
+        m, n = size
+        t = random_symmetric_tensor(m, n, rng=rng)
+        assert np.isclose(t.frobenius_norm(), np.linalg.norm(t.to_dense()))
+
+    def test_copy_is_independent(self, rng):
+        a = random_symmetric_tensor(3, 3, rng=rng)
+        b = a.copy()
+        b.values[0] += 1
+        assert a.values[0] != b.values[0]
+
+    def test_astype(self, rng):
+        a = random_symmetric_tensor(3, 3, rng=rng)
+        assert a.astype(np.float32).dtype == np.float32
+
+
+class TestBookkeeping:
+    @given(st.integers(2, 6), st.integers(1, 5))
+    def test_compression_ratio(self, m, n):
+        t = SymmetricTensor.zeros(m, n)
+        assert np.isclose(t.compression_ratio, n**m / num_unique_entries(m, n))
+
+    def test_repr_mentions_shape(self):
+        assert "m=4" in repr(SymmetricTensor.zeros(4, 3))
+
+    def test_nbytes(self):
+        t = SymmetricTensor.zeros(4, 3)
+        assert t.nbytes == 15 * 8
+
+
+class TestBatch:
+    def test_from_tensors_and_indexing(self, rng):
+        tensors = [random_symmetric_tensor(3, 3, rng=rng) for _ in range(5)]
+        batch = SymmetricTensorBatch.from_tensors(tensors)
+        assert len(batch) == 5
+        for t, orig in zip(batch, tensors):
+            assert t.allclose(orig)
+
+    def test_from_tensors_empty_raises(self):
+        with pytest.raises(ValueError):
+            SymmetricTensorBatch.from_tensors([])
+
+    def test_from_tensors_mixed_shapes_raise(self, rng):
+        with pytest.raises(ValueError):
+            SymmetricTensorBatch.from_tensors(
+                [random_symmetric_tensor(3, 3, rng=rng), random_symmetric_tensor(3, 4, rng=rng)]
+            )
+
+    def test_bad_values_shape_raises(self):
+        with pytest.raises(ValueError):
+            SymmetricTensorBatch(np.zeros((4, 14)), 4, 3)
+
+    def test_subset_count(self, rng):
+        batch = random_symmetric_batch(10, 4, 3, rng=rng)
+        sub = batch.subset(4)
+        assert len(sub) == 4
+        assert np.allclose(sub.values, batch.values[:4])
+
+    def test_subset_indices(self, rng):
+        batch = random_symmetric_batch(10, 4, 3, rng=rng)
+        sub = batch.subset([7, 2])
+        assert np.allclose(sub.values[0], batch.values[7])
+        assert np.allclose(sub.values[1], batch.values[2])
+
+    def test_astype_and_nbytes(self, rng):
+        batch = random_symmetric_batch(4, 4, 3, rng=rng)
+        assert batch.astype(np.float32).dtype == np.float32
+        assert batch.nbytes == 4 * 15 * 8
+
+    def test_paper_data_layout(self, rng):
+        """Section V-C: tensor data is T x U (1024 x 15 for the test set)."""
+        batch = random_symmetric_batch(1024, 4, 3, rng=rng)
+        assert batch.values.shape == (1024, 15)

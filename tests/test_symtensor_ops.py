@@ -1,0 +1,170 @@
+"""Tests for compressed symmetric tensor algebra (inner products, symmetric
+products, polynomial view, rank-1/rank-R approximation)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels.compressed import ax_m_compressed
+from repro.symtensor.ops import (
+    best_rank_one,
+    evaluate_polynomial,
+    greedy_rank_r,
+    inner_product,
+    norm,
+    polynomial_coefficients,
+    symmetric_product,
+)
+from repro.symtensor.random import (
+    random_odeco_tensor,
+    random_symmetric_tensor,
+    rank_one_tensor,
+)
+from repro.symtensor.storage import SymmetricTensor, symmetrize_dense
+from repro.util.rng import random_unit_vector
+
+
+class TestInnerProduct:
+    def test_matches_dense(self, size, rng):
+        m, n = size
+        a = random_symmetric_tensor(m, n, rng=rng)
+        b = random_symmetric_tensor(m, n, rng=rng)
+        assert np.isclose(inner_product(a, b), np.sum(a.to_dense() * b.to_dense()))
+
+    def test_norm_consistency(self, rng):
+        a = random_symmetric_tensor(4, 3, rng=rng)
+        assert np.isclose(norm(a) ** 2, inner_product(a, a))
+
+    def test_bilinearity(self, rng):
+        a = random_symmetric_tensor(3, 3, rng=rng)
+        b = random_symmetric_tensor(3, 3, rng=rng)
+        c = random_symmetric_tensor(3, 3, rng=rng)
+        lhs = inner_product(a + 2.0 * b, c)
+        rhs = inner_product(a, c) + 2.0 * inner_product(b, c)
+        assert np.isclose(lhs, rhs)
+
+    def test_shape_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            inner_product(
+                random_symmetric_tensor(3, 3, rng=rng),
+                random_symmetric_tensor(3, 4, rng=rng),
+            )
+
+    def test_rank_one_inner_product_identity(self, rng):
+        """<A, x^{(x)m}> = A x^m — the variational view behind rank-1
+        approximation."""
+        a = random_symmetric_tensor(4, 3, rng=rng)
+        x = random_unit_vector(3, rng=rng)
+        r1 = rank_one_tensor(x, 4)
+        assert np.isclose(inner_product(a, r1), ax_m_compressed(a, x))
+
+
+class TestSymmetricProduct:
+    @pytest.mark.parametrize("ma,mb,n", [(1, 1, 3), (2, 1, 3), (2, 2, 2), (3, 2, 2), (1, 3, 2)])
+    def test_matches_dense_symmetrization(self, ma, mb, n, rng):
+        a = random_symmetric_tensor(ma, n, rng=rng)
+        b = random_symmetric_tensor(mb, n, rng=rng)
+        sp = symmetric_product(a, b)
+        dense = symmetrize_dense(np.multiply.outer(a.to_dense(), b.to_dense()))
+        assert sp.m == ma + mb
+        assert np.allclose(sp.to_dense(), dense)
+
+    def test_commutative(self, rng):
+        a = random_symmetric_tensor(2, 3, rng=rng)
+        b = random_symmetric_tensor(3, 3, rng=rng)
+        assert symmetric_product(a, b).allclose(symmetric_product(b, a))
+
+    def test_rank_one_products_compose(self, rng):
+        """x^{(x)2} sym-times x^{(x)2} = x^{(x)4}."""
+        x = random_unit_vector(3, rng=rng)
+        sq = rank_one_tensor(x, 2)
+        quad = symmetric_product(sq, sq)
+        assert quad.allclose(rank_one_tensor(x, 4))
+
+    def test_dimension_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            symmetric_product(
+                random_symmetric_tensor(2, 3, rng=rng),
+                random_symmetric_tensor(2, 4, rng=rng),
+            )
+
+
+class TestPolynomialView:
+    def test_round_trip_evaluation(self, size, rng):
+        m, n = size
+        t = random_symmetric_tensor(m, n, rng=rng)
+        coeffs = polynomial_coefficients(t)
+        x = rng.normal(size=n)
+        assert np.isclose(evaluate_polynomial(coeffs, x), ax_m_compressed(t, x))
+
+    def test_coefficient_count(self, rng):
+        t = random_symmetric_tensor(4, 3, rng=rng)
+        assert len(polynomial_coefficients(t)) == 15
+
+    def test_bad_exponent_length(self):
+        with pytest.raises(ValueError):
+            evaluate_polynomial({(1, 2): 1.0}, np.zeros(3))
+
+
+class TestRankOneApproximation:
+    def test_exact_on_rank_one_input(self, rng):
+        x = random_unit_vector(3, rng=rng)
+        t = rank_one_tensor(x, 4, weight=2.5)
+        approx = best_rank_one(t, rng=rng)
+        assert abs(approx.weight - 2.5) < 1e-8
+        assert abs(abs(approx.vector @ x) - 1) < 1e-6
+        # lambda converges quadratically but the vector only to ~sqrt(tol)
+        assert approx.relative_error < 1e-4
+
+    def test_negative_weight_found(self, rng):
+        """The dominant component may have negative lambda; the concave
+        sweep must find it."""
+        x = random_unit_vector(3, rng=rng)
+        t = rank_one_tensor(x, 4, weight=-3.0)
+        approx = best_rank_one(t, rng=rng)
+        assert abs(approx.weight + 3.0) < 1e-7
+
+    def test_error_identity(self, rng):
+        """||A - lambda* x*^{(x)m}||^2 = ||A||^2 - lambda*^2 at an
+        eigenpair."""
+        t = random_symmetric_tensor(4, 3, rng=rng)
+        approx = best_rank_one(t, rng=rng, num_starts=96)
+        lhs = approx.residual_norm**2
+        rhs = norm(t) ** 2 - approx.weight**2
+        assert np.isclose(lhs, rhs, rtol=1e-6)
+
+    def test_odeco_top_component(self, rng):
+        tensor, basis, weights = random_odeco_tensor(4, 4, rng=rng)
+        approx = best_rank_one(tensor, rng=rng)
+        assert abs(approx.weight - weights[0]) < 1e-6
+        assert abs(abs(approx.vector @ basis[0]) - 1) < 1e-5
+
+
+class TestGreedyRankR:
+    def test_recovers_odeco_decomposition(self, rng):
+        tensor, basis, weights = random_odeco_tensor(4, 3, rng=rng)
+        terms, residual = greedy_rank_r(tensor, 3, rng=rng)
+        assert residual.frobenius_norm() < 1e-5
+        recovered = sorted((t.weight for t in terms), reverse=True)
+        assert np.allclose(recovered, weights, atol=1e-5)
+
+    def test_residual_norm_monotone(self, rng):
+        t = random_symmetric_tensor(4, 3, rng=rng)
+        norms = [norm(t)]
+        residual = t
+        for _ in range(3):
+            terms, residual = greedy_rank_r(residual, 1, rng=rng)
+            norms.append(residual.frobenius_norm())
+        assert all(b <= a + 1e-12 for a, b in zip(norms, norms[1:]))
+
+    def test_rank_validation(self, rng):
+        with pytest.raises(ValueError):
+            greedy_rank_r(random_symmetric_tensor(4, 3, rng=rng), 0)
+
+    def test_stops_early_on_exact_fit(self, rng):
+        x = random_unit_vector(3, rng=rng)
+        t = rank_one_tensor(x, 4, weight=1.0)
+        terms, residual = greedy_rank_r(t, 5, stop_tol=1e-4, rng=rng)
+        assert len(terms) <= 2  # rank-1 input: at most one real term + dust
+        assert residual.frobenius_norm() < 1e-4

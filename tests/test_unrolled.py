@@ -1,0 +1,116 @@
+"""Tests of the Section V-D code generator: correctness is covered by the
+agreement suite; here we check the generated source, the static flop counts,
+the CSE variant, and the scaling guard."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.tables import kernel_tables
+from repro.kernels.unrolled import generate_source, make_unrolled
+from repro.symtensor.random import random_symmetric_tensor
+
+
+class TestGeneration:
+    def test_source_is_compilable_and_inspectable(self):
+        gen = make_unrolled(4, 3)
+        assert "def ax_m(" in gen.source
+        assert "def ax_m1(" in gen.source
+        compile(gen.source, "<check>", "exec")
+
+    def test_paper_term_counts(self):
+        """Section V-D: for m=4, n=3 the A x^m sum has 15 terms and each of
+        the 3 output entries of A x^{m-1} has 10 terms."""
+        tab = kernel_tables(4, 3)
+        assert tab.num_unique == 15
+        seg_lengths = np.diff(tab.out_starts)
+        assert list(seg_lengths) == [10, 10, 10]
+
+    def test_caching(self):
+        assert make_unrolled(3, 3) is make_unrolled(3, 3)
+        assert make_unrolled(3, 3) is not make_unrolled(3, 3, cse=True)
+
+    def test_guard_refuses_huge_unroll(self):
+        with pytest.raises(ValueError):
+            make_unrolled(10, 10)  # C(19,10) = 92378 unique entries
+
+    def test_generate_source_returns_counts(self):
+        src, fs, fv = generate_source(4, 3)
+        assert fs > 0 and fv > 0
+        assert isinstance(src, str)
+
+
+class TestStaticFlopCounts:
+    def test_scalar_count_matches_structure(self):
+        """flops = per-term products + coefficient/value multiplies + adds."""
+        gen = make_unrolled(4, 3)
+        tab = kernel_tables(4, 3)
+        U = tab.num_unique
+        expected = 0
+        for u in range(U):
+            expected += 3  # m-1 monomial multiplies
+            expected += 2 if tab.mult[u] != 1 else 1
+        expected += U - 1  # additions
+        assert gen.flops_scalar == expected
+
+    def test_cse_never_costs_more(self):
+        for m, n in [(3, 3), (4, 3), (4, 4), (5, 3), (6, 2)]:
+            plain = make_unrolled(m, n)
+            cse = make_unrolled(m, n, cse=True)
+            assert cse.flops_scalar <= plain.flops_scalar
+            assert cse.flops_vector <= plain.flops_vector
+
+    def test_counts_grow_with_size(self):
+        assert make_unrolled(4, 4).flops_scalar > make_unrolled(4, 3).flops_scalar
+        assert make_unrolled(5, 3).flops_vector > make_unrolled(4, 3).flops_vector
+
+
+class TestCseCorrectness:
+    def test_cse_matches_plain(self, size, rng):
+        m, n = size
+        tensor = random_symmetric_tensor(m, n, rng=rng)
+        x = rng.normal(size=n)
+        plain = make_unrolled(m, n)
+        cse = make_unrolled(m, n, cse=True)
+        assert np.isclose(plain.ax_m(tensor.values, x), cse.ax_m(tensor.values, x))
+        assert np.allclose(plain.ax_m1(tensor.values, x), cse.ax_m1(tensor.values, x))
+
+    def test_cse_power_variables_in_source(self):
+        gen = make_unrolled(4, 3, cse=True)
+        assert "x0_2" in gen.source  # squared power local
+
+
+class TestBatchedGeneration:
+    def test_batched_broadcasting(self, rng):
+        gen = make_unrolled(4, 3, batched=True)
+        a = rng.normal(size=(5, 1, 15))
+        x = rng.normal(size=(1, 7, 3))
+        y = gen.ax_m(a, x)
+        v = gen.ax_m1(a, x)
+        assert y.shape == (5, 7)
+        assert v.shape == (5, 7, 3)
+
+    def test_batched_matches_scalar(self, rng):
+        plain = make_unrolled(4, 3)
+        batched = make_unrolled(4, 3, batched=True)
+        a = rng.normal(size=15)
+        x = rng.normal(size=3)
+        assert np.isclose(batched.ax_m(a, x), plain.ax_m(a, x))
+        assert np.allclose(batched.ax_m1(a, x), plain.ax_m1(a, x))
+
+    def test_batched_cse(self, rng):
+        gen = make_unrolled(4, 3, cse=True, batched=True)
+        a = rng.normal(size=(4, 15))
+        x = rng.normal(size=(4, 3))
+        plain = make_unrolled(4, 3)
+        for i in range(4):
+            assert np.isclose(gen.ax_m(a, x)[i], plain.ax_m(a[i], x[i]))
+
+
+class TestMatrixCase:
+    def test_m2_unrolled_is_matvec(self, rng):
+        gen = make_unrolled(2, 4)
+        tensor = random_symmetric_tensor(2, 4, rng=rng)
+        x = rng.normal(size=4)
+        dense = tensor.to_dense()
+        assert np.allclose(gen.ax_m1(tensor.values, x), dense @ x)
+        assert np.isclose(gen.ax_m(tensor.values, x), x @ dense @ x)

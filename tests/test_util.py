@@ -1,0 +1,101 @@
+"""Tests for flop counting and RNG helpers."""
+
+import numpy as np
+import pytest
+
+from repro.util.flopcount import FlopCounter, counting, null_counter
+from repro.util.rng import (
+    fibonacci_sphere,
+    make_rng,
+    random_unit_vector,
+    random_unit_vectors,
+)
+
+
+class TestFlopCounter:
+    def test_accumulation(self):
+        c = FlopCounter()
+        c.add_flops(10)
+        c.add_intops(5)
+        c.add_loads(3)
+        c.add_stores(2)
+        assert c.snapshot() == {"flops": 10, "intops": 5, "loads": 3, "stores": 2}
+
+    def test_reset(self):
+        c = FlopCounter()
+        c.add_flops(10)
+        c.reset()
+        assert c.flops == 0
+
+    def test_section_delta(self):
+        c = FlopCounter()
+        c.add_flops(100)
+        with c.section() as delta:
+            c.add_flops(7)
+            c.add_loads(2)
+        assert delta["flops"] == 7
+        assert delta["loads"] == 2
+        assert c.flops == 107
+
+    def test_null_counter_ignores(self):
+        c = null_counter()
+        c.add_flops(1000)
+        assert c.flops == 0
+
+    def test_null_counter_shared(self):
+        assert null_counter() is null_counter()
+
+    def test_counting_context(self):
+        with counting() as c:
+            c.add_flops(3)
+        assert c.flops == 3
+
+
+class TestRng:
+    def test_make_rng_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert make_rng(gen) is gen
+
+    def test_make_rng_from_seed_deterministic(self):
+        assert make_rng(7).normal() == make_rng(7).normal()
+
+    def test_random_unit_vectors(self):
+        v = random_unit_vectors(50, 4, rng=0)
+        assert v.shape == (50, 4)
+        assert np.allclose(np.linalg.norm(v, axis=1), 1.0, atol=1e-12)
+
+    def test_random_unit_vectors_dtype(self):
+        v = random_unit_vectors(5, 3, rng=0, dtype=np.float32)
+        assert v.dtype == np.float32
+
+    def test_random_unit_vectors_validation(self):
+        with pytest.raises(ValueError):
+            random_unit_vectors(-1, 3)
+        with pytest.raises(ValueError):
+            random_unit_vectors(3, 0)
+
+    def test_single_vector(self):
+        v = random_unit_vector(5, rng=1)
+        assert v.shape == (5,)
+        assert np.isclose(np.linalg.norm(v), 1.0)
+
+    def test_coverage_of_sphere(self):
+        """Paper's scheme (uniform in the cube, normalized) covers all
+        octants of the sphere."""
+        v = random_unit_vectors(500, 3, rng=2)
+        octants = set(map(tuple, np.sign(v).astype(int)))
+        assert len(octants) == 8
+
+    def test_fibonacci_sphere(self):
+        pts = fibonacci_sphere(100)
+        assert pts.shape == (100, 3)
+        assert np.allclose(np.linalg.norm(pts, axis=1), 1.0, atol=1e-12)
+        # even coverage: nearest-neighbour distances are tightly clustered
+        d = np.linalg.norm(pts[:, None] - pts[None, :], axis=-1)
+        np.fill_diagonal(d, np.inf)
+        nn = d.min(axis=1)
+        assert nn.std() / nn.mean() < 0.25
+
+    def test_fibonacci_validation(self):
+        with pytest.raises(ValueError):
+            fibonacci_sphere(0)
