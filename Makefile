@@ -1,0 +1,20 @@
+# Developer entry points.  Tier-1 is the gate every PR must keep green
+# (see ROADMAP.md); it runs the instrumentation smoke first so a broken
+# recorder fails fast before the long solver suites.
+
+PYTHONPATH := src
+export PYTHONPATH
+
+.PHONY: test smoke-instrument bench bench-overhead
+
+test: smoke-instrument  ## tier-1: instrumentation smoke, then the full suite
+	python -m pytest -x -q
+
+smoke-instrument:  ## fast gate on the observability substrate
+	python -m pytest -q tests/test_instrument.py
+
+bench:  ## paper reproduction benchmarks (slow)
+	python -m pytest benchmarks/ --benchmark-only -q
+
+bench-overhead:  ## assert the <5% disabled-instrumentation budget
+	python -m pytest -q benchmarks/bench_instrument_overhead.py

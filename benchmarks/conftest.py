@@ -27,6 +27,15 @@ def report(name: str, text: str) -> None:
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
 
 
+def save_trace_report(name: str, recorder) -> None:
+    """Persist a :class:`repro.instrument.Recorder` next to the text
+    reports: the JSON trace to ``results/<name>.trace.json`` and its span
+    table through :func:`report`."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    recorder.save_trace(RESULTS_DIR / f"{name}.trace.json")
+    report(name, recorder.report())
+
+
 def format_table(title: str, headers: list[str], rows: list[list], widths=None) -> str:
     """Fixed-width text table."""
     if widths is None:
@@ -78,7 +87,7 @@ def measured_iterations(paper_workload):
 
     phantom, starts = paper_workload
     res = multistart_sshopm(
-        phantom.tensors, starts=starts, alpha=0.0, tol=1e-6, max_iter=200,
+        phantom.tensors, starts=starts, alpha=0.0, tol=1e-6, max_iters=200,
         dtype=np.float32,
     )
     per_tensor = res.iterations.mean(axis=1)

@@ -89,7 +89,7 @@ def main():
     probes = random_unit_vectors(20, 32, rng=5)
     alpha = 3.0 * max(abs(pair.ax_m(tensor, q)) for q in probes)
     t0 = time.perf_counter()
-    res = sshopm(tensor, alpha=alpha, kernels=pair, rng=3, tol=1e-10, max_iter=4000)
+    res = sshopm(tensor, alpha=alpha, kernels=pair, rng=3, tol=1e-10, max_iters=4000)
     dt = time.perf_counter() - t0
     print(f"  probe-based shift alpha = {alpha:.2f}")
     print(f"  lambda = {res.eigenvalue:+.6f} in {res.iterations} iterations "

@@ -38,14 +38,14 @@ def main():
 
     print("=== reachable spectrum, convex iteration (alpha > 0) ===")
     pairs_max = find_eigenpairs(tensor, num_starts=500, alpha=alpha, rng=0,
-                                tol=1e-14, max_iter=5000)
+                                tol=1e-14, max_iters=5000)
     for p in pairs_max:
         print(f"  lambda = {p.eigenvalue:+.4f}  {p.stability:<11s} "
               f"basin {p.occurrences / 500:5.1%}  residual {p.residual:.1e}")
 
     print("\n=== reachable spectrum, concave iteration (alpha < 0) ===")
     pairs_min = find_eigenpairs(tensor, num_starts=500, alpha=-alpha, rng=1,
-                                tol=1e-14, max_iter=5000)
+                                tol=1e-14, max_iters=5000)
     for p in pairs_min:
         print(f"  lambda = {p.eigenvalue:+.4f}  {p.stability:<11s} "
               f"basin {p.occurrences / 500:5.1%}  residual {p.residual:.1e}")
@@ -61,11 +61,11 @@ def main():
     rows = []
     for label, runner in [
         ("alpha = 0 (unshifted S-HOPM)",
-         lambda x0: sshopm(tensor, x0=x0, alpha=0.0, tol=1e-12, max_iter=5000)),
+         lambda x0: sshopm(tensor, x0=x0, alpha=0.0, tol=1e-12, max_iters=5000)),
         (f"alpha = {alpha:.2f} (conservative)",
-         lambda x0: sshopm(tensor, x0=x0, alpha=alpha, tol=1e-12, max_iter=5000)),
+         lambda x0: sshopm(tensor, x0=x0, alpha=alpha, tol=1e-12, max_iters=5000)),
         ("adaptive (GEAP-style)",
-         lambda x0: adaptive_sshopm(tensor, x0=x0, tol=1e-12, max_iter=5000)),
+         lambda x0: adaptive_sshopm(tensor, x0=x0, tol=1e-12, max_iters=5000)),
     ]:
         iters, converged = [], 0
         for seed in range(20):

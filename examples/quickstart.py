@@ -22,7 +22,7 @@ def main():
 
     # one SS-HOPM run (Figure 1 of the paper) with a convexity shift
     alpha = suggested_shift(tensor)
-    result = sshopm(tensor, alpha=alpha, rng=0, tol=1e-14, max_iter=2000)
+    result = sshopm(tensor, alpha=alpha, rng=0, tol=1e-14, max_iters=2000)
     print("single SS-HOPM run:")
     print(f"  lambda      = {result.eigenvalue:+.6f}")
     print(f"  x           = {np.array2string(result.eigenvector, precision=4)}")
@@ -31,7 +31,7 @@ def main():
 
     # the full reachable spectrum: multistart + dedup + stability labels
     pairs = find_eigenpairs(tensor, num_starts=128, alpha=alpha, rng=1,
-                            tol=1e-13, max_iter=3000)
+                            tol=1e-13, max_iters=3000)
     print(f"found {len(pairs)} distinct real eigenpairs from 128 starts:")
     print(f"{'lambda':>10s}  {'stability':<12s} {'basin':>6s}  eigenvector")
     for p in pairs:

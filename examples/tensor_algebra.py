@@ -89,7 +89,7 @@ def theory_section():
     tensor = random_symmetric_tensor(4, 3, rng=11)
     alpha_cons = suggested_shift(tensor)
     pairs = find_eigenpairs(tensor, num_starts=128, alpha=alpha_cons, rng=12,
-                            tol=1e-14, max_iter=6000)
+                            tol=1e-14, max_iters=6000)
     print(f"  conservative provable shift: {alpha_cons:.2f}")
     print(f"  {'lambda':>9s} {'stability':<12s} {'alpha_min':>10s} "
           f"{'rate@cons':>10s}")

@@ -22,6 +22,9 @@ Subpackages
 ``repro.mri``
     The DW-MRI fiber-detection application: synthetic phantom, tensor
     fitting, fiber extraction, metrics.
+``repro.instrument``
+    Structured tracing and metrics: span recorder, flop/byte counters,
+    JSON traces (``repro ... --trace out.json``).
 
 Quick start
 -----------
@@ -34,6 +37,16 @@ Quick start
 
 __version__ = "1.0.0"
 
-from repro import core, gpu, kernels, mri, parallel, symtensor, util
+from repro import core, gpu, instrument, kernels, mri, parallel, symtensor, util
 
-__all__ = ["core", "gpu", "kernels", "mri", "parallel", "symtensor", "util", "__version__"]
+__all__ = [
+    "core",
+    "gpu",
+    "instrument",
+    "kernels",
+    "mri",
+    "parallel",
+    "symtensor",
+    "util",
+    "__version__",
+]

@@ -34,7 +34,7 @@ def _cmd_spectrum(args) -> int:
     print(f"{tensor}  alpha={alpha:.4f}  starts={args.starts}")
     pairs = find_eigenpairs(
         tensor, num_starts=args.starts, alpha=alpha, rng=args.seed + 1,
-        tol=args.tol, max_iter=args.max_iter,
+        tol=args.tol, max_iters=args.max_iter,
     )
     print(f"{'lambda':>12s}  {'stability':<12s}{'basin':>7s}  {'residual':>9s}  x")
     for p in pairs:
@@ -177,9 +177,25 @@ def build_parser() -> argparse.ArgumentParser:
         description="Tensor eigenvalues via SS-HOPM (Ballard/Kolda/Plantenga "
         "IPDPS-W 2011 reproduction)",
     )
+    # options shared by every subcommand (accepted before or after the
+    # subcommand name)
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--trace", metavar="OUT.json", default=None,
+        help="record an instrumentation trace of the run (JSON; see "
+        "repro.instrument) and print the span summary",
+    )
+    # also accepted before the subcommand name; separate dest because the
+    # subparser's own --trace default would clobber this one
+    parser.add_argument("--trace", dest="trace_global", metavar="OUT.json",
+                        default=None, help=argparse.SUPPRESS)
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("spectrum", help="eigenpairs of one symmetric tensor")
+    def add_parser(name, **kw):
+        kw.setdefault("parents", [common])
+        return sub.add_parser(name, **kw)
+
+    p = add_parser("spectrum", help="eigenpairs of one symmetric tensor")
     p.add_argument("--m", type=int, default=4)
     p.add_argument("--n", type=int, default=3)
     p.add_argument("--seed", type=int, default=0)
@@ -194,7 +210,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also run one adaptive-shift iteration")
     p.set_defaults(func=_cmd_spectrum)
 
-    p = sub.add_parser("phantom", help="synthesize a DW-MRI phantom")
+    p = add_parser("phantom", help="synthesize a DW-MRI phantom")
     p.add_argument("--rows", type=int, default=32)
     p.add_argument("--cols", type=int, default=32)
     p.add_argument("--order", type=int, default=4)
@@ -205,14 +221,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--output", required=True)
     p.set_defaults(func=_cmd_phantom)
 
-    p = sub.add_parser("detect", help="fiber detection on a saved phantom")
+    p = add_parser("detect", help="fiber detection on a saved phantom")
     p.add_argument("phantom")
     p.add_argument("--starts", type=int, default=128)
     p.add_argument("--alpha", type=float, default=0.0)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_detect)
 
-    p = sub.add_parser("gpu-model", help="Table III-style device predictions")
+    p = add_parser("gpu-model", help="Table III-style device predictions")
     p.add_argument("--device", default="Tesla C2050 (Fermi)")
     p.add_argument("--m", type=int, default=4)
     p.add_argument("--n", type=int, default=3)
@@ -221,7 +237,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--iterations", type=float, default=40.0)
     p.set_defaults(func=_cmd_gpu_model)
 
-    p = sub.add_parser("basins", help="ASCII basin-of-attraction map (n=3)")
+    p = add_parser("basins", help="ASCII basin-of-attraction map (n=3)")
     p.add_argument("--m", type=int, default=4)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--alpha", type=float, default=None)
@@ -232,14 +248,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--example", action="store_true")
     p.set_defaults(func=_cmd_basins)
 
-    p = sub.add_parser("cudagen", help="emit the CUDA kernel source (.cu)")
+    p = add_parser("cudagen", help="emit the CUDA kernel source (.cu)")
     p.add_argument("--m", type=int, default=4)
     p.add_argument("--n", type=int, default=3)
     p.add_argument("--starts", type=int, default=128)
     p.add_argument("-o", "--output", default=None)
     p.set_defaults(func=_cmd_cudagen)
 
-    p = sub.add_parser("kernels", help="time the kernel variants")
+    p = add_parser("kernels", help="time the kernel variants")
     p.add_argument("--m", type=int, default=4)
     p.add_argument("--n", type=int, default=3)
     p.add_argument("--seed", type=int, default=0)
@@ -251,7 +267,26 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    trace = getattr(args, "trace", None) or getattr(args, "trace_global", None)
+    if not trace:
+        return args.func(args)
+
+    from repro.instrument import recording
+
+    try:  # fail on an unwritable path now, not after the (long) run
+        with open(trace, "a"):
+            pass
+    except OSError as exc:
+        print(f"error: cannot write trace file {trace}: {exc}", file=sys.stderr)
+        return 2
+
+    with recording(meta={"command": args.command, "argv": list(argv or sys.argv[1:])}) as rec:
+        with rec.span(f"repro {args.command}"):
+            status = args.func(args)
+    rec.save_trace(trace)
+    print(f"\ntrace written to {trace}")
+    print(rec.report())
+    return status
 
 
 if __name__ == "__main__":

@@ -1,6 +1,7 @@
 """The paper's primary contribution: SS-HOPM and eigenpair extraction."""
 
 from repro.core.adaptive import adaptive_sshopm
+from repro.core.config import SolveConfig
 from repro.core.basins import (
     BasinMap,
     basin_map,
@@ -31,6 +32,7 @@ from repro.core.theory import (
 
 __all__ = [
     "adaptive_sshopm",
+    "SolveConfig",
     "BasinMap",
     "basin_map",
     "render_basin_map",

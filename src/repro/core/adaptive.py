@@ -23,8 +23,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.config import SolveConfig, reconcile_max_iters, resolve_option
 from repro.core.eigenpairs import hessian_matrix
 from repro.core.sshopm import SSHOPMResult
+from repro.instrument import current_recorder, instrumented_pair
+from repro.instrument import span as _span
 from repro.kernels.dispatch import KernelPair, get_kernels
 from repro.symtensor.storage import SymmetricTensor
 from repro.util.rng import random_unit_vector
@@ -37,10 +40,13 @@ def adaptive_sshopm(
     x0: np.ndarray | None = None,
     tau: float = 1e-6,
     mode: str = "max",
-    tol: float = 1e-12,
-    max_iter: int = 500,
+    tol: float | None = None,
+    max_iters: int | None = None,
     kernels: KernelPair | str | None = None,
     rng=None,
+    config: SolveConfig | None = None,
+    *,
+    max_iter: int | None = None,
 ) -> SSHOPMResult:
     """SS-HOPM with the GEAP adaptive shift.
 
@@ -52,7 +58,11 @@ def adaptive_sshopm(
         Hessian); Kolda & Mayo suggest a small positive constant.
     mode : ``"max"`` seeks local maxima of ``f`` (convex shifts),
         ``"min"`` local minima (concave shifts).
-    Other parameters as in :func:`repro.core.sshopm.sshopm`.
+    config : optional :class:`~repro.core.config.SolveConfig`; its
+        ``alpha`` field is ignored (the shift is derived per step).
+    Other parameters as in :func:`repro.core.sshopm.sshopm`
+    (``tol`` default ``1e-12``, ``max_iters`` default 500; ``max_iter=`` is
+    the deprecated spelling).
 
     Returns an :class:`SSHOPMResult`; its ``lambda_history`` is monotone
     nondecreasing for ``mode="max"`` (nonincreasing for ``"min"``) up to
@@ -60,8 +70,17 @@ def adaptive_sshopm(
     """
     if mode not in ("max", "min"):
         raise ValueError(f"mode must be 'max' or 'min', got {mode!r}")
+    max_iters = reconcile_max_iters(max_iters, max_iter)
+    tol = resolve_option("tol", tol, config, 1e-12)
+    max_iters = resolve_option("max_iters", max_iters, config, 500)
+    kernels = resolve_option("kernels", kernels, config, None)
+    rng = resolve_option("rng", rng, config, None)
+
+    recorder = current_recorder()
     if isinstance(kernels, str) or kernels is None:
         kernels = get_kernels(kernels or "precomputed", tensor.m, tensor.n)
+    if recorder is not None:
+        kernels = instrumented_pair(kernels, counter=recorder.flop_counter())
     m, n = tensor.m, tensor.n
     if x0 is None:
         x0 = random_unit_vector(n, rng=rng)
@@ -71,33 +90,36 @@ def adaptive_sshopm(
         raise ValueError("starting vector must be nonzero")
     x = x / norm
 
-    lam = float(kernels.ax_m(tensor, x))
-    history = [lam]
-    converged = False
-    iterations = 0
-    for _ in range(max_iter):
-        iterations += 1
-        H = hessian_matrix(tensor, x)  # (m-1) * A x^{m-2}
-        evals = np.linalg.eigvalsh(0.5 * (H + H.T))
-        if mode == "max":
-            alpha = max(0.0, tau - float(evals[0]))
-            x_new = np.asarray(kernels.ax_m1(tensor, x)) + alpha * x
-        else:
-            alpha = min(0.0, -(tau + float(evals[-1])))
-            x_new = -(np.asarray(kernels.ax_m1(tensor, x)) + alpha * x)
-        norm = np.linalg.norm(x_new)
-        if norm == 0.0 or not np.isfinite(norm):
-            break
-        x = x_new / norm
-        lam_new = float(kernels.ax_m(tensor, x))
-        history.append(lam_new)
-        if abs(lam_new - lam) < tol:
-            lam = lam_new
-            converged = True
-            break
-        lam = lam_new
+    with _span("adaptive_sshopm"):
+        lam = float(kernels.ax_m(tensor, x))
+        history = [lam]
+        converged = False
+        iterations = 0
+        for _ in range(max_iters):
+            with _span("iteration"):
+                iterations += 1
+                with _span("hessian_shift"):
+                    H = hessian_matrix(tensor, x)  # (m-1) * A x^{m-2}
+                    evals = np.linalg.eigvalsh(0.5 * (H + H.T))
+                if mode == "max":
+                    alpha = max(0.0, tau - float(evals[0]))
+                    x_new = np.asarray(kernels.ax_m1(tensor, x)) + alpha * x
+                else:
+                    alpha = min(0.0, -(tau + float(evals[-1])))
+                    x_new = -(np.asarray(kernels.ax_m1(tensor, x)) + alpha * x)
+                norm = np.linalg.norm(x_new)
+                if norm == 0.0 or not np.isfinite(norm):
+                    break
+                x = x_new / norm
+                lam_new = float(kernels.ax_m(tensor, x))
+                history.append(lam_new)
+                if abs(lam_new - lam) < tol:
+                    lam = lam_new
+                    converged = True
+                    break
+                lam = lam_new
 
-    residual = float(np.linalg.norm(np.asarray(kernels.ax_m1(tensor, x)) - lam * x))
+        residual = float(np.linalg.norm(np.asarray(kernels.ax_m1(tensor, x)) - lam * x))
     return SSHOPMResult(
         eigenvalue=lam,
         eigenvector=x,

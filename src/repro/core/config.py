@@ -1,0 +1,96 @@
+"""Shared solver configuration (`SolveConfig`) and signature shims.
+
+Every SS-HOPM driver (:func:`~repro.core.sshopm.sshopm`,
+:func:`~repro.core.adaptive.adaptive_sshopm`,
+:func:`~repro.core.multistart.multistart_sshopm`,
+:func:`~repro.core.solve.find_eigenpairs` and friends) accepts the same
+normalized keyword vocabulary — ``alpha=``, ``tol=``, ``max_iters=``,
+``rng=`` — plus a ``config=`` bundle carrying any subset of them.
+
+Resolution order for each option: an explicitly passed keyword wins, then
+a non-``None`` field of ``config``, then the solver's own default.  Fields
+a solver does not use (e.g. ``num_starts`` for single-start ``sshopm``)
+are simply ignored, so one ``SolveConfig`` can parameterize a whole
+pipeline.
+
+``max_iter=`` (the pre-1.1 spelling) is still accepted everywhere with a
+:class:`DeprecationWarning`; see :func:`reconcile_max_iters`.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, replace
+from typing import Any
+
+__all__ = ["SolveConfig", "resolve_option", "reconcile_max_iters"]
+
+
+@dataclass(frozen=True)
+class SolveConfig:
+    """A reusable bundle of solver options.
+
+    Every field defaults to ``None`` = "don't pin; use the solver's own
+    default" — set only what you want to fix across calls::
+
+        cfg = SolveConfig(alpha=2.0, tol=1e-10, max_iters=2000)
+        sshopm(A, config=cfg)
+        multistart_sshopm(batch, num_starts=256, config=cfg)
+
+    Fields
+    ------
+    alpha : SS-HOPM shift (ignored by the adaptive solver, which derives
+        its shift per step).
+    tol : convergence threshold on ``|lambda_{k+1} - lambda_k|``.
+    max_iters : iteration / lockstep-sweep cap.
+    num_starts : starting vectors per tensor (multistart drivers).
+    scheme : starting-vector scheme (``"random"`` / ``"fibonacci"``).
+    kernels : per-tensor kernel variant name or pair (single-start drivers).
+    backend : batched kernel variant name (multistart drivers).
+    dtype : compute precision of the batched drivers.
+    rng : seed or ``numpy.random.Generator``.
+    """
+
+    alpha: float | None = None
+    tol: float | None = None
+    max_iters: int | None = None
+    num_starts: int | None = None
+    scheme: str | None = None
+    kernels: Any = None
+    backend: str | None = None
+    dtype: Any = None
+    rng: Any = None
+
+    def replace(self, **changes) -> "SolveConfig":
+        """A copy with the given fields changed (dataclass ``replace``)."""
+        return replace(self, **changes)
+
+
+def resolve_option(name: str, explicit, config: SolveConfig | None, default):
+    """One option through the resolution order: explicit keyword (not
+    ``None``) > ``config`` field (not ``None``) > solver default."""
+    if explicit is not None:
+        return explicit
+    if config is not None:
+        value = getattr(config, name, None)
+        if value is not None:
+            return value
+    return default
+
+
+def reconcile_max_iters(max_iters, max_iter, *, stacklevel: int = 3):
+    """Fold the deprecated ``max_iter=`` spelling into ``max_iters``.
+
+    Passing both (with different values) is an error; passing only the old
+    name warns and forwards the value.
+    """
+    if max_iter is None:
+        return max_iters
+    warnings.warn(
+        "the max_iter= keyword is deprecated; use max_iters=",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
+    if max_iters is not None and max_iters != max_iter:
+        raise TypeError("pass max_iters= or the deprecated max_iter=, not both")
+    return max_iter

@@ -17,9 +17,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.kernels.batched import ax_m1_batched, ax_m_batched
-from repro.kernels.tables import kernel_tables
-from repro.kernels.unrolled import make_unrolled
+from repro.core.config import SolveConfig, reconcile_max_iters, resolve_option
+from repro.instrument import current_recorder, gauge as _gauge
+from repro.instrument import span as _span
+from repro.kernels.dispatch import get_kernels
 from repro.symtensor.storage import SymmetricTensor, SymmetricTensorBatch
 from repro.util.flopcount import FlopCounter, null_counter
 from repro.util.rng import fibonacci_sphere, random_unit_vectors
@@ -82,37 +83,49 @@ def starting_vectors(
 
 def multistart_sshopm(
     tensors: SymmetricTensorBatch | SymmetricTensor,
-    num_starts: int = 128,
-    alpha: float = 0.0,
-    tol: float = 1e-10,
-    max_iter: int = 500,
+    num_starts: int | None = None,
+    alpha: float | None = None,
+    tol: float | None = None,
+    max_iters: int | None = None,
     starts: np.ndarray | None = None,
-    scheme: str = "random",
-    backend: str = "batched",
-    dtype=np.float64,
+    scheme: str | None = None,
+    backend: str | None = None,
+    dtype=None,
     rng=None,
     counter: FlopCounter | None = None,
+    config: SolveConfig | None = None,
+    *,
+    max_iter: int | None = None,
 ) -> MultistartResult:
     """Run SS-HOPM for every (tensor, starting vector) pair in lockstep.
 
     Parameters
     ----------
     tensors : a batch (or single tensor, treated as a batch of one).
-    num_starts : ``V``; ignored when ``starts`` is given explicitly.
-    alpha : shift, as in :func:`repro.core.sshopm.sshopm`.
-    tol : per-pair convergence threshold on ``|delta lambda|``.
-    max_iter : lockstep sweep cap.
+    num_starts : ``V`` (default 128); ignored when ``starts`` is given
+        explicitly.
+    alpha : shift, as in :func:`repro.core.sshopm.sshopm` (default 0).
+    tol : per-pair convergence threshold on ``|delta lambda|``
+        (default ``1e-10``).
+    max_iters : lockstep sweep cap (default 500; ``max_iter=`` is the
+        deprecated spelling).
     starts : optional explicit ``(V, n)`` start set shared by all tensors.
-    scheme : start generation scheme when ``starts`` is None.
-    backend : ``"batched"`` (table-driven vectorized kernels),
-        ``"batched_unrolled"`` (the Section V-D code-generated kernels
-        broadcast over the batch), or ``"blocked"`` (the Section VI
-        blocked decomposition — fastest for larger ``n``).  Results are
-        identical; they differ in speed, mirroring the paper's
+    scheme : start generation scheme when ``starts`` is None
+        (default ``"random"``).
+    backend : batched kernel variant, resolved through
+        ``get_kernels(backend, m, n, batched=True)``: ``"batched"`` /
+        ``"vectorized"`` (table-driven vectorized kernels),
+        ``"batched_unrolled"`` / ``"unrolled"`` (the Section V-D
+        code-generated kernels broadcast over the batch), or ``"blocked"``
+        (the Section VI blocked decomposition — fastest for larger ``n``).
+        Results are identical; they differ in speed, mirroring the paper's
         general-vs-unrolled comparison.
     dtype : compute precision; the paper uses single precision
         (``np.float32``) on the GPU, float64 by default here.
-    counter : optional flop counter (charged per active sweep).
+    counter : optional flop counter (charged per active sweep).  When a
+        recorder is active the same charges also land on the trace.
+    config : a :class:`~repro.core.config.SolveConfig` supplying defaults
+        for any option not passed explicitly.
 
     Notes
     -----
@@ -120,12 +133,24 @@ def multistart_sshopm(
     cannot drift them off the fixed point.  A pair whose update collapses to
     the zero vector (possible with alpha=0) is frozen unconverged.
     """
+    max_iters = reconcile_max_iters(max_iters, max_iter)
+    num_starts = resolve_option("num_starts", num_starts, config, 128)
+    alpha = resolve_option("alpha", alpha, config, 0.0)
+    tol = resolve_option("tol", tol, config, 1e-10)
+    max_iters = resolve_option("max_iters", max_iters, config, 500)
+    scheme = resolve_option("scheme", scheme, config, "random")
+    backend = resolve_option("backend", backend, config, "batched")
+    dtype = resolve_option("dtype", dtype, config, np.float64)
+    rng = resolve_option("rng", rng, config, None)
+
     if isinstance(tensors, SymmetricTensor):
         tensors = SymmetricTensorBatch(tensors.values[None, :], tensors.m, tensors.n)
     counter = counter or null_counter()
+    recorder = current_recorder()
+    if recorder is not None:
+        counter = recorder.flop_counter(mirror=counter)
     m, n = tensors.m, tensors.n
     T = len(tensors)
-    tab = kernel_tables(m, n)
 
     if starts is None:
         starts = starting_vectors(num_starts, n, scheme=scheme, rng=rng, dtype=dtype)
@@ -139,74 +164,78 @@ def multistart_sshopm(
         starts = starts / norms
     V = starts.shape[0]
 
-    if backend == "batched":
-        kernels_ax_m = lambda a, x: ax_m_batched(a, x, tables=tab, counter=counter)  # noqa: E731
-        kernels_ax_m1 = lambda a, x: ax_m1_batched(a, x, tables=tab, counter=counter)  # noqa: E731
-    elif backend == "batched_unrolled":
-        gen = make_unrolled(m, n, batched=True)
+    suite = get_kernels(backend, m, n, batched=True)
+    if recorder is None:
+        kernels_ax_m = lambda a, x: suite.ax_m(a, x, counter=counter)  # noqa: E731
+        kernels_ax_m1 = lambda a, x: suite.ax_m1(a, x, counter=counter)  # noqa: E731
+    else:
+        from repro.instrument.kernels import kernel_cost_model
+
+        scalar_span = f"kernel.{suite.name}.ax_m"
+        vector_span = f"kernel.{suite.name}.ax_m1"
+        cost = kernel_cost_model(m, n)
+        item = np.dtype(dtype).itemsize
+        bytes_scalar = (cost["loads"] + cost["stores_scalar"]) * item
+        bytes_vector = (cost["loads"] + cost["stores_vector"]) * item
 
         def kernels_ax_m(a, x):
-            counter.add_flops(T * V * gen.flops_scalar)
-            return gen.ax_m(a, x)
+            with _span(scalar_span):
+                y = suite.ax_m(a, x, counter=counter)
+                recorder.add("bytes", T * V * bytes_scalar)
+            return y
 
         def kernels_ax_m1(a, x):
-            counter.add_flops(T * V * gen.flops_vector)
-            return gen.ax_m1(a, x)
+            with _span(vector_span):
+                y = suite.ax_m1(a, x, counter=counter)
+                recorder.add("bytes", T * V * bytes_vector)
+            return y
 
-    elif backend == "blocked":
-        from repro.kernels.blocked import blocking_plan
-        from repro.kernels.blocked_batched import (
-            ax_m1_blocked_batched,
-            ax_m_blocked_batched,
-        )
+    _gauge("multistart.tensors", T)
+    _gauge("multistart.starts", V)
+    _gauge("multistart.backend", suite.name)
+    _gauge("multistart.shape", [m, n])
 
-        plan = blocking_plan(m, n, min(6, n))
-        kernels_ax_m = lambda a, x: ax_m_blocked_batched(  # noqa: E731
-            a, x, plan=plan, counter=counter
-        )
-        kernels_ax_m1 = lambda a, x: ax_m1_blocked_batched(  # noqa: E731
-            a, x, plan=plan, counter=counter
-        )
-    else:
-        raise ValueError(f"unknown backend {backend!r}")
+    with _span("multistart_sshopm"):
+        values = tensors.values.astype(dtype)[:, None, :]  # (T, 1, U)
+        x = np.broadcast_to(starts[None, :, :], (T, V, n)).astype(dtype).copy()
+        lam = np.asarray(kernels_ax_m(values, x), dtype=dtype)  # (T, V)
 
-    values = tensors.values.astype(dtype)[:, None, :]  # (T, 1, U)
-    x = np.broadcast_to(starts[None, :, :], (T, V, n)).astype(dtype).copy()
-    lam = np.asarray(kernels_ax_m(values, x), dtype=dtype)  # (T, V)
+        active = np.ones((T, V), dtype=bool)
+        converged = np.zeros((T, V), dtype=bool)
+        iterations = np.zeros((T, V), dtype=np.int64)
+        sweeps = 0
+        sign = -1.0 if alpha < 0 else 1.0
 
-    active = np.ones((T, V), dtype=bool)
-    converged = np.zeros((T, V), dtype=bool)
-    iterations = np.zeros((T, V), dtype=np.int64)
-    sweeps = 0
-    sign = -1.0 if alpha < 0 else 1.0
+        for _ in range(max_iters):
+            if not active.any():
+                break
+            sweeps += 1
+            with _span("sweep"):
+                x_new = kernels_ax_m1(values, x)
+                if alpha != 0.0:
+                    x_new = x_new + alpha * x
+                if sign < 0:
+                    x_new = -x_new
+                norms = np.linalg.norm(x_new, axis=-1)
+                dead = active & ((norms == 0) | ~np.isfinite(norms))
+                safe = np.where(norms > 0, norms, 1.0)
+                x_next = x_new / safe[..., None]
+                # freeze inactive and dead pairs at their current iterate
+                upd = active & ~dead
+                x[upd] = x_next[upd]
+                lam_new = np.asarray(kernels_ax_m(values, x), dtype=dtype)
+                just_converged = upd & (np.abs(lam_new - lam) < tol)
+                lam = np.where(upd, lam_new, lam)
+                iterations[upd] += 1
+                converged |= just_converged
+                active &= ~(just_converged | dead)
 
-    for _ in range(max_iter):
-        if not active.any():
-            break
-        sweeps += 1
-        x_new = kernels_ax_m1(values, x)
-        if alpha != 0.0:
-            x_new = x_new + alpha * x
-        if sign < 0:
-            x_new = -x_new
-        norms = np.linalg.norm(x_new, axis=-1)
-        dead = active & ((norms == 0) | ~np.isfinite(norms))
-        safe = np.where(norms > 0, norms, 1.0)
-        x_next = x_new / safe[..., None]
-        # freeze inactive and dead pairs at their current iterate
-        upd = active & ~dead
-        x[upd] = x_next[upd]
-        lam_new = np.asarray(kernels_ax_m(values, x), dtype=dtype)
-        just_converged = upd & (np.abs(lam_new - lam) < tol)
-        lam = np.where(upd, lam_new, lam)
-        iterations[upd] += 1
-        converged |= just_converged
-        active &= ~(just_converged | dead)
-
-    residual_vec = kernels_ax_m1(values, x) - lam[..., None] * x
-    residuals = np.linalg.norm(residual_vec, axis=-1)
-    # guard against pairs that froze on a non-fixed point being marked good
-    converged &= np.isfinite(residuals)
+        with _span("residuals"):
+            residual_vec = kernels_ax_m1(values, x) - lam[..., None] * x
+            residuals = np.linalg.norm(residual_vec, axis=-1)
+            # guard against pairs that froze on a non-fixed point being
+            # marked good
+            converged &= np.isfinite(residuals)
 
     return MultistartResult(
         eigenvalues=lam,

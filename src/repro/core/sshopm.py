@@ -21,6 +21,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.config import SolveConfig, reconcile_max_iters, resolve_option
+from repro.instrument import current_recorder, instrumented_pair
+from repro.instrument import span as _span
 from repro.kernels.dispatch import KernelPair, get_kernels
 from repro.symtensor.storage import SymmetricTensor
 from repro.util.flopcount import FlopCounter, null_counter
@@ -69,12 +72,15 @@ def suggested_shift(tensor: SymmetricTensor) -> float:
 def sshopm(
     tensor: SymmetricTensor,
     x0: np.ndarray | None = None,
-    alpha: float = 0.0,
-    tol: float = 1e-12,
-    max_iter: int = 500,
+    alpha: float | None = None,
+    tol: float | None = None,
+    max_iters: int | None = None,
     kernels: KernelPair | str | None = None,
     counter: FlopCounter | None = None,
     rng=None,
+    config: SolveConfig | None = None,
+    *,
+    max_iter: int | None = None,
 ) -> SSHOPMResult:
     """Run SS-HOPM (Figure 1) from one starting vector.
 
@@ -82,14 +88,22 @@ def sshopm(
     ----------
     tensor : symmetric tensor whose eigenpair is sought.
     x0 : starting vector (normalized internally); random if omitted.
-    alpha : shift. ``>= 0`` seeks attracting pairs of the convex shifted
-        function (local maxima for large alpha); ``< 0`` the concave case.
-    tol : convergence threshold on ``|lambda_{k+1} - lambda_k|``.
-    max_iter : iteration cap; exceeding it returns ``converged=False``.
+    alpha : shift (default 0). ``>= 0`` seeks attracting pairs of the convex
+        shifted function (local maxima for large alpha); ``< 0`` the concave
+        case.
+    tol : convergence threshold on ``|lambda_{k+1} - lambda_k|``
+        (default ``1e-12``).
+    max_iters : iteration cap (default 500); exceeding it returns
+        ``converged=False``.  ``max_iter=`` is the deprecated spelling.
     kernels : a :class:`KernelPair` or variant name (default
         ``"precomputed"``); lets the benchmarks time the same driver over
         every kernel implementation.
-    counter : optional flop counter threaded through the kernels.
+    counter : optional flop counter threaded through the run.  When a
+        recorder is active (see :mod:`repro.instrument`) kernel-model flops
+        are folded into the same stream, so trace totals and counter totals
+        agree.
+    config : a :class:`~repro.core.config.SolveConfig` supplying defaults
+        for any option not passed explicitly.
 
     Notes
     -----
@@ -100,9 +114,21 @@ def sshopm(
     e.g. alpha=0 with x in the kernel of the map) terminates the run
     unconverged at the current iterate.
     """
+    max_iters = reconcile_max_iters(max_iters, max_iter)
+    alpha = resolve_option("alpha", alpha, config, 0.0)
+    tol = resolve_option("tol", tol, config, 1e-12)
+    max_iters = resolve_option("max_iters", max_iters, config, 500)
+    kernels = resolve_option("kernels", kernels, config, None)
+    rng = resolve_option("rng", rng, config, None)
+
+    recorder = current_recorder()
     counter = counter or null_counter()
+    if recorder is not None:
+        counter = recorder.flop_counter(mirror=counter)
     if isinstance(kernels, str) or kernels is None:
         kernels = get_kernels(kernels or "precomputed", tensor.m, tensor.n)
+    if recorder is not None:
+        kernels = instrumented_pair(kernels, counter=counter)
     if x0 is None:
         x0 = random_unit_vector(tensor.n, rng=rng)
     x = np.asarray(x0, dtype=np.float64)
@@ -113,30 +139,32 @@ def sshopm(
         raise ValueError("starting vector must be nonzero")
     x = x / norm
 
-    lam = float(kernels.ax_m(tensor, x))
-    history = [lam]
-    converged = False
-    iterations = 0
-    for _ in range(max_iter):
-        iterations += 1
-        x_new = np.asarray(kernels.ax_m1(tensor, x)) + alpha * x
-        if alpha < 0:
-            x_new = -x_new
-        counter.add_flops(2 * tensor.n)
-        norm = np.linalg.norm(x_new)
-        counter.add_flops(2 * tensor.n + 1)
-        if norm == 0.0 or not np.isfinite(norm):
-            break
-        x = x_new / norm
-        lam_new = float(kernels.ax_m(tensor, x))
-        history.append(lam_new)
-        if abs(lam_new - lam) < tol:
-            lam = lam_new
-            converged = True
-            break
-        lam = lam_new
+    with _span("sshopm"):
+        lam = float(kernels.ax_m(tensor, x))
+        history = [lam]
+        converged = False
+        iterations = 0
+        for _ in range(max_iters):
+            with _span("iteration"):
+                iterations += 1
+                x_new = np.asarray(kernels.ax_m1(tensor, x)) + alpha * x
+                if alpha < 0:
+                    x_new = -x_new
+                counter.add_flops(2 * tensor.n)
+                norm = np.linalg.norm(x_new)
+                counter.add_flops(2 * tensor.n + 1)
+                if norm == 0.0 or not np.isfinite(norm):
+                    break
+                x = x_new / norm
+                lam_new = float(kernels.ax_m(tensor, x))
+                history.append(lam_new)
+                if abs(lam_new - lam) < tol:
+                    lam = lam_new
+                    converged = True
+                    break
+                lam = lam_new
 
-    residual = float(np.linalg.norm(np.asarray(kernels.ax_m1(tensor, x)) - lam * x))
+        residual = float(np.linalg.norm(np.asarray(kernels.ax_m1(tensor, x)) - lam * x))
     return SSHOPMResult(
         eigenvalue=lam,
         eigenvector=x,

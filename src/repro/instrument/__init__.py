@@ -1,0 +1,44 @@
+"""Structured tracing/metrics for the whole repo (see
+:mod:`repro.instrument.recorder` for the design).
+
+Quick start
+-----------
+>>> from repro.instrument import recording
+>>> from repro.core import find_eigenpairs
+>>> from repro.symtensor import random_symmetric_tensor
+>>> with recording() as rec:
+...     _ = find_eigenpairs(random_symmetric_tensor(4, 3, rng=0), num_starts=16, rng=1)
+>>> rec.total("flops") > 0
+True
+
+The CLI exposes the same machinery as a global flag::
+
+    repro detect phantom.npz --starts 128 --trace out.json
+"""
+
+from repro.instrument.kernels import instrumented_pair, kernel_cost_model
+from repro.instrument.recorder import (
+    Recorder,
+    RecorderFlopCounter,
+    SpanNode,
+    count,
+    current_recorder,
+    gauge,
+    load_trace,
+    recording,
+    span,
+)
+
+__all__ = [
+    "Recorder",
+    "RecorderFlopCounter",
+    "SpanNode",
+    "count",
+    "current_recorder",
+    "gauge",
+    "instrumented_pair",
+    "kernel_cost_model",
+    "load_trace",
+    "recording",
+    "span",
+]

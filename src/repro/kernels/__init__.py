@@ -1,18 +1,26 @@
 """Symmetric tensor-vector kernels (Section III-B): ``A x^m`` and
 ``A x^{m-1}`` in every implementation variant the paper benchmarks, plus the
-general ``A x^{m-p}`` extension."""
+general ``A x^{m-p}`` extension.
 
-from repro.kernels.batched import ax_m1_batched, ax_m_batched, monomials_batched
+All per-tensor *and* batched access goes through
+:func:`~repro.kernels.dispatch.get_kernels` (``batched=True`` returns the
+broadcasting array suite).  The historical flat imports of the batched
+entry points (``ax_m_batched``, ``ax_m1_batched``, ``ax_m_blocked_batched``,
+``ax_m1_blocked_batched``) remain importable from this package as
+*deprecated aliases* that emit :class:`DeprecationWarning`; the underlying
+modules (:mod:`repro.kernels.batched`, :mod:`repro.kernels.blocked_batched`)
+are unchanged.
+"""
+
+import warnings as _warnings
+
+from repro.kernels.batched import monomials_batched
 from repro.kernels.blocked import (
     BlockingPlan,
     ax_m1_blocked,
     ax_m_blocked,
     block_shapes,
     blocking_plan,
-)
-from repro.kernels.blocked_batched import (
-    ax_m1_blocked_batched,
-    ax_m_blocked_batched,
 )
 from repro.kernels.compressed import (
     ax_m1_compressed,
@@ -28,7 +36,13 @@ from repro.kernels.cudagen import (
     generate_cuda_module,
     generate_host_launcher,
 )
-from repro.kernels.dispatch import KernelPair, available_variants, get_kernels
+from repro.kernels.dispatch import (
+    BatchedKernelPair,
+    KernelPair,
+    UnknownVariantError,
+    available_variants,
+    get_kernels,
+)
 from repro.kernels.matricized import ax_m1_matricized, ax_m_matricized, fold, unfold
 from repro.kernels.precomputed import ax_m1_precomputed, ax_m_precomputed
 from repro.kernels.reference import (
@@ -41,6 +55,32 @@ from repro.kernels.reference import (
 )
 from repro.kernels.tables import KernelTables, kernel_tables
 from repro.kernels.unrolled import UnrolledKernels, generate_source, make_unrolled
+
+# deprecated flat batched entry points -> (module, attribute)
+_DEPRECATED_ALIASES = {
+    "ax_m_batched": ("repro.kernels.batched", "ax_m_batched"),
+    "ax_m1_batched": ("repro.kernels.batched", "ax_m1_batched"),
+    "ax_m_blocked_batched": ("repro.kernels.blocked_batched", "ax_m_blocked_batched"),
+    "ax_m1_blocked_batched": ("repro.kernels.blocked_batched", "ax_m1_blocked_batched"),
+}
+
+
+def __getattr__(name):
+    alias = _DEPRECATED_ALIASES.get(name)
+    if alias is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    module_name, attr = alias
+    _warnings.warn(
+        f"importing {name!r} from repro.kernels is deprecated; use "
+        f"get_kernels(variant, m, n, batched=True) or import it from "
+        f"{module_name}",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)
+
 
 __all__ = [
     "ax_m1_batched",
@@ -66,7 +106,9 @@ __all__ = [
     "generate_cuda_kernel",
     "generate_cuda_module",
     "generate_host_launcher",
+    "BatchedKernelPair",
     "KernelPair",
+    "UnknownVariantError",
     "available_variants",
     "get_kernels",
     "ax_m1_matricized",

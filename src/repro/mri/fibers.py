@@ -12,8 +12,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.config import SolveConfig, reconcile_max_iters
 from repro.core.eigenpairs import classify_eigenpair, dedupe_eigenpairs
 from repro.core.multistart import multistart_sshopm
+from repro.instrument import gauge as _gauge
+from repro.instrument import span as _span
 from repro.symtensor.storage import SymmetricTensor, SymmetricTensorBatch
 
 __all__ = ["VoxelFibers", "extract_fibers", "extract_fibers_batch"]
@@ -49,22 +52,24 @@ def _select_fibers(
     rel_threshold: float,
     min_occurrences: int,
 ) -> VoxelFibers:
-    pairs = dedupe_eigenpairs(
-        eigenvalues,
-        eigenvectors,
-        tensor.m,
-        tensor=tensor,
-        classify=False,
-        converged_mask=converged,
-    )
+    with _span("dedupe"):
+        pairs = dedupe_eigenpairs(
+            eigenvalues,
+            eigenvectors,
+            tensor.m,
+            tensor=tensor,
+            classify=False,
+            converged_mask=converged,
+        )
     # local maxima only: positive stable pairs (classification is the costly
     # part, so apply it after the occurrence filter)
     maxima = []
-    for p in pairs:
-        if p.occurrences < min_occurrences:
-            continue
-        if classify_eigenpair(tensor, p.eigenvalue, p.eigenvector) == "pos_stable":
-            maxima.append(p)
+    with _span("classify"):
+        for p in pairs:
+            if p.occurrences < min_occurrences:
+                continue
+            if classify_eigenpair(tensor, p.eigenvalue, p.eigenvector) == "pos_stable":
+                maxima.append(p)
     num_candidates = len(maxima)
     if not maxima:
         return VoxelFibers(
@@ -89,8 +94,11 @@ def extract_fibers(
     rel_threshold: float = 0.5,
     min_occurrences: int = 2,
     tol: float = 1e-10,
-    max_iter: int = 500,
+    max_iters: int | None = None,
     rng=None,
+    config: SolveConfig | None = None,
+    *,
+    max_iter: int | None = None,
 ) -> VoxelFibers:
     """Fiber directions of a single voxel tensor.
 
@@ -98,26 +106,31 @@ def extract_fibers(
     synthetic set.  ``rel_threshold`` discards spurious shallow maxima whose
     ADC is below that fraction of the principal one; ``min_occurrences``
     discards maxima reached by fewer than that many starting vectors.
+    ``max_iters`` defaults to 500 (``max_iter=`` is the deprecated
+    spelling).
     """
     if alpha < 0:
         raise ValueError("fiber extraction needs a nonnegative shift (local maxima)")
-    result = multistart_sshopm(
-        tensor,
-        num_starts=num_starts,
-        alpha=alpha,
-        tol=tol,
-        max_iter=max_iter,
-        rng=rng,
-    )
-    return _select_fibers(
-        tensor,
-        result.eigenvalues[0],
-        result.eigenvectors[0],
-        result.converged[0],
-        max_fibers=max_fibers,
-        rel_threshold=rel_threshold,
-        min_occurrences=min_occurrences,
-    )
+    max_iters = reconcile_max_iters(max_iters, max_iter)
+    with _span("extract_fibers"):
+        result = multistart_sshopm(
+            tensor,
+            num_starts=num_starts,
+            alpha=alpha,
+            tol=tol,
+            max_iters=max_iters,
+            rng=rng,
+            config=config,
+        )
+        return _select_fibers(
+            tensor,
+            result.eigenvalues[0],
+            result.eigenvectors[0],
+            result.converged[0],
+            max_fibers=max_fibers,
+            rel_threshold=rel_threshold,
+            min_occurrences=min_occurrences,
+        )
 
 
 def extract_fibers_batch(
@@ -128,30 +141,47 @@ def extract_fibers_batch(
     rel_threshold: float = 0.5,
     min_occurrences: int = 2,
     tol: float = 1e-10,
-    max_iter: int = 500,
+    max_iters: int | None = None,
     rng=None,
+    config: SolveConfig | None = None,
+    *,
+    max_iter: int | None = None,
 ) -> list[VoxelFibers]:
     """Fiber directions for every voxel of a batch (one lockstep multistart
-    run for the whole grid — the GPU-shaped computation)."""
+    run for the whole grid — the GPU-shaped computation).
+
+    With a recorder active (:mod:`repro.instrument`) the pipeline stages
+    appear as aggregated spans: one ``multistart_sshopm`` subtree for the
+    lockstep solve, then per-voxel ``select_fibers`` / ``dedupe`` /
+    ``classify`` spans whose ``count`` is the voxel count.
+    """
     if alpha < 0:
         raise ValueError("fiber extraction needs a nonnegative shift (local maxima)")
-    result = multistart_sshopm(
-        tensors,
-        num_starts=num_starts,
-        alpha=alpha,
-        tol=tol,
-        max_iter=max_iter,
-        rng=rng,
-    )
-    return [
-        _select_fibers(
-            tensors[t],
-            result.eigenvalues[t],
-            result.eigenvectors[t],
-            result.converged[t],
-            max_fibers=max_fibers,
-            rel_threshold=rel_threshold,
-            min_occurrences=min_occurrences,
+    max_iters = reconcile_max_iters(max_iters, max_iter)
+    _gauge("fibers.voxels", len(tensors))
+    _gauge("fibers.starts", num_starts)
+    with _span("extract_fibers_batch"):
+        result = multistart_sshopm(
+            tensors,
+            num_starts=num_starts,
+            alpha=alpha,
+            tol=tol,
+            max_iters=max_iters,
+            rng=rng,
+            config=config,
         )
-        for t in range(len(tensors))
-    ]
+        fibers = []
+        for t in range(len(tensors)):
+            with _span("select_fibers"):
+                fibers.append(
+                    _select_fibers(
+                        tensors[t],
+                        result.eigenvalues[t],
+                        result.eigenvectors[t],
+                        result.converged[t],
+                        max_fibers=max_fibers,
+                        rel_threshold=rel_threshold,
+                        min_occurrences=min_occurrences,
+                    )
+                )
+    return fibers

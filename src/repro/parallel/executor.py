@@ -8,6 +8,13 @@ hosts; on a single-core host the driver still exercises the partitioning
 and merge logic (the performance *model* in
 :mod:`repro.parallel.cpumodel`, not this executor, reproduces the paper's
 scaling numbers — see DESIGN.md's substitution table).
+
+When a recorder is active (:mod:`repro.instrument`), each worker records
+into its own :class:`~repro.instrument.Recorder` (the current recorder is
+thread-local, and recorders are not thread-safe) and the per-worker traces
+are folded back into the caller's under ``worker0``, ``worker1``, ...
+nodes, so a trace shows both the parallel structure and the aggregate
+flops.
 """
 
 from __future__ import annotations
@@ -18,7 +25,10 @@ import time
 
 import numpy as np
 
+from repro.core.config import SolveConfig, reconcile_max_iters
 from repro.core.multistart import MultistartResult, multistart_sshopm, starting_vectors
+from repro.instrument import Recorder, current_recorder
+from repro.instrument import span as _span
 from repro.parallel.partition import static_partition
 from repro.symtensor.storage import SymmetricTensorBatch
 
@@ -41,46 +51,73 @@ def parallel_multistart_sshopm(
     num_starts: int = 128,
     alpha: float = 0.0,
     tol: float = 1e-10,
-    max_iter: int = 500,
+    max_iters: int | None = None,
     starts: np.ndarray | None = None,
     scheme: str = "random",
     backend: str = "batched",
     dtype=np.float64,
     rng=None,
+    config: SolveConfig | None = None,
+    *,
+    max_iter: int | None = None,
 ) -> ParallelRunReport:
     """Partition ``tensors`` over ``workers`` threads and solve each chunk.
 
     All workers share one starting-vector set (as on the GPU).  The merged
     result is identical (up to chunk concatenation order, which preserves
     tensor order) to a single-worker run with the same starts.
+    ``max_iters`` defaults to 500 (``max_iter=`` is the deprecated
+    spelling); ``config`` supplies defaults as in
+    :func:`~repro.core.multistart.multistart_sshopm`.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
+    max_iters = reconcile_max_iters(max_iters, max_iter)
     T = len(tensors)
     if starts is None:
         starts = starting_vectors(num_starts, tensors.n, scheme=scheme, rng=rng, dtype=dtype)
 
     ranges = [r for r in static_partition(T, workers) if len(r) > 0]
+    parent = current_recorder()
     t0 = time.perf_counter()
 
-    def solve_chunk(r: range) -> MultistartResult:
+    def solve_chunk(r: range) -> tuple[MultistartResult, Recorder | None]:
         chunk = tensors.subset(np.arange(r.start, r.stop))
-        return multistart_sshopm(
-            chunk,
-            alpha=alpha,
-            tol=tol,
-            max_iter=max_iter,
-            starts=starts,
-            backend=backend,
-            dtype=dtype,
-        )
 
-    if len(ranges) == 1:
-        parts = [solve_chunk(ranges[0])]
-    else:
-        with ThreadPoolExecutor(max_workers=len(ranges)) as pool:
-            parts = list(pool.map(solve_chunk, ranges))
+        def run():
+            return multistart_sshopm(
+                chunk,
+                alpha=alpha,
+                tol=tol,
+                max_iters=max_iters,
+                starts=starts,
+                backend=backend,
+                dtype=dtype,
+                config=config,
+            )
+
+        if parent is None:
+            return run(), None
+        worker_rec = Recorder()
+        with worker_rec.activate():
+            return run(), worker_rec
+
+    with _span("parallel_multistart_sshopm"):
+        if len(ranges) == 1:
+            outcomes = [solve_chunk(ranges[0])]
+        else:
+            with ThreadPoolExecutor(max_workers=len(ranges)) as pool:
+                outcomes = list(pool.map(solve_chunk, ranges))
+        if parent is not None:
+            # fold per-worker traces in under this span while it is open
+            parent.gauge("parallel.workers", len(ranges))
+            parent.gauge("parallel.chunk_sizes", [len(r) for r in ranges])
+            for wid, (_, worker_rec) in enumerate(outcomes):
+                if worker_rec is not None:
+                    parent.absorb(worker_rec, under=f"worker{wid}")
     seconds = time.perf_counter() - t0
+
+    parts = [res for res, _ in outcomes]
 
     merged = MultistartResult(
         eigenvalues=np.concatenate([p.eigenvalues for p in parts], axis=0),
