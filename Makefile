@@ -1,20 +1,38 @@
 # Developer entry points.  Tier-1 is the gate every PR must keep green
 # (see ROADMAP.md); it runs the instrumentation smoke first so a broken
-# recorder fails fast before the long solver suites.
+# recorder fails fast before the long solver suites, and finishes with a
+# `repro report` smoke over the checked-in trace so the viewer can never
+# silently rot.
 
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: test smoke-instrument bench bench-overhead
+# bench-compare inputs: make bench-compare OLD=BENCH_a.json NEW=BENCH_b.json
+OLD ?= BENCH_old.json
+NEW ?= BENCH_new.json
+THRESHOLD ?= 0.2
+
+.PHONY: test smoke-instrument smoke-report bench bench-overhead bench-smoke bench-compare
 
 test: smoke-instrument  ## tier-1: instrumentation smoke, then the full suite
 	python -m pytest -x -q
+	$(MAKE) smoke-report
 
 smoke-instrument:  ## fast gate on the observability substrate
 	python -m pytest -q tests/test_instrument.py
+
+smoke-report:  ## `repro report` must render the checked-in pipeline trace
+	python -m repro.cli report benchmarks/results/mri_pipeline_trace.trace.json > /dev/null
+	@echo "repro report smoke OK"
 
 bench:  ## paper reproduction benchmarks (slow)
 	python -m pytest benchmarks/ --benchmark-only -q
 
 bench-overhead:  ## assert the <5% disabled-instrumentation budget
 	python -m pytest -q benchmarks/bench_instrument_overhead.py
+
+bench-smoke:  ## fast benchmark subset -> BENCH_<stamp>.json at repo root
+	python -m repro.bench.harness
+
+bench-compare:  ## regression gate: make bench-compare OLD=... NEW=...
+	python -m repro.cli bench-compare $(OLD) $(NEW) --threshold $(THRESHOLD)

@@ -93,6 +93,87 @@ def test_disabled_overhead_under_budget():
     )
 
 
+def _solver_metrics_cost(reps: int = 20_000) -> float:
+    """Seconds per ``observe_solver_run`` call (the only metrics hook in the
+    solver paths — once per run, never per iteration)."""
+    from repro.instrument.metrics import observe_solver_run, use_registry
+
+    with use_registry():
+        observe_solver_run("warmup", 0.01, 5, 1, 1)  # build the families once
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            observe_solver_run("warmup", 0.01, 5, 1, 1)
+        return (time.perf_counter() - t0) / reps
+
+
+def test_metrics_emission_under_budget():
+    """Solver metrics are emitted once per run, so the budget question is
+    per-run cost vs run wall time — same methodology as the span hooks."""
+    _workload()
+    t0 = time.perf_counter()
+    _workload()
+    t_plain = time.perf_counter() - t0
+
+    per_run = _solver_metrics_cost()
+    frac = per_run / t_plain
+
+    report(
+        "metrics_overhead",
+        format_table(
+            "Solver metrics emission (one observe_solver_run per solve)",
+            ["quantity", "value"],
+            [
+                ["plain runtime", f"{t_plain * 1e3:.2f} ms"],
+                ["cost per emission", f"{per_run * 1e6:.2f} us"],
+                ["fraction of plain runtime", f"{frac:.4%}"],
+                ["budget", f"{OVERHEAD_BUDGET:.0%}"],
+            ],
+        ),
+    )
+    assert frac < OVERHEAD_BUDGET, (
+        f"metrics emission {frac:.2%} of runtime exceeds "
+        f"{OVERHEAD_BUDGET:.0%} budget"
+    )
+
+
+def test_telemetry_disabled_path_under_budget():
+    """With no recorder active telemetry defaults off; the residual cost is
+    one ``telemetry_enabled`` check plus a skipped branch per sweep — it
+    must not push a run past the instrumentation budget."""
+    _workload()
+    times_off = []
+    for _ in range(3):
+        t0 = time.perf_counter()
+        _workload()  # telemetry=None, no recorder -> disabled
+        times_off.append(time.perf_counter() - t0)
+    t_off = min(times_off)
+
+    # the gating check itself, amortized: it runs once per solve
+    from repro.instrument.telemetry import telemetry_enabled
+
+    reps = 100_000
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        telemetry_enabled(None, None)
+    per_check = (time.perf_counter() - t0) / reps
+    frac = per_check / t_off
+
+    report(
+        "telemetry_overhead",
+        format_table(
+            "Telemetry disabled path (gating check per solve)",
+            ["quantity", "value"],
+            [
+                ["plain runtime (telemetry off)", f"{t_off * 1e3:.2f} ms"],
+                ["gating check cost", f"{per_check * 1e9:.0f} ns"],
+                ["fraction of plain runtime", f"{frac:.6%}"],
+                ["budget", f"{OVERHEAD_BUDGET:.0%}"],
+            ],
+        ),
+    )
+    assert frac < OVERHEAD_BUDGET
+
+
 def test_enabled_tracing_is_bounded():
     """Tracing on should cost well under 2x (it's a few dict ops per span
     against vectorized numpy kernels) — a regression tripwire, not a tight

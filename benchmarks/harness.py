@@ -1,0 +1,10 @@
+"""Thin wrapper so the smoke harness is runnable from the benchmarks dir.
+
+Delegates to :mod:`repro.bench.harness`; see that module (or
+``repro bench-smoke --help``) for options.
+"""
+
+from repro.bench.harness import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

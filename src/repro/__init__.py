@@ -35,7 +35,41 @@ Quick start
 >>> (pairs[0].eigenvalue, pairs[0].stability)  # doctest: +SKIP
 """
 
-__version__ = "1.0.0"
+def _read_version() -> str:
+    """Single-source the version from pyproject.toml (src layout: the file
+    sits two levels above this package), falling back to installed package
+    metadata so an installed wheel without the source tree still reports
+    correctly."""
+    from pathlib import Path
+
+    pyproject = Path(__file__).resolve().parents[2] / "pyproject.toml"
+    try:
+        text = pyproject.read_text()
+    except OSError:
+        text = ""
+    if text:
+        try:
+            import tomllib
+
+            version = tomllib.loads(text).get("project", {}).get("version")
+            if version:
+                return version
+        except Exception:
+            pass
+        import re
+
+        match = re.search(r'^version\s*=\s*"([^"]+)"', text, re.MULTILINE)
+        if match:
+            return match.group(1)
+    try:
+        from importlib.metadata import version as _pkg_version
+
+        return _pkg_version("repro")
+    except Exception:
+        return "0+unknown"
+
+
+__version__ = _read_version()
 
 from repro import core, gpu, instrument, kernels, mri, parallel, symtensor, util
 

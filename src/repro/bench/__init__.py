@@ -1,0 +1,23 @@
+"""Benchmark harness: smoke runner, result schema, and regression gate.
+
+The full benchmark suite lives in ``benchmarks/bench_*.py`` (pytest-run,
+minutes of wall clock).  This package provides the complementary fast
+path used in CI and by the ``repro bench-smoke`` / ``repro bench-compare``
+CLI: a curated smoke subset of those workloads, a schema-versioned JSON
+result document (``BENCH_<stamp>.json``), and a threshold gate that fails
+when a new result file regresses against a baseline.
+"""
+
+from repro.bench.compare import compare_bench, has_regression, render_comparison
+from repro.bench.harness import run_smoke, write_bench_file
+from repro.bench.schema import BENCH_SCHEMA, validate_bench
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "compare_bench",
+    "has_regression",
+    "render_comparison",
+    "run_smoke",
+    "validate_bench",
+    "write_bench_file",
+]

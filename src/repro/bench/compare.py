@@ -1,0 +1,123 @@
+"""The benchmark regression gate: compare two ``repro-bench/1`` files.
+
+``compare_bench`` pairs benchmarks by name, computes the new/old timing
+ratio, and classifies each as ``ok`` / ``faster`` / ``slower`` (ratio
+beyond ``1 + threshold``), with ``added`` / ``removed`` for names present
+on only one side.  ``repro bench-compare`` renders the table and exits
+nonzero iff any benchmark is ``slower`` — the merge gate.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.bench.schema import validate_bench
+
+__all__ = ["ComparisonRow", "compare_bench", "load_bench", "render_comparison"]
+
+
+@dataclass
+class ComparisonRow:
+    """One benchmark's old-vs-new outcome.
+
+    ``ratio`` is ``new / old`` for the chosen metric (``None`` for
+    added/removed rows or a zero old timing); ``status`` is one of
+    ``ok`` / ``faster`` / ``slower`` / ``added`` / ``removed``.
+    """
+
+    name: str
+    old: float | None
+    new: float | None
+    ratio: float | None
+    status: str
+
+
+def load_bench(path: str | Path) -> dict:
+    """Load and validate a bench JSON file."""
+    raw = Path(path).read_text()
+    try:
+        doc = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path}: not valid JSON ({exc})") from exc
+    try:
+        return validate_bench(doc)
+    except ValueError as exc:
+        raise ValueError(f"{path}: {exc}") from exc
+
+
+def compare_bench(
+    old: dict | str | Path,
+    new: dict | str | Path,
+    threshold: float = 0.2,
+    metric: str = "median",
+) -> list[ComparisonRow]:
+    """Compare two bench documents (or file paths) benchmark-by-benchmark.
+
+    A benchmark is ``slower`` when ``new > old * (1 + threshold)`` and
+    ``faster`` when ``new < old / (1 + threshold)``; in between is ``ok``
+    (timing noise).  ``metric`` selects which per-benchmark statistic to
+    compare — ``"median"`` (default, robust) or ``"min"`` (best case).
+    """
+    if metric not in ("median", "min"):
+        raise ValueError(f"metric must be 'median' or 'min', got {metric!r}")
+    if threshold < 0:
+        raise ValueError(f"threshold must be >= 0, got {threshold}")
+    if not isinstance(old, dict):
+        old = load_bench(old)
+    else:
+        validate_bench(old)
+    if not isinstance(new, dict):
+        new = load_bench(new)
+    else:
+        validate_bench(new)
+
+    old_by = {e["name"]: e for e in old["benchmarks"]}
+    new_by = {e["name"]: e for e in new["benchmarks"]}
+    rows: list[ComparisonRow] = []
+    for name, o in old_by.items():
+        n = new_by.get(name)
+        if n is None:
+            rows.append(ComparisonRow(name, o[metric], None, None, "removed"))
+            continue
+        t_old, t_new = float(o[metric]), float(n[metric])
+        if t_old <= 0.0:
+            rows.append(ComparisonRow(name, t_old, t_new, None, "ok"))
+            continue
+        ratio = t_new / t_old
+        if ratio > 1.0 + threshold:
+            status = "slower"
+        elif ratio < 1.0 / (1.0 + threshold):
+            status = "faster"
+        else:
+            status = "ok"
+        rows.append(ComparisonRow(name, t_old, t_new, ratio, status))
+    for name, n in new_by.items():
+        if name not in old_by:
+            rows.append(ComparisonRow(name, None, n[metric], None, "added"))
+    return rows
+
+
+def render_comparison(rows: list[ComparisonRow], threshold: float = 0.2,
+                      metric: str = "median") -> str:
+    """ASCII table of comparison rows plus a one-line verdict."""
+    header = f"{'benchmark':28s} {'old ' + metric:>12s} {'new ' + metric:>12s} {'ratio':>8s}  status"
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        old = f"{row.old * 1e3:.3f} ms" if row.old is not None else "-"
+        new = f"{row.new * 1e3:.3f} ms" if row.new is not None else "-"
+        ratio = f"{row.ratio:.2f}x" if row.ratio is not None else "-"
+        lines.append(f"{row.name:28s} {old:>12s} {new:>12s} {ratio:>8s}  {row.status}")
+    slower = [r.name for r in rows if r.status == "slower"]
+    if slower:
+        lines.append(f"REGRESSION: {len(slower)} benchmark(s) beyond "
+                     f"+{threshold:.0%}: {', '.join(slower)}")
+    else:
+        lines.append(f"OK: no benchmark regressed beyond +{threshold:.0%}")
+    return "\n".join(lines)
+
+
+def has_regression(rows: list[ComparisonRow]) -> bool:
+    """True iff any row is ``slower`` (the gate condition)."""
+    return any(r.status == "slower" for r in rows)

@@ -1,0 +1,199 @@
+"""Smoke benchmark runner producing schema-versioned ``BENCH_<stamp>.json``.
+
+Each smoke workload is a scaled-down, self-contained mirror of one of the
+full ``benchmarks/bench_*.py`` suites (the ``source`` tag records which).
+Workloads are sized to finish in tens of milliseconds so the whole smoke
+set runs in a few seconds — fast enough for a pre-merge regression gate
+(``repro bench-compare``) while still exercising the same code paths the
+full suites time.
+
+Run it three ways, all equivalent::
+
+    repro bench-smoke -o BENCH_new.json
+    python -m repro.bench.harness -o BENCH_new.json
+    make bench-smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench.schema import BENCH_SCHEMA, validate_bench
+from repro.core.multistart import multistart_sshopm, starting_vectors
+from repro.core.sshopm import sshopm
+from repro.instrument import Recorder, span
+from repro.instrument.metrics import use_registry
+from repro.kernels.dispatch import get_kernels
+from repro.parallel.executor import parallel_multistart_sshopm
+from repro.symtensor.random import random_symmetric_batch, random_symmetric_tensor
+
+__all__ = ["SMOKE_WORKLOADS", "main", "run_smoke", "write_bench_file"]
+
+
+def _batch(tensors=8, m=4, n=6, seed=0):
+    return random_symmetric_batch(tensors, m, n, rng=np.random.default_rng(seed))
+
+
+def _smoke_multistart_vectorized():
+    """Mirror of bench_table3_performance.py (vectorized batched kernels)."""
+    batch = _batch()
+    starts = starting_vectors(16, batch.n, rng=np.random.default_rng(1))
+    multistart_sshopm(batch, alpha=2.0, starts=starts, max_iters=40,
+                      backend="batched", telemetry=False)
+    return {"tensors": len(batch), "starts": 16, "backend": "batched"}
+
+
+def _smoke_multistart_unrolled():
+    """Mirror of bench_ablation_cse.py (code-generated unrolled kernels)."""
+    batch = _batch(tensors=8, m=4, n=4)
+    starts = starting_vectors(16, batch.n, rng=np.random.default_rng(1))
+    multistart_sshopm(batch, alpha=2.0, starts=starts, max_iters=40,
+                      backend="batched_unrolled", telemetry=False)
+    return {"tensors": len(batch), "starts": 16, "backend": "batched_unrolled"}
+
+
+def _smoke_sshopm_single():
+    """Mirror of bench_convergence_theory.py (single-pair SS-HOPM)."""
+    tensor = random_symmetric_tensor(4, 8, rng=np.random.default_rng(2))
+    sshopm(tensor, alpha=3.0, max_iters=80, rng=np.random.default_rng(3),
+           telemetry=False)
+    return {"m": 4, "n": 8, "alpha": 3.0}
+
+
+def _smoke_kernel_ax_m1():
+    """Mirror of bench_table2_costs.py (raw batched kernel applications)."""
+    batch = _batch(tensors=16, m=4, n=6)
+    suite = get_kernels("batched", batch.m, batch.n, batched=True)
+    values = batch.values[:, None, :]
+    x = starting_vectors(8, batch.n, rng=np.random.default_rng(4))
+    x = np.broadcast_to(x[None, :, :], (len(batch), 8, batch.n)).copy()
+    for _ in range(10):
+        suite.ax_m1(values, x)
+    return {"tensors": len(batch), "variant": suite.name, "applications": 10}
+
+
+def _smoke_parallel_two_workers():
+    """Mirror of bench_figure5_scaling.py (threaded chunk executor)."""
+    batch = _batch(tensors=8, m=3, n=5)
+    parallel_multistart_sshopm(batch, workers=2, num_starts=8, alpha=1.0,
+                               max_iters=30, rng=np.random.default_rng(5))
+    return {"tensors": len(batch), "workers": 2}
+
+
+def _smoke_span_overhead():
+    """Mirror of bench_instrument_overhead.py (recorder span hot loop)."""
+    rec = Recorder()
+    with rec.activate():
+        for _ in range(2000):
+            with span("outer"):
+                with span("inner"):
+                    pass
+    return {"spans": 4000}
+
+
+SMOKE_WORKLOADS = [
+    ("multistart_vectorized", "bench_table3_performance.py", _smoke_multistart_vectorized),
+    ("multistart_unrolled", "bench_ablation_cse.py", _smoke_multistart_unrolled),
+    ("sshopm_single", "bench_convergence_theory.py", _smoke_sshopm_single),
+    ("kernel_ax_m1", "bench_table2_costs.py", _smoke_kernel_ax_m1),
+    ("parallel_two_workers", "bench_figure5_scaling.py", _smoke_parallel_two_workers),
+    ("span_overhead", "bench_instrument_overhead.py", _smoke_span_overhead),
+]
+
+
+def run_smoke(reps: int = 3, include: list[str] | None = None) -> dict:
+    """Time every smoke workload ``reps`` times; return a bench document.
+
+    ``include`` restricts the run to the named workloads (unknown names
+    raise :class:`ValueError`).  The first execution of each workload is a
+    discarded warmup (JIT-free here, but it pays one-time table builds in
+    the kernel caches, which would otherwise pollute the first rep).
+    """
+    if reps < 1:
+        raise ValueError(f"reps must be >= 1, got {reps}")
+    known = {name for name, _, _ in SMOKE_WORKLOADS}
+    if include is not None:
+        unknown = sorted(set(include) - known)
+        if unknown:
+            raise ValueError(f"unknown smoke workloads: {', '.join(unknown)}")
+    entries = []
+    # isolate the harness' own metric emission from the caller's registry
+    with use_registry():
+        for name, source, fn in SMOKE_WORKLOADS:
+            if include is not None and name not in include:
+                continue
+            extra = fn()  # warmup, also yields workload params
+            seconds = []
+            for _ in range(reps):
+                t0 = time.perf_counter()
+                fn()
+                seconds.append(time.perf_counter() - t0)
+            entries.append({
+                "name": name,
+                "source": source,
+                "reps": reps,
+                "seconds": seconds,
+                "median": statistics.median(seconds),
+                "min": min(seconds),
+                "extra": extra or {},
+            })
+    doc = {
+        "schema": BENCH_SCHEMA,
+        "stamp": datetime.now(timezone.utc).strftime("%Y%m%d_%H%M%S"),
+        "meta": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+            "machine": platform.machine(),
+            "reps": reps,
+        },
+        "benchmarks": entries,
+    }
+    return validate_bench(doc)
+
+
+def write_bench_file(doc: dict, path: str | Path | None = None) -> Path:
+    """Write ``doc`` as JSON; default path is ``BENCH_<stamp>.json`` in cwd."""
+    if path is None:
+        path = Path(f"BENCH_{doc['stamp']}.json")
+    path = Path(path)
+    path.write_text(json.dumps(doc, indent=2) + "\n")
+    return path
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.harness",
+        description="Run the smoke benchmark subset and write BENCH_<stamp>.json.",
+    )
+    parser.add_argument("-o", "--output", default=None,
+                        help="output path (default BENCH_<stamp>.json in cwd)")
+    parser.add_argument("--reps", type=int, default=3,
+                        help="timed repetitions per workload (default 3)")
+    parser.add_argument("--include", action="append", default=None,
+                        metavar="NAME", help="run only this workload (repeatable)")
+    parser.add_argument("--list", action="store_true",
+                        help="list smoke workloads and exit")
+    args = parser.parse_args(argv)
+    if args.list:
+        for name, source, _ in SMOKE_WORKLOADS:
+            print(f"{name:28s} (mirrors {source})")
+        return 0
+    doc = run_smoke(reps=args.reps, include=args.include)
+    path = write_bench_file(doc, args.output)
+    total = sum(e["median"] for e in doc["benchmarks"])
+    print(f"wrote {path} ({len(doc['benchmarks'])} benchmarks, "
+          f"sum of medians {total * 1e3:.1f} ms)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -158,6 +158,89 @@ def _cmd_basins(args) -> int:
     return 0
 
 
+def _cmd_report(args) -> int:
+    from repro.instrument import load_trace
+    from repro.util.asciiplot import ascii_plot
+
+    try:
+        rec = load_trace(args.trace_file)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: cannot load trace {args.trace_file}: {exc}", file=sys.stderr)
+        return 2
+    if rec.meta:
+        print("meta: " + ", ".join(f"{k}={v}" for k, v in sorted(rec.meta.items())))
+    print(rec.report())
+    if not rec.telemetry:
+        print("\n(no convergence telemetry in this trace)")
+        return 0
+    for tel in rec.telemetry:
+        k = np.asarray(tel.column("k"), dtype=float)
+        lam = np.asarray(tel.column("lam"), dtype=float)
+        resid = np.asarray(tel.column("residual"), dtype=float)
+        print(f"\n== {tel.name} ({len(tel)} records"
+              + (f", stride {tel.stride}" if tel.stride > 1 else "") + ") ==")
+        good = np.isfinite(lam)
+        if good.sum() >= 2:
+            print(ascii_plot({"lambda": (k[good], lam[good])},
+                             width=args.width, xlabel="iteration", ylabel="lambda"))
+        pos = np.isfinite(resid) & (resid > 0)
+        if pos.sum() >= 2:
+            print(ascii_plot({"residual": (k[pos], resid[pos])},
+                             width=args.width, logy=True,
+                             xlabel="iteration", ylabel="residual"))
+        elif good.sum() < 2:
+            print("(stream too short to plot)")
+    return 0
+
+
+def _cmd_trace_convert(args) -> int:
+    from repro.instrument import load_trace
+    from repro.instrument.export import convert_trace
+
+    try:
+        rec = load_trace(args.input)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: cannot load trace {args.input}: {exc}", file=sys.stderr)
+        return 2
+    text = convert_trace(rec, args.to)
+    if args.output:
+        try:
+            with open(args.output, "w") as fh:
+                fh.write(text)
+        except OSError as exc:
+            print(f"error: cannot write {args.output}: {exc}", file=sys.stderr)
+            return 2
+        print(f"wrote {args.output} ({args.to})")
+    else:
+        print(text, end="")
+    return 0
+
+
+def _cmd_bench_smoke(args) -> int:
+    from repro.bench import run_smoke, write_bench_file
+
+    doc = run_smoke(reps=args.reps)
+    path = write_bench_file(doc, args.output)
+    for entry in doc["benchmarks"]:
+        print(f"{entry['name']:28s} median {entry['median'] * 1e3:9.3f} ms"
+              f"  min {entry['min'] * 1e3:9.3f} ms  ({entry['source']})")
+    print(f"wrote {path}")
+    return 0
+
+
+def _cmd_bench_compare(args) -> int:
+    from repro.bench import compare_bench, has_regression, render_comparison
+
+    try:
+        rows = compare_bench(args.old, args.new, threshold=args.threshold,
+                             metric=args.metric)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_comparison(rows, threshold=args.threshold, metric=args.metric))
+    return 1 if has_regression(rows) else 0
+
+
 def _cmd_cudagen(args) -> int:
     from repro.kernels.cudagen import generate_cuda_module
 
@@ -189,6 +272,10 @@ def build_parser() -> argparse.ArgumentParser:
     # subparser's own --trace default would clobber this one
     parser.add_argument("--trace", dest="trace_global", metavar="OUT.json",
                         default=None, help=argparse.SUPPRESS)
+    from repro import __version__
+
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_parser(name, **kw):
@@ -261,6 +348,42 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--reps", type=int, default=200)
     p.set_defaults(func=_cmd_kernels)
+
+    p = add_parser("report", help="summarize a saved trace (spans, gauges, "
+                   "convergence curves)")
+    p.add_argument("trace_file", metavar="TRACE.json")
+    p.add_argument("--width", type=int, default=64,
+                   help="plot width in characters")
+    p.set_defaults(func=_cmd_report)
+
+    p = add_parser("trace", help="operate on saved trace files")
+    trace_sub = p.add_subparsers(dest="trace_command", required=True)
+    pc = trace_sub.add_parser("convert", parents=[common],
+                              help="convert a trace to another format")
+    pc.add_argument("input", metavar="TRACE.json")
+    pc.add_argument("--to", required=True,
+                    choices=("chrome", "prometheus", "jsonl"),
+                    help="chrome trace-event JSON (chrome://tracing / "
+                    "Perfetto), Prometheus text exposition, or JSONL events")
+    pc.add_argument("-o", "--output", default=None,
+                    help="output path (default: stdout)")
+    pc.set_defaults(func=_cmd_trace_convert)
+
+    p = add_parser("bench-smoke", help="run the smoke benchmark subset, "
+                   "write BENCH_<stamp>.json")
+    p.add_argument("-o", "--output", default=None,
+                   help="output path (default BENCH_<stamp>.json in cwd)")
+    p.add_argument("--reps", type=int, default=3)
+    p.set_defaults(func=_cmd_bench_smoke)
+
+    p = add_parser("bench-compare", help="regression gate between two "
+                   "BENCH_*.json files (exit 1 on regression)")
+    p.add_argument("old", metavar="OLD.json")
+    p.add_argument("new", metavar="NEW.json")
+    p.add_argument("--threshold", type=float, default=0.2,
+                   help="allowed slowdown fraction (default 0.2 = +20%%)")
+    p.add_argument("--metric", choices=("median", "min"), default="median")
+    p.set_defaults(func=_cmd_bench_compare)
 
     return parser
 

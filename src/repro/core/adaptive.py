@@ -21,6 +21,8 @@ convergence guarantees and time-to-completion).
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.core.config import SolveConfig, reconcile_max_iters, resolve_option
@@ -28,6 +30,8 @@ from repro.core.eigenpairs import hessian_matrix
 from repro.core.sshopm import SSHOPMResult
 from repro.instrument import current_recorder, instrumented_pair
 from repro.instrument import span as _span
+from repro.instrument.metrics import observe_solver_run
+from repro.instrument.telemetry import ConvergenceTelemetry, telemetry_enabled
 from repro.kernels.dispatch import KernelPair, get_kernels
 from repro.symtensor.storage import SymmetricTensor
 from repro.util.rng import random_unit_vector
@@ -46,6 +50,7 @@ def adaptive_sshopm(
     rng=None,
     config: SolveConfig | None = None,
     *,
+    telemetry: bool | None = None,
     max_iter: int | None = None,
 ) -> SSHOPMResult:
     """SS-HOPM with the GEAP adaptive shift.
@@ -81,6 +86,13 @@ def adaptive_sshopm(
         kernels = get_kernels(kernels or "precomputed", tensor.m, tensor.n)
     if recorder is not None:
         kernels = instrumented_pair(kernels, counter=recorder.flop_counter())
+    tel = None
+    if telemetry_enabled(telemetry, recorder):
+        tel = ConvergenceTelemetry(
+            "adaptive_sshopm",
+            meta={"m": tensor.m, "n": tensor.n, "mode": mode, "tau": tau,
+                  "tol": tol},
+        )
     m, n = tensor.m, tensor.n
     if x0 is None:
         x0 = random_unit_vector(n, rng=rng)
@@ -90,6 +102,7 @@ def adaptive_sshopm(
         raise ValueError("starting vector must be nonzero")
     x = x / norm
 
+    t0 = time.perf_counter()
     with _span("adaptive_sshopm"):
         lam = float(kernels.ax_m(tensor, x))
         history = [lam]
@@ -101,18 +114,27 @@ def adaptive_sshopm(
                 with _span("hessian_shift"):
                     H = hessian_matrix(tensor, x)  # (m-1) * A x^{m-2}
                     evals = np.linalg.eigvalsh(0.5 * (H + H.T))
+                y = np.asarray(kernels.ax_m1(tensor, x))
                 if mode == "max":
                     alpha = max(0.0, tau - float(evals[0]))
-                    x_new = np.asarray(kernels.ax_m1(tensor, x)) + alpha * x
+                    x_new = y + alpha * x
                 else:
                     alpha = min(0.0, -(tau + float(evals[-1])))
-                    x_new = -(np.asarray(kernels.ax_m1(tensor, x)) + alpha * x)
+                    x_new = -(y + alpha * x)
                 norm = np.linalg.norm(x_new)
                 if norm == 0.0 or not np.isfinite(norm):
                     break
+                x_prev = x
                 x = x_new / norm
                 lam_new = float(kernels.ax_m(tensor, x))
                 history.append(lam_new)
+                if tel is not None:
+                    tel.append(
+                        iterations, lam_new,
+                        residual=float(np.linalg.norm(y - lam * x_prev)),
+                        shift=alpha,
+                        step_norm=float(np.linalg.norm(x - x_prev)),
+                    )
                 if abs(lam_new - lam) < tol:
                     lam = lam_new
                     converged = True
@@ -120,6 +142,13 @@ def adaptive_sshopm(
                 lam = lam_new
 
         residual = float(np.linalg.norm(np.asarray(kernels.ax_m1(tensor, x)) - lam * x))
+    if tel is not None:
+        tel.append(iterations, lam, residual=residual,
+                   active=0 if converged else 1, force=True)
+        if recorder is not None:
+            recorder.add_telemetry(tel)
+    observe_solver_run("adaptive_sshopm", time.perf_counter() - t0,
+                       iterations, int(converged), 1)
     return SSHOPMResult(
         eigenvalue=lam,
         eigenvector=x,
@@ -127,4 +156,5 @@ def adaptive_sshopm(
         iterations=iterations,
         residual=residual,
         lambda_history=history,
+        telemetry=tel,
     )

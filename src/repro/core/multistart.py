@@ -13,6 +13,7 @@ paper ("every thread block can use the same set of starting vectors").
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -20,6 +21,8 @@ import numpy as np
 from repro.core.config import SolveConfig, reconcile_max_iters, resolve_option
 from repro.instrument import current_recorder, gauge as _gauge
 from repro.instrument import span as _span
+from repro.instrument.metrics import observe_solver_run
+from repro.instrument.telemetry import ConvergenceTelemetry, telemetry_enabled
 from repro.kernels.dispatch import get_kernels
 from repro.symtensor.storage import SymmetricTensor, SymmetricTensorBatch
 from repro.util.flopcount import FlopCounter, null_counter
@@ -42,6 +45,10 @@ class MultistartResult:
     converged : ``(T, V)`` bool.
     iterations : ``(T, V)`` iterations until each pair froze.
     total_sweeps : lockstep iteration sweeps executed (max over pairs).
+    telemetry : per-sweep aggregate convergence stream
+        (:class:`~repro.instrument.telemetry.ConvergenceTelemetry`; mean
+        lambda / max residual / mean step over the still-active pairs)
+        when telemetry was enabled for the run, else ``None``.
     """
 
     eigenvalues: np.ndarray
@@ -49,6 +56,7 @@ class MultistartResult:
     converged: np.ndarray
     iterations: np.ndarray
     total_sweeps: int
+    telemetry: ConvergenceTelemetry | None = None
 
     @property
     def num_tensors(self) -> int:
@@ -95,6 +103,7 @@ def multistart_sshopm(
     counter: FlopCounter | None = None,
     config: SolveConfig | None = None,
     *,
+    telemetry: bool | None = None,
     max_iter: int | None = None,
 ) -> MultistartResult:
     """Run SS-HOPM for every (tensor, starting vector) pair in lockstep.
@@ -126,6 +135,9 @@ def multistart_sshopm(
         recorder is active the same charges also land on the trace.
     config : a :class:`~repro.core.config.SolveConfig` supplying defaults
         for any option not passed explicitly.
+    telemetry : record a per-sweep aggregate convergence stream on the
+        result.  ``None`` (the default) enables it exactly when a recorder
+        is active.
 
     Notes
     -----
@@ -195,6 +207,15 @@ def multistart_sshopm(
     _gauge("multistart.backend", suite.name)
     _gauge("multistart.shape", [m, n])
 
+    tel = None
+    if telemetry_enabled(telemetry, recorder):
+        tel = ConvergenceTelemetry(
+            "multistart_sshopm",
+            meta={"tensors": T, "starts": V, "alpha": alpha,
+                  "backend": suite.name, "shape": [m, n]},
+        )
+
+    t0 = time.perf_counter()
     with _span("multistart_sshopm"):
         values = tensors.values.astype(dtype)[:, None, :]  # (T, 1, U)
         x = np.broadcast_to(starts[None, :, :], (T, V, n)).astype(dtype).copy()
@@ -211,9 +232,8 @@ def multistart_sshopm(
                 break
             sweeps += 1
             with _span("sweep"):
-                x_new = kernels_ax_m1(values, x)
-                if alpha != 0.0:
-                    x_new = x_new + alpha * x
+                y = np.asarray(kernels_ax_m1(values, x))
+                x_new = y + alpha * x if alpha != 0.0 else y
                 if sign < 0:
                     x_new = -x_new
                 norms = np.linalg.norm(x_new, axis=-1)
@@ -222,12 +242,25 @@ def multistart_sshopm(
                 x_next = x_new / safe[..., None]
                 # freeze inactive and dead pairs at their current iterate
                 upd = active & ~dead
+                if tel is not None and upd.any():
+                    # residual/step at the pre-update iterate (y = A x^{m-1})
+                    resid_now = np.linalg.norm(
+                        y - lam[..., None] * x, axis=-1)[upd]
+                    step_now = np.linalg.norm(x_next - x, axis=-1)[upd]
                 x[upd] = x_next[upd]
                 lam_new = np.asarray(kernels_ax_m(values, x), dtype=dtype)
                 just_converged = upd & (np.abs(lam_new - lam) < tol)
                 lam = np.where(upd, lam_new, lam)
                 iterations[upd] += 1
                 converged |= just_converged
+                if tel is not None and upd.any():
+                    tel.append(
+                        sweeps, float(lam_new[upd].mean()),
+                        residual=float(resid_now.max()),
+                        shift=alpha,
+                        step_norm=float(step_now.mean()),
+                        active=int(upd.sum()),
+                    )
                 active &= ~(just_converged | dead)
 
         with _span("residuals"):
@@ -237,10 +270,24 @@ def multistart_sshopm(
             # marked good
             converged &= np.isfinite(residuals)
 
+    if tel is not None:
+        finite = residuals[np.isfinite(residuals)]
+        tel.append(
+            sweeps, float(lam.mean()),
+            residual=float(finite.max()) if finite.size else float("nan"),
+            shift=alpha,
+            active=int(active.sum()),
+            force=True,
+        )
+        if recorder is not None:
+            recorder.add_telemetry(tel)
+    observe_solver_run("multistart_sshopm", time.perf_counter() - t0,
+                       iterations, int(converged.sum()), T * V)
     return MultistartResult(
         eigenvalues=lam,
         eigenvectors=x,
         converged=converged,
         iterations=iterations,
         total_sweeps=sweeps,
+        telemetry=tel,
     )

@@ -17,6 +17,7 @@ test set.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -24,6 +25,8 @@ import numpy as np
 from repro.core.config import SolveConfig, reconcile_max_iters, resolve_option
 from repro.instrument import current_recorder, instrumented_pair
 from repro.instrument import span as _span
+from repro.instrument.metrics import observe_solver_run
+from repro.instrument.telemetry import ConvergenceTelemetry, telemetry_enabled
 from repro.kernels.dispatch import KernelPair, get_kernels
 from repro.symtensor.storage import SymmetricTensor
 from repro.util.flopcount import FlopCounter, null_counter
@@ -46,6 +49,9 @@ class SSHOPMResult:
         eigenpair equation defect; small iff (lambda, x) is an eigenpair).
     lambda_history : the full ``lambda_k`` sequence (including the value at
         the starting vector), useful for monotonicity checks.
+    telemetry : bounded per-iteration convergence stream
+        (:class:`~repro.instrument.telemetry.ConvergenceTelemetry`) when
+        telemetry was enabled for the run, else ``None``.
     """
 
     eigenvalue: float
@@ -54,6 +60,7 @@ class SSHOPMResult:
     iterations: int
     residual: float
     lambda_history: list[float] = field(default_factory=list)
+    telemetry: ConvergenceTelemetry | None = None
 
 
 def suggested_shift(tensor: SymmetricTensor) -> float:
@@ -80,6 +87,7 @@ def sshopm(
     rng=None,
     config: SolveConfig | None = None,
     *,
+    telemetry: bool | None = None,
     max_iter: int | None = None,
 ) -> SSHOPMResult:
     """Run SS-HOPM (Figure 1) from one starting vector.
@@ -104,6 +112,10 @@ def sshopm(
         agree.
     config : a :class:`~repro.core.config.SolveConfig` supplying defaults
         for any option not passed explicitly.
+    telemetry : record the per-iteration convergence stream
+        (``lambda``, residual, shift, step norm) on the result.  ``None``
+        (the default) enables it exactly when a recorder is active, so the
+        untraced hot path stays free of the extra per-iteration norms.
 
     Notes
     -----
@@ -129,6 +141,12 @@ def sshopm(
         kernels = get_kernels(kernels or "precomputed", tensor.m, tensor.n)
     if recorder is not None:
         kernels = instrumented_pair(kernels, counter=counter)
+    tel = None
+    if telemetry_enabled(telemetry, recorder):
+        tel = ConvergenceTelemetry(
+            "sshopm",
+            meta={"m": tensor.m, "n": tensor.n, "alpha": alpha, "tol": tol},
+        )
     if x0 is None:
         x0 = random_unit_vector(tensor.n, rng=rng)
     x = np.asarray(x0, dtype=np.float64)
@@ -139,6 +157,7 @@ def sshopm(
         raise ValueError("starting vector must be nonzero")
     x = x / norm
 
+    t0 = time.perf_counter()
     with _span("sshopm"):
         lam = float(kernels.ax_m(tensor, x))
         history = [lam]
@@ -147,7 +166,8 @@ def sshopm(
         for _ in range(max_iters):
             with _span("iteration"):
                 iterations += 1
-                x_new = np.asarray(kernels.ax_m1(tensor, x)) + alpha * x
+                y = np.asarray(kernels.ax_m1(tensor, x))
+                x_new = y + alpha * x
                 if alpha < 0:
                     x_new = -x_new
                 counter.add_flops(2 * tensor.n)
@@ -155,9 +175,17 @@ def sshopm(
                 counter.add_flops(2 * tensor.n + 1)
                 if norm == 0.0 or not np.isfinite(norm):
                     break
+                x_prev = x
                 x = x_new / norm
                 lam_new = float(kernels.ax_m(tensor, x))
                 history.append(lam_new)
+                if tel is not None:
+                    tel.append(
+                        iterations, lam_new,
+                        residual=float(np.linalg.norm(y - lam * x_prev)),
+                        shift=alpha,
+                        step_norm=float(np.linalg.norm(x - x_prev)),
+                    )
                 if abs(lam_new - lam) < tol:
                     lam = lam_new
                     converged = True
@@ -165,6 +193,13 @@ def sshopm(
                 lam = lam_new
 
         residual = float(np.linalg.norm(np.asarray(kernels.ax_m1(tensor, x)) - lam * x))
+    if tel is not None:
+        tel.append(iterations, lam, residual=residual, shift=alpha,
+                   active=0 if converged else 1, force=True)
+        if recorder is not None:
+            recorder.add_telemetry(tel)
+    observe_solver_run("sshopm", time.perf_counter() - t0, iterations,
+                       int(converged), 1)
     return SSHOPMResult(
         eigenvalue=lam,
         eigenvector=x,
@@ -172,4 +207,5 @@ def sshopm(
         iterations=iterations,
         residual=residual,
         lambda_history=history,
+        telemetry=tel,
     )

@@ -16,7 +16,23 @@ The CLI exposes the same machinery as a global flag::
     repro detect phantom.npz --starts 128 --trace out.json
 """
 
+from repro.instrument.export import (
+    chrome_trace,
+    convert_trace,
+    jsonl_events,
+    prometheus_text,
+)
 from repro.instrument.kernels import instrumented_pair, kernel_cost_model
+from repro.instrument.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    P2Quantile,
+    default_registry,
+    get_registry,
+    use_registry,
+)
 from repro.instrument.recorder import (
     Recorder,
     RecorderFlopCounter,
@@ -28,17 +44,31 @@ from repro.instrument.recorder import (
     recording,
     span,
 )
+from repro.instrument.telemetry import ConvergenceTelemetry
 
 __all__ = [
+    "ConvergenceTelemetry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "P2Quantile",
     "Recorder",
     "RecorderFlopCounter",
     "SpanNode",
+    "chrome_trace",
+    "convert_trace",
     "count",
     "current_recorder",
+    "default_registry",
     "gauge",
+    "get_registry",
     "instrumented_pair",
+    "jsonl_events",
     "kernel_cost_model",
     "load_trace",
+    "prometheus_text",
     "recording",
     "span",
+    "use_registry",
 ]

@@ -1,0 +1,317 @@
+"""Standard-format exporters for traces and metrics.
+
+Three output formats, all derived from the ``repro-trace/1`` JSON
+(:meth:`Recorder.to_dict`) and/or a ``repro-metrics/1`` snapshot
+(:meth:`MetricsRegistry.snapshot`):
+
+* **Chrome trace-event JSON** (:func:`chrome_trace`) — loadable in
+  Perfetto / ``chrome://tracing``.  ``repro-trace/1`` stores an
+  *aggregated* span tree (no per-entry timestamps), so the exporter
+  synthesizes a timeline: each node becomes one complete (``"X"``) event
+  whose duration is its accumulated seconds, children laid out
+  sequentially inside their parent.  Absorbed worker subtrees
+  (``worker0``, ``worker1``, ... from the parallel executor) are placed on
+  their own threads (``tid``) starting at the parent's start, so the
+  parallel structure renders as overlapping tracks — which is what
+  actually happened.
+* **Prometheus text exposition** (:func:`prometheus_text`) — counters,
+  gauges, and cumulative-``le`` histograms from a metrics snapshot, plus
+  per-span time/call/counter series derived from a trace
+  (``repro_trace_span_seconds_total{path="..."}`` etc.).
+* **JSONL event logs** (:func:`jsonl_events`) — one self-describing JSON
+  object per line (schema ``repro-events/1``): a header, then span /
+  gauge / telemetry / metric events.  Greppable, ``jq``-able, and
+  streamable into any log pipeline.
+
+:func:`convert_trace` is the single entry point the CLI uses
+(``repro trace convert run.json --to chrome -o run.chrome.json``).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Iterator
+
+__all__ = [
+    "EXPORT_FORMATS",
+    "chrome_trace",
+    "convert_trace",
+    "jsonl_events",
+    "prometheus_text",
+]
+
+EXPORT_FORMATS = ("chrome", "prometheus", "jsonl")
+
+_WORKER_PREFIX = "worker"
+
+
+def _as_trace_dict(trace) -> dict:
+    """Accept a Recorder or an already-exported trace dict."""
+    return trace.to_dict() if hasattr(trace, "to_dict") else dict(trace)
+
+
+def _as_metrics_snapshot(metrics) -> dict | None:
+    if metrics is None:
+        return None
+    if hasattr(metrics, "snapshot"):
+        return metrics.snapshot()
+    return dict(metrics)
+
+
+# -- Chrome trace events ---------------------------------------------------
+
+
+def _is_worker_node(name: str) -> bool:
+    return name.startswith(_WORKER_PREFIX) and name[len(_WORKER_PREFIX):].isdigit()
+
+
+def _emit_span_events(node: dict, start_us: float, pid: int, tid: int,
+                      events: list[dict], next_tid: list[int]) -> None:
+    dur_us = float(node.get("seconds", 0.0)) * 1e6
+    args: dict[str, Any] = {"count": node.get("count", 0)}
+    args.update(node.get("counters", {}))
+    events.append({
+        "name": node["name"],
+        "ph": "X",
+        "ts": round(start_us, 3),
+        "dur": round(dur_us, 3),
+        "pid": pid,
+        "tid": tid,
+        "cat": "span",
+        "args": args,
+    })
+    cursor = start_us
+    for child in node.get("children", []):
+        if _is_worker_node(child["name"]):
+            # absorbed worker subtree: own thread, overlapping the parent
+            wtid = next_tid[0]
+            next_tid[0] += 1
+            _emit_span_events(child, start_us, pid, wtid, events, next_tid)
+        else:
+            _emit_span_events(child, cursor, pid, tid, events, next_tid)
+            cursor += float(child.get("seconds", 0.0)) * 1e6
+
+
+def chrome_trace(trace) -> dict:
+    """Chrome trace-event JSON (object form) from a ``repro-trace/1`` dict
+    or a live Recorder."""
+    data = _as_trace_dict(trace)
+    events: list[dict] = [
+        {"name": "process_name", "ph": "M", "pid": 0, "tid": 0,
+         "args": {"name": "repro " + str(data.get("meta", {}).get("command", "run"))}},
+    ]
+    next_tid = [1]
+    cursor = 0.0
+    for child in data.get("root", {}).get("children", []):
+        if _is_worker_node(child["name"]):
+            # worker subtree absorbed at top level: own overlapping track
+            wtid = next_tid[0]
+            next_tid[0] += 1
+            _emit_span_events(child, cursor, 0, wtid, events, next_tid)
+        else:
+            _emit_span_events(child, cursor, 0, 0, events, next_tid)
+            cursor += float(child.get("seconds", 0.0)) * 1e6
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "schema": data.get("schema"),
+            "meta": data.get("meta", {}),
+            "gauges": data.get("gauges", {}),
+        },
+    }
+
+
+# -- Prometheus text exposition -------------------------------------------
+
+
+def _prom_escape(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", r"\\")
+        .replace("\n", r"\n")
+        .replace('"', r"\"")
+    )
+
+
+def _prom_labels(labels: dict) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{k}="{_prom_escape(v)}"' for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _prom_number(v: float) -> str:
+    v = float(v)
+    if math.isnan(v):
+        return "NaN"
+    if math.isinf(v):
+        return "+Inf" if v > 0 else "-Inf"
+    return repr(v) if v != int(v) else str(int(v))
+
+
+def _walk_paths(node: dict, prefix: str = "") -> Iterator[tuple[str, dict]]:
+    path = f"{prefix}/{node['name']}" if prefix else node["name"]
+    yield path, node
+    for child in node.get("children", []):
+        yield from _walk_paths(child, path)
+
+
+def prometheus_text(metrics=None, trace=None) -> str:
+    """Prometheus text exposition (format version 0.0.4).
+
+    ``metrics`` — a MetricsRegistry or ``repro-metrics/1`` snapshot;
+    ``trace`` — a Recorder or ``repro-trace/1`` dict, rendered as derived
+    ``repro_trace_*`` series.  Either may be omitted.
+    """
+    lines: list[str] = []
+    snap = _as_metrics_snapshot(metrics)
+    if snap is not None:
+        if snap.get("schema", "repro-metrics/1") != "repro-metrics/1":
+            raise ValueError(f"unsupported metrics schema {snap.get('schema')!r}")
+        for metric in snap.get("metrics", []):
+            name, kind = metric["name"], metric["type"]
+            if metric.get("help"):
+                lines.append(f"# HELP {name} {_prom_escape(metric['help'])}")
+            lines.append(f"# TYPE {name} {kind}")
+            for series in metric.get("series", []):
+                labels = series.get("labels", {})
+                if kind in ("counter", "gauge"):
+                    lines.append(
+                        f"{name}{_prom_labels(labels)} "
+                        f"{_prom_number(series['value'])}"
+                    )
+                elif kind == "histogram":
+                    cum = 0
+                    bounds = list(series["bounds"]) + [math.inf]
+                    for bound, count in zip(bounds, series["bucket_counts"]):
+                        cum += int(count)
+                        le = "+Inf" if math.isinf(bound) else _prom_number(bound)
+                        lines.append(
+                            f"{name}_bucket"
+                            f"{_prom_labels({**labels, 'le': le})} {cum}"
+                        )
+                    lines.append(
+                        f"{name}_sum{_prom_labels(labels)} "
+                        f"{_prom_number(series['sum'])}"
+                    )
+                    lines.append(
+                        f"{name}_count{_prom_labels(labels)} {series['count']}"
+                    )
+    if trace is not None:
+        data = _as_trace_dict(trace)
+        spans = [
+            (path, node)
+            for path, node in _walk_paths(data.get("root", {"name": "root"}))
+            if path != "root"
+        ]
+        counter_totals: dict[str, float] = {}
+        for _, node in spans:
+            for key, value in node.get("counters", {}).items():
+                counter_totals[key] = counter_totals.get(key, 0) + value
+        lines.append("# TYPE repro_trace_span_seconds_total counter")
+        for path, node in spans:
+            p = path.removeprefix("root/")
+            lines.append(
+                f"repro_trace_span_seconds_total{_prom_labels({'path': p})} "
+                f"{_prom_number(node.get('seconds', 0.0))}"
+            )
+        lines.append("# TYPE repro_trace_span_calls_total counter")
+        for path, node in spans:
+            p = path.removeprefix("root/")
+            lines.append(
+                f"repro_trace_span_calls_total{_prom_labels({'path': p})} "
+                f"{node.get('count', 0)}"
+            )
+        if counter_totals:
+            lines.append("# TYPE repro_trace_counter_total counter")
+            for key in sorted(counter_totals):
+                lines.append(
+                    f"repro_trace_counter_total{_prom_labels({'counter': key})} "
+                    f"{_prom_number(counter_totals[key])}"
+                )
+        numeric_gauges = {
+            k: v for k, v in data.get("gauges", {}).items()
+            if isinstance(v, (int, float)) and not isinstance(v, bool)
+        }
+        if numeric_gauges:
+            lines.append("# TYPE repro_trace_gauge gauge")
+            for key in sorted(numeric_gauges):
+                lines.append(
+                    f"repro_trace_gauge{_prom_labels({'gauge': key})} "
+                    f"{_prom_number(numeric_gauges[key])}"
+                )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+# -- JSONL event logs ------------------------------------------------------
+
+
+def jsonl_events(trace=None, metrics=None) -> list[str]:
+    """One JSON object per line (schema ``repro-events/1``): header first,
+    then span, gauge, telemetry, and metric events."""
+    records: list[dict] = []
+    header: dict[str, Any] = {"event": "header", "schema": "repro-events/1"}
+    data = None
+    if trace is not None:
+        data = _as_trace_dict(trace)
+        header["trace_schema"] = data.get("schema")
+        header["meta"] = data.get("meta", {})
+    records.append(header)
+    if data is not None:
+        for path, node in _walk_paths(data.get("root", {"name": "root"})):
+            if path == "root":
+                continue
+            child_seconds = sum(
+                c.get("seconds", 0.0) for c in node.get("children", [])
+            )
+            records.append({
+                "event": "span",
+                "path": path.removeprefix("root/"),
+                "name": node["name"],
+                "count": node.get("count", 0),
+                "seconds": node.get("seconds", 0.0),
+                "self_seconds": node.get("seconds", 0.0) - child_seconds,
+                "counters": node.get("counters", {}),
+            })
+        for key, value in data.get("gauges", {}).items():
+            records.append({"event": "gauge", "key": key, "value": value})
+        for stream in data.get("telemetry", []):
+            for row in stream.get("rows", []):
+                records.append({
+                    "event": "telemetry",
+                    "stream": stream.get("name"),
+                    **dict(zip(stream.get("columns", []), row)),
+                })
+    snap = _as_metrics_snapshot(metrics)
+    if snap is not None:
+        for metric in snap.get("metrics", []):
+            for series in metric.get("series", []):
+                records.append({
+                    "event": "metric",
+                    "name": metric["name"],
+                    "type": metric["type"],
+                    "labels": series.get("labels", {}),
+                    **{k: v for k, v in series.items() if k != "labels"},
+                })
+    return [json.dumps(r, default=str) for r in records]
+
+
+# -- single entry point ----------------------------------------------------
+
+
+def convert_trace(trace, to: str, metrics=None) -> str:
+    """Render ``trace`` (Recorder or ``repro-trace/1`` dict) in the named
+    format — ``"chrome"``, ``"prometheus"``, or ``"jsonl"`` — as text."""
+    if to == "chrome":
+        return json.dumps(chrome_trace(trace), indent=2) + "\n"
+    if to == "prometheus":
+        return prometheus_text(metrics=metrics, trace=trace)
+    if to == "jsonl":
+        return "\n".join(jsonl_events(trace=trace, metrics=metrics)) + "\n"
+    raise ValueError(
+        f"unknown export format {to!r}; expected one of {EXPORT_FORMATS}"
+    )

@@ -152,6 +152,7 @@ class Recorder:
         self.root = SpanNode("root")
         self.gauges: dict[str, Any] = {}
         self.meta: dict[str, Any] = dict(meta or {})
+        self.telemetry: list = []  # ConvergenceTelemetry streams, in order
         self._stack: list[SpanNode] = [self.root]
 
     # -- recording -------------------------------------------------------
@@ -176,6 +177,12 @@ class Recorder:
     def gauge(self, key: str, value: Any) -> None:
         """Set a run-level gauge (last write wins)."""
         self.gauges[key] = value
+
+    def add_telemetry(self, stream) -> None:
+        """Attach a :class:`~repro.instrument.telemetry.ConvergenceTelemetry`
+        stream; it rides along in the JSON trace (``repro report`` plots
+        these as convergence curves)."""
+        self.telemetry.append(stream)
 
     def flop_counter(self, mirror: FlopCounter | None = None) -> "RecorderFlopCounter":
         """A :class:`FlopCounter` whose charges also land on this recorder
@@ -206,6 +213,10 @@ class Recorder:
         prefix = f"{under}." if under else ""
         for key, value in other.gauges.items():
             self.gauges[f"{prefix}{key}"] = value
+        for stream in other.telemetry:
+            self.telemetry.append(
+                stream.renamed(f"{prefix}{stream.name}") if prefix else stream
+            )
 
     # -- queries ---------------------------------------------------------
 
@@ -226,12 +237,15 @@ class Recorder:
     # -- export ----------------------------------------------------------
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "schema": TRACE_SCHEMA,
             "meta": dict(self.meta),
             "gauges": dict(self.gauges),
             "root": self.root.to_dict(),
         }
+        if self.telemetry:  # optional, additive key of repro-trace/1
+            out["telemetry"] = [s.to_dict() for s in self.telemetry]
+        return out
 
     @classmethod
     def from_dict(cls, data: dict) -> "Recorder":
@@ -241,6 +255,12 @@ class Recorder:
         rec.gauges = dict(data.get("gauges", {}))
         rec.root = SpanNode.from_dict(data["root"])
         rec._stack = [rec.root]
+        if data.get("telemetry"):
+            from repro.instrument.telemetry import ConvergenceTelemetry
+
+            rec.telemetry = [
+                ConvergenceTelemetry.from_dict(s) for s in data["telemetry"]
+            ]
         return rec
 
     def save_trace(self, path) -> None:

@@ -65,6 +65,30 @@ _DEPRECATED_ALIASES = {
 }
 
 
+def _alias_stacklevel() -> int:
+    """Stacklevel pointing at the user's code, not import machinery.
+
+    For ``from repro.kernels import ax_m_batched`` the caller of
+    ``__getattr__`` is ``importlib._bootstrap._handle_fromlist``, so a
+    fixed ``stacklevel=2`` attributes the warning to frozen importlib.
+    Walk outward past any importlib frames to find the real import site.
+    """
+    import sys
+
+    level = 2  # frame 1 is __getattr__ itself
+    while True:
+        try:
+            frame = sys._getframe(level - 1)
+        except ValueError:
+            return 2  # stack exhausted; fall back to the direct caller
+        modname = frame.f_globals.get("__name__", "")
+        filename = frame.f_code.co_filename
+        if not (modname.startswith("importlib")
+                or filename.startswith("<frozen importlib")):
+            return level
+        level += 1
+
+
 def __getattr__(name):
     alias = _DEPRECATED_ALIASES.get(name)
     if alias is None:
@@ -75,7 +99,7 @@ def __getattr__(name):
         f"get_kernels(variant, m, n, batched=True) or import it from "
         f"{module_name}",
         DeprecationWarning,
-        stacklevel=2,
+        stacklevel=_alias_stacklevel(),
     )
     import importlib
 

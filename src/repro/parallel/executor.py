@@ -14,7 +14,10 @@ into its own :class:`~repro.instrument.Recorder` (the current recorder is
 thread-local, and recorders are not thread-safe) and the per-worker traces
 are folded back into the caller's under ``worker0``, ``worker1``, ...
 nodes, so a trace shows both the parallel structure and the aggregate
-flops.
+flops.  Solver metrics follow the same pattern: each worker writes to a
+private :class:`~repro.instrument.metrics.MetricsRegistry` (the active
+registry is thread-local) and the per-worker registries are merged into
+the caller's active registry after the pool drains.
 """
 
 from __future__ import annotations
@@ -29,6 +32,7 @@ from repro.core.config import SolveConfig, reconcile_max_iters
 from repro.core.multistart import MultistartResult, multistart_sshopm, starting_vectors
 from repro.instrument import Recorder, current_recorder
 from repro.instrument import span as _span
+from repro.instrument.metrics import MetricsRegistry, get_registry, use_registry
 from repro.parallel.partition import static_partition
 from repro.symtensor.storage import SymmetricTensorBatch
 
@@ -81,7 +85,7 @@ def parallel_multistart_sshopm(
     parent = current_recorder()
     t0 = time.perf_counter()
 
-    def solve_chunk(r: range) -> tuple[MultistartResult, Recorder | None]:
+    def solve_chunk(r: range) -> tuple[MultistartResult, Recorder | None, MetricsRegistry]:
         chunk = tensors.subset(np.arange(r.start, r.stop))
 
         def run():
@@ -96,11 +100,14 @@ def parallel_multistart_sshopm(
                 config=config,
             )
 
-        if parent is None:
-            return run(), None
-        worker_rec = Recorder()
-        with worker_rec.activate():
-            return run(), worker_rec
+        # each worker thread gets its own metrics registry (no cross-thread
+        # lock traffic in the hot path); snapshots merge back below
+        with use_registry() as worker_reg:
+            if parent is None:
+                return run(), None, worker_reg
+            worker_rec = Recorder()
+            with worker_rec.activate():
+                return run(), worker_rec, worker_reg
 
     with _span("parallel_multistart_sshopm"):
         if len(ranges) == 1:
@@ -112,12 +119,15 @@ def parallel_multistart_sshopm(
             # fold per-worker traces in under this span while it is open
             parent.gauge("parallel.workers", len(ranges))
             parent.gauge("parallel.chunk_sizes", [len(r) for r in ranges])
-            for wid, (_, worker_rec) in enumerate(outcomes):
+            for wid, (_, worker_rec, _reg) in enumerate(outcomes):
                 if worker_rec is not None:
                     parent.absorb(worker_rec, under=f"worker{wid}")
+        caller_reg = get_registry()
+        for _, _, worker_reg in outcomes:
+            caller_reg.merge(worker_reg)
     seconds = time.perf_counter() - t0
 
-    parts = [res for res, _ in outcomes]
+    parts = [res for res, _, _ in outcomes]
 
     merged = MultistartResult(
         eigenvalues=np.concatenate([p.eigenvalues for p in parts], axis=0),

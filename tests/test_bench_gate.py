@@ -1,0 +1,189 @@
+"""Tests for the benchmark harness and regression gate (repro.bench):
+smoke-run document schema, validator rejections, the compare logic, and
+the `repro bench-smoke` / `repro bench-compare` CLI exit codes."""
+
+import copy
+import json
+
+import pytest
+
+from repro.bench import (
+    BENCH_SCHEMA,
+    compare_bench,
+    has_regression,
+    render_comparison,
+    run_smoke,
+    validate_bench,
+    write_bench_file,
+)
+from repro.bench.harness import SMOKE_WORKLOADS
+
+
+@pytest.fixture(scope="module")
+def smoke_doc():
+    # one real (but minimal) smoke run shared by the whole module
+    return run_smoke(reps=1, include=["span_overhead", "kernel_ax_m1"])
+
+
+def _fake_doc(**timings) -> dict:
+    """A synthetic valid bench document with the given name->seconds."""
+    return {
+        "schema": BENCH_SCHEMA,
+        "stamp": "20260101_000000",
+        "meta": {"reps": 1},
+        "benchmarks": [
+            {"name": name, "source": "bench_x.py", "reps": 1,
+             "seconds": [t], "median": t, "min": t}
+            for name, t in timings.items()
+        ],
+    }
+
+
+class TestHarness:
+    def test_smoke_doc_validates(self, smoke_doc):
+        assert validate_bench(smoke_doc) is smoke_doc
+        assert smoke_doc["schema"] == BENCH_SCHEMA
+        names = [e["name"] for e in smoke_doc["benchmarks"]]
+        assert names == ["kernel_ax_m1", "span_overhead"]
+
+    def test_entries_tagged_with_source_suite(self, smoke_doc):
+        sources = {name: source for name, source, _ in SMOKE_WORKLOADS}
+        for entry in smoke_doc["benchmarks"]:
+            assert entry["source"] == sources[entry["name"]]
+
+    def test_unknown_include_raises(self):
+        with pytest.raises(ValueError, match="unknown smoke workloads"):
+            run_smoke(reps=1, include=["nope"])
+
+    def test_write_bench_file(self, smoke_doc, tmp_path):
+        path = write_bench_file(smoke_doc, tmp_path / "BENCH_x.json")
+        assert validate_bench(json.loads(path.read_text())) is not None
+
+    def test_default_filename_uses_stamp(self, smoke_doc, tmp_path,
+                                         monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        path = write_bench_file(smoke_doc)
+        assert path.name == f"BENCH_{smoke_doc['stamp']}.json"
+
+
+class TestValidator:
+    def test_rejects_wrong_schema(self):
+        doc = _fake_doc(a=0.1)
+        doc["schema"] = "repro-bench/99"
+        with pytest.raises(ValueError, match="unsupported bench schema"):
+            validate_bench(doc)
+
+    def test_rejects_missing_keys(self):
+        doc = _fake_doc(a=0.1)
+        del doc["benchmarks"][0]["median"]
+        with pytest.raises(ValueError, match="missing required key"):
+            validate_bench(doc)
+
+    def test_rejects_duplicate_names(self):
+        doc = _fake_doc(a=0.1)
+        doc["benchmarks"].append(dict(doc["benchmarks"][0]))
+        with pytest.raises(ValueError, match="duplicate benchmark name"):
+            validate_bench(doc)
+
+    def test_rejects_negative_timing(self):
+        doc = _fake_doc(a=0.1)
+        doc["benchmarks"][0]["seconds"] = [-1.0]
+        with pytest.raises(ValueError, match="non-timing value"):
+            validate_bench(doc)
+
+    def test_rejects_empty_benchmarks(self):
+        doc = _fake_doc(a=0.1)
+        doc["benchmarks"] = []
+        with pytest.raises(ValueError, match="non-empty"):
+            validate_bench(doc)
+
+
+class TestCompare:
+    def test_identical_passes(self):
+        doc = _fake_doc(a=0.1, b=0.2)
+        rows = compare_bench(doc, doc)
+        assert all(r.status == "ok" for r in rows)
+        assert not has_regression(rows)
+
+    def test_injected_slowdown_flags_regression(self):
+        old = _fake_doc(a=0.1, b=0.2)
+        new = copy.deepcopy(old)
+        new["benchmarks"][0]["median"] *= 2.0
+        rows = compare_bench(old, new, threshold=0.2)
+        by_name = {r.name: r for r in rows}
+        assert by_name["a"].status == "slower"
+        assert by_name["a"].ratio == pytest.approx(2.0)
+        assert by_name["b"].status == "ok"
+        assert has_regression(rows)
+
+    def test_slowdown_below_threshold_is_ok(self):
+        old = _fake_doc(a=0.1)
+        new = _fake_doc(a=0.11)
+        assert not has_regression(compare_bench(old, new, threshold=0.2))
+
+    def test_speedup_marked_faster(self):
+        rows = compare_bench(_fake_doc(a=0.2), _fake_doc(a=0.05))
+        assert rows[0].status == "faster"
+        assert not has_regression(rows)
+
+    def test_added_and_removed(self):
+        rows = compare_bench(_fake_doc(a=0.1, gone=0.1),
+                             _fake_doc(a=0.1, fresh=0.1))
+        by_name = {r.name: r for r in rows}
+        assert by_name["gone"].status == "removed"
+        assert by_name["fresh"].status == "added"
+        assert not has_regression(rows)
+
+    def test_metric_min(self):
+        old = _fake_doc(a=0.1)
+        new = copy.deepcopy(old)
+        new["benchmarks"][0]["min"] = 0.5  # median unchanged
+        assert not has_regression(compare_bench(old, new, metric="median"))
+        assert has_regression(compare_bench(old, new, metric="min"))
+
+    def test_render_mentions_regression(self):
+        old = _fake_doc(a=0.1)
+        new = _fake_doc(a=0.5)
+        text = render_comparison(compare_bench(old, new), threshold=0.2)
+        assert "REGRESSION" in text and "a" in text
+
+
+class TestCliGate:
+    def _write(self, tmp_path, name, doc):
+        path = tmp_path / name
+        path.write_text(json.dumps(doc))
+        return str(path)
+
+    def test_bench_smoke_writes_valid_file(self, tmp_path, capsys,
+                                           monkeypatch):
+        from repro.cli import main
+
+        out = tmp_path / "BENCH_smoke.json"
+        assert main(["bench-smoke", "--reps", "1", "-o", str(out)]) == 0
+        doc = validate_bench(json.loads(out.read_text()))
+        assert len(doc["benchmarks"]) == len(SMOKE_WORKLOADS)
+        assert "wrote" in capsys.readouterr().out
+
+    def test_compare_pass_exit_zero(self, tmp_path, capsys):
+        from repro.cli import main
+
+        a = self._write(tmp_path, "a.json", _fake_doc(x=0.1))
+        assert main(["bench-compare", a, a]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_compare_regression_exit_nonzero(self, tmp_path, capsys):
+        from repro.cli import main
+
+        a = self._write(tmp_path, "a.json", _fake_doc(x=0.1))
+        b = self._write(tmp_path, "b.json", _fake_doc(x=0.15))
+        # 1.5x slowdown: fails at +20%, passes at +100%
+        assert main(["bench-compare", a, b, "--threshold", "0.2"]) == 1
+        assert main(["bench-compare", a, b, "--threshold", "1.0"]) == 0
+
+    def test_compare_invalid_file_exit_two(self, tmp_path, capsys):
+        from repro.cli import main
+
+        a = self._write(tmp_path, "a.json", _fake_doc(x=0.1))
+        bad = self._write(tmp_path, "bad.json", {"schema": "nope"})
+        assert main(["bench-compare", a, bad]) == 2
+        assert "error" in capsys.readouterr().err

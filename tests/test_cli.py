@@ -95,3 +95,46 @@ class TestParser:
     def test_unknown_subcommand(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestVersionFlag:
+    def test_version_prints_and_exits(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        import repro
+
+        assert out.strip() == f"repro {repro.__version__}"
+
+    def test_version_matches_pyproject(self):
+        import re
+        from pathlib import Path
+
+        import repro
+
+        pyproject = Path(repro.__file__).resolve().parents[2] / "pyproject.toml"
+        match = re.search(r'^version\s*=\s*"([^"]+)"', pyproject.read_text(),
+                          re.MULTILINE)
+        assert match and repro.__version__ == match.group(1)
+
+
+class TestTraceFlagPlacement:
+    def test_trace_before_subcommand(self, tmp_path, capsys):
+        from repro.instrument import load_trace
+
+        out = tmp_path / "pre.json"
+        status = main(["--trace", str(out), "spectrum", "--m", "3", "--n", "3",
+                       "--starts", "8", "--max-iter", "200"])
+        assert status == 0
+        rec = load_trace(out)
+        assert rec.meta["command"] == "spectrum"
+        assert "TOTAL" in capsys.readouterr().out
+
+    def test_unwritable_trace_path_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "no" / "such" / "dir" / "t.json"
+        status = main(["spectrum", "--example", "--starts", "8",
+                       "--trace", str(bad)])
+        assert status == 2
+        err = capsys.readouterr().err
+        assert "cannot write trace file" in err
