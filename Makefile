@@ -12,11 +12,15 @@ OLD ?= BENCH_old.json
 NEW ?= BENCH_new.json
 THRESHOLD ?= 0.2
 
-.PHONY: test smoke-instrument smoke-report bench bench-overhead bench-smoke bench-compare
+.PHONY: test smoke-instrument smoke-report chaos bench bench-overhead bench-smoke bench-compare
 
 test: smoke-instrument  ## tier-1: instrumentation smoke, then the full suite
 	python -m pytest -x -q
 	$(MAKE) smoke-report
+	$(MAKE) chaos
+
+chaos:  ## fault-injection suite (deterministic; seed pinned)
+	REPRO_CHAOS_SEED=20110516 python -m pytest -q tests/test_chaos.py
 
 smoke-instrument:  ## fast gate on the observability substrate
 	python -m pytest -q tests/test_instrument.py
@@ -32,7 +36,7 @@ bench-overhead:  ## assert the <5% disabled-instrumentation budget
 	python -m pytest -q benchmarks/bench_instrument_overhead.py
 
 bench-smoke:  ## fast benchmark subset -> BENCH_<stamp>.json at repo root
-	python -m repro.bench.harness
+	python -m repro.bench.harness --timeout 120
 
 bench-compare:  ## regression gate: make bench-compare OLD=... NEW=...
 	python -m repro.cli bench-compare $(OLD) $(NEW) --threshold $(THRESHOLD)

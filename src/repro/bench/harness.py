@@ -20,6 +20,7 @@ import argparse
 import json
 import platform
 import statistics
+import threading
 import time
 from datetime import datetime, timezone
 from pathlib import Path
@@ -35,7 +36,49 @@ from repro.kernels.dispatch import get_kernels
 from repro.parallel.executor import parallel_multistart_sshopm
 from repro.symtensor.random import random_symmetric_batch, random_symmetric_tensor
 
-__all__ = ["SMOKE_WORKLOADS", "main", "run_smoke", "write_bench_file"]
+__all__ = ["BenchTimeout", "SMOKE_WORKLOADS", "main", "run_smoke",
+           "write_bench_file"]
+
+
+class BenchTimeout(RuntimeError):
+    """A smoke workload exceeded the per-workload wall-clock budget."""
+
+    def __init__(self, workload: str, seconds: float):
+        super().__init__(
+            f"smoke workload {workload!r} exceeded the {seconds:g}s timeout "
+            f"(hung or pathologically slow)"
+        )
+        self.workload = workload
+        self.seconds = seconds
+
+
+def _run_with_timeout(name: str, fn, timeout: float | None):
+    """Run ``fn`` with a wall-clock budget.
+
+    The workload runs on a daemon thread so a genuinely hung workload
+    cannot also hang interpreter shutdown (a ThreadPoolExecutor's
+    non-daemon workers would).  With ``timeout=None`` the call is inline —
+    the timed path must not pay thread-handoff noise unless asked to.
+    """
+    if timeout is None:
+        return fn()
+    box: dict = {}
+
+    def target():
+        try:
+            box["result"] = fn()
+        except BaseException as exc:  # propagate workload errors faithfully
+            box["error"] = exc
+
+    thread = threading.Thread(target=target, daemon=True,
+                              name=f"bench-smoke-{name}")
+    thread.start()
+    thread.join(timeout)
+    if thread.is_alive():
+        raise BenchTimeout(name, timeout)
+    if "error" in box:
+        raise box["error"]
+    return box.get("result")
 
 
 def _batch(tensors=8, m=4, n=6, seed=0):
@@ -109,16 +152,22 @@ SMOKE_WORKLOADS = [
 ]
 
 
-def run_smoke(reps: int = 3, include: list[str] | None = None) -> dict:
+def run_smoke(reps: int = 3, include: list[str] | None = None,
+              timeout: float | None = None) -> dict:
     """Time every smoke workload ``reps`` times; return a bench document.
 
     ``include`` restricts the run to the named workloads (unknown names
     raise :class:`ValueError`).  The first execution of each workload is a
     discarded warmup (JIT-free here, but it pays one-time table builds in
     the kernel caches, which would otherwise pollute the first rep).
+    ``timeout`` caps each individual execution's wall-clock seconds and
+    raises :class:`BenchTimeout` when exceeded — the CI guard against a
+    hung kernel turning the smoke gate into an infinite wait.
     """
     if reps < 1:
         raise ValueError(f"reps must be >= 1, got {reps}")
+    if timeout is not None and timeout <= 0:
+        raise ValueError(f"timeout must be positive, got {timeout}")
     known = {name for name, _, _ in SMOKE_WORKLOADS}
     if include is not None:
         unknown = sorted(set(include) - known)
@@ -130,11 +179,12 @@ def run_smoke(reps: int = 3, include: list[str] | None = None) -> dict:
         for name, source, fn in SMOKE_WORKLOADS:
             if include is not None and name not in include:
                 continue
-            extra = fn()  # warmup, also yields workload params
+            # warmup, also yields workload params
+            extra = _run_with_timeout(name, fn, timeout)
             seconds = []
             for _ in range(reps):
                 t0 = time.perf_counter()
-                fn()
+                _run_with_timeout(name, fn, timeout)
                 seconds.append(time.perf_counter() - t0)
             entries.append({
                 "name": name,
@@ -180,6 +230,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="timed repetitions per workload (default 3)")
     parser.add_argument("--include", action="append", default=None,
                         metavar="NAME", help="run only this workload (repeatable)")
+    parser.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                        help="per-workload wall-clock budget; a workload "
+                             "exceeding it aborts the run with exit code 2")
     parser.add_argument("--list", action="store_true",
                         help="list smoke workloads and exit")
     args = parser.parse_args(argv)
@@ -187,7 +240,12 @@ def main(argv: list[str] | None = None) -> int:
         for name, source, _ in SMOKE_WORKLOADS:
             print(f"{name:28s} (mirrors {source})")
         return 0
-    doc = run_smoke(reps=args.reps, include=args.include)
+    try:
+        doc = run_smoke(reps=args.reps, include=args.include,
+                        timeout=args.timeout)
+    except BenchTimeout as exc:
+        print(f"error: {exc}")
+        return 2
     path = write_bench_file(doc, args.output)
     total = sum(e["median"] for e in doc["benchmarks"])
     print(f"wrote {path} ({len(doc['benchmarks'])} benchmarks, "

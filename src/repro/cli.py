@@ -216,10 +216,65 @@ def _cmd_trace_convert(args) -> int:
     return 0
 
 
-def _cmd_bench_smoke(args) -> int:
-    from repro.bench import run_smoke, write_bench_file
+def _cmd_solve(args) -> int:
+    from repro.resilience import RetryPolicy, resilient_multistart
+    from repro.symtensor import random_symmetric_tensor
 
-    doc = run_smoke(reps=args.reps)
+    if args.tensor:
+        from repro.io import load_tensor
+
+        try:
+            tensor = load_tensor(args.tensor)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        source = {"tensor": args.tensor}
+    else:
+        tensor = random_symmetric_tensor(args.m, args.n, rng=args.seed)
+        source = {"m": args.m, "n": args.n, "tensor_seed": args.seed}
+    retry = RetryPolicy(max_attempts=max(1, args.retries + 1))
+    try:
+        result = resilient_multistart(
+            tensor,
+            num_starts=args.starts,
+            alpha=args.alpha,
+            tol=args.tol,
+            max_iters=args.max_iters,
+            seed=args.seed,
+            workers=args.workers,
+            retry=retry,
+            checkpoint=args.resume or args.checkpoint,
+            checkpoint_every=args.checkpoint_every,
+            resume=args.resume is not None,
+            checkpoint_source=source,
+        )
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"{tensor}  alpha={args.alpha:g}  seed={args.seed}")
+    print(result.summary())
+    pairs = result.eigenpairs()
+    if pairs:
+        print(f"{'lambda':>12s}  {'stability':<12s}{'basin':>7s}  {'residual':>9s}  x")
+        for p in pairs:
+            vec = np.array2string(p.eigenvector, precision=4, suppress_small=True)
+            print(f"{p.eigenvalue:+12.6f}  {p.stability:<12s}{p.occurrences:>7d}"
+                  f"  {p.residual:9.2e}  {vec}")
+    else:
+        print("no converged eigenpairs (try a larger --alpha or more --starts)")
+    if result.checkpoint_path:
+        print(f"checkpoint: {result.checkpoint_path}")
+    return 0 if not result.failed_starts or pairs else 1
+
+
+def _cmd_bench_smoke(args) -> int:
+    from repro.bench import BenchTimeout, run_smoke, write_bench_file
+
+    try:
+        doc = run_smoke(reps=args.reps, timeout=args.timeout)
+    except BenchTimeout as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     path = write_bench_file(doc, args.output)
     for entry in doc["benchmarks"]:
         print(f"{entry['name']:28s} median {entry['median'] * 1e3:9.3f} ms"
@@ -296,6 +351,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--adaptive", action="store_true",
                    help="also run one adaptive-shift iteration")
     p.set_defaults(func=_cmd_spectrum)
+
+    p = add_parser("solve", help="fault-tolerant multistart sweep with "
+                   "retry, checkpointing, and resume")
+    p.add_argument("--m", type=int, default=4)
+    p.add_argument("--n", type=int, default=3)
+    p.add_argument("--seed", type=int, default=0,
+                   help="root seed for starts (and the random tensor when "
+                   "no --tensor file is given)")
+    p.add_argument("--tensor", metavar="FILE.npz", default=None,
+                   help="solve this saved tensor instead of a random one")
+    p.add_argument("--starts", type=int, default=64)
+    p.add_argument("--alpha", type=float, default=0.0)
+    p.add_argument("--tol", type=float, default=1e-12)
+    p.add_argument("--max-iters", type=int, default=500)
+    p.add_argument("--workers", type=int, default=1)
+    p.add_argument("--retries", type=int, default=2,
+                   help="retries per failed start, with shift escalation "
+                   "(default 2)")
+    p.add_argument("--checkpoint", metavar="CKPT.json", default=None,
+                   help="write periodic checkpoints of completed starts")
+    p.add_argument("--checkpoint-every", type=int, default=8, metavar="N",
+                   help="checkpoint after every N completed starts")
+    p.add_argument("--resume", metavar="CKPT.json", default=None,
+                   help="resume an interrupted sweep from its checkpoint "
+                   "(parameters must match; results are bit-for-bit "
+                   "identical to an uninterrupted run)")
+    p.set_defaults(func=_cmd_solve)
 
     p = add_parser("phantom", help="synthesize a DW-MRI phantom")
     p.add_argument("--rows", type=int, default=32)
@@ -374,6 +456,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--output", default=None,
                    help="output path (default BENCH_<stamp>.json in cwd)")
     p.add_argument("--reps", type=int, default=3)
+    p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                   help="per-workload wall-clock budget; exceeding it "
+                   "aborts with exit code 2 (hung-workload guard)")
     p.set_defaults(func=_cmd_bench_smoke)
 
     p = add_parser("bench-compare", help="regression gate between two "

@@ -33,6 +33,7 @@ from repro.instrument import span as _span
 from repro.instrument.metrics import observe_solver_run
 from repro.instrument.telemetry import ConvergenceTelemetry, telemetry_enabled
 from repro.kernels.dispatch import KernelPair, get_kernels
+from repro.resilience.guards import IterationGuard, SolveFailure, resolve_guards
 from repro.symtensor.storage import SymmetricTensor
 from repro.util.rng import random_unit_vector
 
@@ -51,6 +52,7 @@ def adaptive_sshopm(
     config: SolveConfig | None = None,
     *,
     telemetry: bool | None = None,
+    guards=None,
     max_iter: int | None = None,
 ) -> SSHOPMResult:
     """SS-HOPM with the GEAP adaptive shift.
@@ -63,6 +65,10 @@ def adaptive_sshopm(
         Hessian); Kolda & Mayo suggest a small positive constant.
     mode : ``"max"`` seeks local maxima of ``f`` (convex shifts),
         ``"min"`` local minima (concave shifts).
+    guards : ``True`` or a :class:`~repro.resilience.guards.GuardConfig`
+        raises a structured :class:`~repro.resilience.guards.SolveFailure`
+        on NaN/Inf, collapse, oscillation, or stall, as in
+        :func:`repro.core.sshopm.sshopm` (default: off).
     config : optional :class:`~repro.core.config.SolveConfig`; its
         ``alpha`` field is ignored (the shift is derived per step).
     Other parameters as in :func:`repro.core.sshopm.sshopm`
@@ -80,6 +86,7 @@ def adaptive_sshopm(
     max_iters = resolve_option("max_iters", max_iters, config, 500)
     kernels = resolve_option("kernels", kernels, config, None)
     rng = resolve_option("rng", rng, config, None)
+    guards = resolve_guards(resolve_option("guards", guards, config, None))
 
     recorder = current_recorder()
     if isinstance(kernels, str) or kernels is None:
@@ -102,46 +109,67 @@ def adaptive_sshopm(
         raise ValueError("starting vector must be nonzero")
     x = x / norm
 
-    t0 = time.perf_counter()
-    with _span("adaptive_sshopm"):
-        lam = float(kernels.ax_m(tensor, x))
-        history = [lam]
-        converged = False
-        iterations = 0
-        for _ in range(max_iters):
-            with _span("iteration"):
-                iterations += 1
-                with _span("hessian_shift"):
-                    H = hessian_matrix(tensor, x)  # (m-1) * A x^{m-2}
-                    evals = np.linalg.eigvalsh(0.5 * (H + H.T))
-                y = np.asarray(kernels.ax_m1(tensor, x))
-                if mode == "max":
-                    alpha = max(0.0, tau - float(evals[0]))
-                    x_new = y + alpha * x
-                else:
-                    alpha = min(0.0, -(tau + float(evals[-1])))
-                    x_new = -(y + alpha * x)
-                norm = np.linalg.norm(x_new)
-                if norm == 0.0 or not np.isfinite(norm):
-                    break
-                x_prev = x
-                x = x_new / norm
-                lam_new = float(kernels.ax_m(tensor, x))
-                history.append(lam_new)
-                if tel is not None:
-                    tel.append(
-                        iterations, lam_new,
-                        residual=float(np.linalg.norm(y - lam * x_prev)),
-                        shift=alpha,
-                        step_norm=float(np.linalg.norm(x - x_prev)),
-                    )
-                if abs(lam_new - lam) < tol:
-                    lam = lam_new
-                    converged = True
-                    break
-                lam = lam_new
+    guard = None
+    if guards is not None:
+        guard = IterationGuard(guards, solver="adaptive_sshopm", tol=tol)
 
-        residual = float(np.linalg.norm(np.asarray(kernels.ax_m1(tensor, x)) - lam * x))
+    t0 = time.perf_counter()
+    try:
+        with _span("adaptive_sshopm"):
+            lam = float(kernels.ax_m(tensor, x))
+            history = [lam]
+            if guard is not None:
+                guard.note_start(lam, x)
+            converged = False
+            iterations = 0
+            for _ in range(max_iters):
+                with _span("iteration"):
+                    iterations += 1
+                    with _span("hessian_shift"):
+                        H = hessian_matrix(tensor, x)  # (m-1) * A x^{m-2}
+                        if guard is not None and not np.all(np.isfinite(H)):
+                            # eigvalsh would die with an opaque LinAlgError
+                            guard.check(iterations, float("nan"), x)
+                        evals = np.linalg.eigvalsh(0.5 * (H + H.T))
+                    y = np.asarray(kernels.ax_m1(tensor, x))
+                    if mode == "max":
+                        alpha = max(0.0, tau - float(evals[0]))
+                        x_new = y + alpha * x
+                    else:
+                        alpha = min(0.0, -(tau + float(evals[-1])))
+                        x_new = -(y + alpha * x)
+                    norm = np.linalg.norm(x_new)
+                    if guard is not None:
+                        guard.check_update(iterations, float(norm))
+                    if norm == 0.0 or not np.isfinite(norm):
+                        break
+                    x_prev = x
+                    x = x_new / norm
+                    lam_new = float(kernels.ax_m(tensor, x))
+                    history.append(lam_new)
+                    if tel is not None:
+                        tel.append(
+                            iterations, lam_new,
+                            residual=float(np.linalg.norm(y - lam * x_prev)),
+                            shift=alpha,
+                            step_norm=float(np.linalg.norm(x - x_prev)),
+                        )
+                    if guard is not None:
+                        guard.check(iterations, lam_new, x)
+                    if abs(lam_new - lam) < tol:
+                        lam = lam_new
+                        converged = True
+                        break
+                    lam = lam_new
+
+            residual = float(np.linalg.norm(np.asarray(kernels.ax_m1(tensor, x)) - lam * x))
+    except SolveFailure as failure:
+        failure.telemetry = tel
+        if tel is not None and recorder is not None:
+            recorder.add_telemetry(tel)
+        observe_solver_run("adaptive_sshopm", time.perf_counter() - t0,
+                           failure.iteration, 0, 1)
+        raise
     if tel is not None:
         tel.append(iterations, lam, residual=residual,
                    active=0 if converged else 1, force=True)

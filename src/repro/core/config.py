@@ -49,6 +49,13 @@ class SolveConfig:
     backend : batched kernel variant name (multistart drivers).
     dtype : compute precision of the batched drivers.
     rng : seed or ``numpy.random.Generator``.
+    guards : numerical-guard setting — ``True`` or a
+        :class:`~repro.resilience.guards.GuardConfig` makes solvers raise a
+        structured :class:`~repro.resilience.guards.SolveFailure` on
+        NaN/Inf iterates, lambda oscillation, or stalled progress instead
+        of silently returning unconverged garbage (default: off).
+    retry : a :class:`~repro.resilience.retry.RetryPolicy` for drivers
+        that re-run failed starts (the resilient sweep runner).
     """
 
     alpha: float | None = None
@@ -60,6 +67,8 @@ class SolveConfig:
     backend: str | None = None
     dtype: Any = None
     rng: Any = None
+    guards: Any = None
+    retry: Any = None
 
     def replace(self, **changes) -> "SolveConfig":
         """A copy with the given fields changed (dataclass ``replace``)."""

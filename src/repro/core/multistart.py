@@ -24,6 +24,7 @@ from repro.instrument import span as _span
 from repro.instrument.metrics import observe_solver_run
 from repro.instrument.telemetry import ConvergenceTelemetry, telemetry_enabled
 from repro.kernels.dispatch import get_kernels
+from repro.resilience.guards import SolveFailure, record_solve_failure, resolve_guards
 from repro.symtensor.storage import SymmetricTensor, SymmetricTensorBatch
 from repro.util.flopcount import FlopCounter, null_counter
 from repro.util.rng import fibonacci_sphere, random_unit_vectors
@@ -49,6 +50,10 @@ class MultistartResult:
         (:class:`~repro.instrument.telemetry.ConvergenceTelemetry`; mean
         lambda / max residual / mean step over the still-active pairs)
         when telemetry was enabled for the run, else ``None``.
+    failed : ``(T, V)`` bool — lanes that *numerically died* (update
+        collapsed to zero or went NaN/Inf) as opposed to merely running
+        out of iterations; ``None`` for results loaded from files written
+        before this field existed.
     """
 
     eigenvalues: np.ndarray
@@ -57,6 +62,7 @@ class MultistartResult:
     iterations: np.ndarray
     total_sweeps: int
     telemetry: ConvergenceTelemetry | None = None
+    failed: np.ndarray | None = None
 
     @property
     def num_tensors(self) -> int:
@@ -104,6 +110,7 @@ def multistart_sshopm(
     config: SolveConfig | None = None,
     *,
     telemetry: bool | None = None,
+    guards=None,
     max_iter: int | None = None,
 ) -> MultistartResult:
     """Run SS-HOPM for every (tensor, starting vector) pair in lockstep.
@@ -138,12 +145,19 @@ def multistart_sshopm(
     telemetry : record a per-sweep aggregate convergence stream on the
         result.  ``None`` (the default) enables it exactly when a recorder
         is active.
+    guards : ``True`` or a :class:`~repro.resilience.guards.GuardConfig`
+        raises a structured :class:`~repro.resilience.guards.SolveFailure`
+        when *every* lane dies numerically (total collapse — nothing
+        recoverable).  Individual dead lanes are always tolerated, frozen,
+        and reported via the result's ``failed`` mask.
 
     Notes
     -----
     Converged pairs are frozen: their ``x`` stops updating, so later sweeps
     cannot drift them off the fixed point.  A pair whose update collapses to
-    the zero vector (possible with alpha=0) is frozen unconverged.
+    the zero vector (possible with alpha=0) is frozen unconverged and
+    flagged in ``result.failed``; the dead-lane count lands on the
+    ``repro_multistart_dead_lanes_total`` metric.
     """
     max_iters = reconcile_max_iters(max_iters, max_iter)
     num_starts = resolve_option("num_starts", num_starts, config, 128)
@@ -154,6 +168,7 @@ def multistart_sshopm(
     backend = resolve_option("backend", backend, config, "batched")
     dtype = resolve_option("dtype", dtype, config, np.float64)
     rng = resolve_option("rng", rng, config, None)
+    guards = resolve_guards(resolve_option("guards", guards, config, None))
 
     if isinstance(tensors, SymmetricTensor):
         tensors = SymmetricTensorBatch(tensors.values[None, :], tensors.m, tensors.n)
@@ -224,6 +239,7 @@ def multistart_sshopm(
         active = np.ones((T, V), dtype=bool)
         converged = np.zeros((T, V), dtype=bool)
         iterations = np.zeros((T, V), dtype=np.int64)
+        failed = np.zeros((T, V), dtype=bool)
         sweeps = 0
         sign = -1.0 if alpha < 0 else 1.0
 
@@ -238,6 +254,7 @@ def multistart_sshopm(
                     x_new = -x_new
                 norms = np.linalg.norm(x_new, axis=-1)
                 dead = active & ((norms == 0) | ~np.isfinite(norms))
+                failed |= dead
                 safe = np.where(norms > 0, norms, 1.0)
                 x_next = x_new / safe[..., None]
                 # freeze inactive and dead pairs at their current iterate
@@ -269,6 +286,7 @@ def multistart_sshopm(
             # guard against pairs that froze on a non-fixed point being
             # marked good
             converged &= np.isfinite(residuals)
+            failed |= ~np.isfinite(lam) | ~np.isfinite(residuals)
 
     if tel is not None:
         finite = residuals[np.isfinite(residuals)]
@@ -283,6 +301,25 @@ def multistart_sshopm(
             recorder.add_telemetry(tel)
     observe_solver_run("multistart_sshopm", time.perf_counter() - t0,
                        iterations, int(converged.sum()), T * V)
+    dead_lanes = int(failed.sum())
+    if dead_lanes:
+        from repro.instrument.metrics import get_registry
+
+        get_registry().counter(
+            "repro_multistart_dead_lanes_total",
+            "(tensor, start) lanes that died numerically mid-sweep",
+        ).inc(dead_lanes)
+    if guards is not None and guards.check_finite and dead_lanes == T * V:
+        record_solve_failure("multistart_sshopm", "collapse")
+        raise SolveFailure(
+            "collapse",
+            f"multistart_sshopm: all {T * V} lanes died numerically "
+            f"(alpha={alpha})",
+            solver="multistart_sshopm",
+            iteration=sweeps,
+            telemetry=tel,
+            details={"tensors": T, "starts": V},
+        )
     return MultistartResult(
         eigenvalues=lam,
         eigenvectors=x,
@@ -290,4 +327,5 @@ def multistart_sshopm(
         iterations=iterations,
         total_sweeps=sweeps,
         telemetry=tel,
+        failed=failed,
     )

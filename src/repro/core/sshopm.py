@@ -28,6 +28,7 @@ from repro.instrument import span as _span
 from repro.instrument.metrics import observe_solver_run
 from repro.instrument.telemetry import ConvergenceTelemetry, telemetry_enabled
 from repro.kernels.dispatch import KernelPair, get_kernels
+from repro.resilience.guards import IterationGuard, SolveFailure, resolve_guards
 from repro.symtensor.storage import SymmetricTensor
 from repro.util.flopcount import FlopCounter, null_counter
 from repro.util.rng import random_unit_vector
@@ -88,6 +89,7 @@ def sshopm(
     config: SolveConfig | None = None,
     *,
     telemetry: bool | None = None,
+    guards=None,
     max_iter: int | None = None,
 ) -> SSHOPMResult:
     """Run SS-HOPM (Figure 1) from one starting vector.
@@ -116,6 +118,12 @@ def sshopm(
         (``lambda``, residual, shift, step norm) on the result.  ``None``
         (the default) enables it exactly when a recorder is active, so the
         untraced hot path stays free of the extra per-iteration norms.
+    guards : ``True`` or a :class:`~repro.resilience.guards.GuardConfig`
+        raises a structured :class:`~repro.resilience.guards.SolveFailure`
+        (carrying the last-good iterate, lambda history, and telemetry)
+        on NaN/Inf, a collapsed update, lambda oscillation, or stalled
+        progress, instead of the legacy freeze-and-return-unconverged
+        behavior (default: off).
 
     Notes
     -----
@@ -132,6 +140,7 @@ def sshopm(
     max_iters = resolve_option("max_iters", max_iters, config, 500)
     kernels = resolve_option("kernels", kernels, config, None)
     rng = resolve_option("rng", rng, config, None)
+    guards = resolve_guards(resolve_option("guards", guards, config, None))
 
     recorder = current_recorder()
     counter = counter or null_counter()
@@ -157,42 +166,62 @@ def sshopm(
         raise ValueError("starting vector must be nonzero")
     x = x / norm
 
-    t0 = time.perf_counter()
-    with _span("sshopm"):
-        lam = float(kernels.ax_m(tensor, x))
-        history = [lam]
-        converged = False
-        iterations = 0
-        for _ in range(max_iters):
-            with _span("iteration"):
-                iterations += 1
-                y = np.asarray(kernels.ax_m1(tensor, x))
-                x_new = y + alpha * x
-                if alpha < 0:
-                    x_new = -x_new
-                counter.add_flops(2 * tensor.n)
-                norm = np.linalg.norm(x_new)
-                counter.add_flops(2 * tensor.n + 1)
-                if norm == 0.0 or not np.isfinite(norm):
-                    break
-                x_prev = x
-                x = x_new / norm
-                lam_new = float(kernels.ax_m(tensor, x))
-                history.append(lam_new)
-                if tel is not None:
-                    tel.append(
-                        iterations, lam_new,
-                        residual=float(np.linalg.norm(y - lam * x_prev)),
-                        shift=alpha,
-                        step_norm=float(np.linalg.norm(x - x_prev)),
-                    )
-                if abs(lam_new - lam) < tol:
-                    lam = lam_new
-                    converged = True
-                    break
-                lam = lam_new
+    guard = None
+    if guards is not None:
+        guard = IterationGuard(guards, solver="sshopm", tol=tol)
 
-        residual = float(np.linalg.norm(np.asarray(kernels.ax_m1(tensor, x)) - lam * x))
+    t0 = time.perf_counter()
+    try:
+        with _span("sshopm"):
+            lam = float(kernels.ax_m(tensor, x))
+            history = [lam]
+            if guard is not None:
+                guard.note_start(lam, x)
+            converged = False
+            iterations = 0
+            for _ in range(max_iters):
+                with _span("iteration"):
+                    iterations += 1
+                    y = np.asarray(kernels.ax_m1(tensor, x))
+                    x_new = y + alpha * x
+                    if alpha < 0:
+                        x_new = -x_new
+                    counter.add_flops(2 * tensor.n)
+                    norm = np.linalg.norm(x_new)
+                    counter.add_flops(2 * tensor.n + 1)
+                    if guard is not None:
+                        guard.check_update(iterations, float(norm))
+                    if norm == 0.0 or not np.isfinite(norm):
+                        break
+                    x_prev = x
+                    x = x_new / norm
+                    lam_new = float(kernels.ax_m(tensor, x))
+                    history.append(lam_new)
+                    if tel is not None:
+                        tel.append(
+                            iterations, lam_new,
+                            residual=float(np.linalg.norm(y - lam * x_prev)),
+                            shift=alpha,
+                            step_norm=float(np.linalg.norm(x - x_prev)),
+                        )
+                    if guard is not None:
+                        guard.check(iterations, lam_new, x)
+                    if abs(lam_new - lam) < tol:
+                        lam = lam_new
+                        converged = True
+                        break
+                    lam = lam_new
+
+            residual = float(np.linalg.norm(np.asarray(kernels.ax_m1(tensor, x)) - lam * x))
+    except SolveFailure as failure:
+        # structured abort: hand the telemetry stream to the failure and
+        # still account the (failed) run in the metrics registry
+        failure.telemetry = tel
+        if tel is not None and recorder is not None:
+            recorder.add_telemetry(tel)
+        observe_solver_run("sshopm", time.perf_counter() - t0,
+                           failure.iteration, 0, 1)
+        raise
     if tel is not None:
         tel.append(iterations, lam, residual=residual, shift=alpha,
                    active=0 if converged else 1, force=True)

@@ -4,12 +4,26 @@ Everything is stored as compressed ``.npz`` with a format tag, so data
 sets (e.g. a generated phantom standing in for the paper's SCI Institute
 set) can be produced once and shared between the CLI, examples, and
 benchmarks.
+
+Robustness contract (see ``docs/resilience.md``):
+
+* every ``save_*`` is **atomic** — the payload is written to a temp file
+  in the destination directory, fsynced, then renamed over the target,
+  so a crash mid-save leaves either the old file or the new one, never a
+  truncated hybrid;
+* every ``load_*`` raises :class:`ValueError` with the offending path on
+  a truncated/corrupted archive, a wrong format/kind tag, a payload
+  whose unique-entry count disagrees with ``C(m+n-1, m)``, or (for
+  tensor inputs, not solver results) non-finite entries.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import pathlib
+import tempfile
+import zipfile
 
 import numpy as np
 
@@ -31,9 +45,53 @@ __all__ = [
 _FORMAT = "repro-v1"
 
 
+def _atomic_savez(path, **arrays) -> None:
+    """``np.savez_compressed`` through a same-directory temp file + rename,
+    so readers never observe a partially written archive."""
+    path = pathlib.Path(path)
+    if path.suffix != ".npz":
+        # np.savez appends .npz to names without it; pre-empt that so the
+        # rename target and the written file agree
+        path = path.with_name(path.name + ".npz")
+    fd, tmp = tempfile.mkstemp(dir=path.parent or ".", prefix=f".{path.name}.",
+                               suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            np.savez_compressed(handle, **arrays)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def _open_npz(path):
+    """``np.load`` with truncation/corruption mapped to ``ValueError``."""
+    try:
+        return np.load(path, allow_pickle=False)
+    except (zipfile.BadZipFile, EOFError, OSError, ValueError) as exc:
+        # np.load reports non-archive bytes as a pickle-related ValueError;
+        # fold that into the same corrupted-file diagnosis
+        if isinstance(exc, FileNotFoundError):
+            raise
+        raise ValueError(
+            f"{path} is not a readable .npz archive (truncated or "
+            f"corrupted?): {exc}"
+        ) from exc
+
+
 def _check_format(data, kind: str, path) -> None:
-    tag = str(data.get("format", ""))
-    stored_kind = str(data.get("kind", ""))
+    try:
+        tag = str(data["format"]) if "format" in data else ""
+        stored_kind = str(data["kind"]) if "kind" in data else ""
+    except (zipfile.BadZipFile, EOFError) as exc:
+        raise ValueError(
+            f"{path} is truncated or corrupted: {exc}"
+        ) from exc
     if tag != _FORMAT or stored_kind != kind:
         raise ValueError(
             f"{path} is not a {_FORMAT}/{kind} file "
@@ -41,9 +99,38 @@ def _check_format(data, kind: str, path) -> None:
         )
 
 
+def _read(data, key, path):
+    """One array out of the archive, with truncated-member errors and a
+    missing key both reported as a clear ValueError."""
+    try:
+        return data[key]
+    except KeyError:
+        raise ValueError(f"{path} is missing the {key!r} array") from None
+    except (zipfile.BadZipFile, EOFError, OSError) as exc:
+        raise ValueError(
+            f"{path}: the {key!r} array is truncated or corrupted: {exc}"
+        ) from exc
+
+
+def _build_tensor(cls, values, m, n, path):
+    """Construct, turning shape/count mismatches into path-tagged errors
+    and rejecting non-finite entries (a corrupted or garbage input)."""
+    try:
+        tensor = cls(values, m, n)
+    except ValueError as exc:
+        raise ValueError(f"{path}: {exc}") from exc
+    if not np.all(np.isfinite(tensor.values)):
+        bad = int(np.count_nonzero(~np.isfinite(np.asarray(tensor.values))))
+        raise ValueError(
+            f"{path}: tensor payload contains {bad} non-finite "
+            f"(NaN/Inf) entries"
+        )
+    return tensor
+
+
 def save_tensor(path, tensor: SymmetricTensor) -> None:
-    """Write one compressed symmetric tensor."""
-    np.savez_compressed(
+    """Write one compressed symmetric tensor (atomically)."""
+    _atomic_savez(
         path,
         format=_FORMAT,
         kind="tensor",
@@ -54,14 +141,20 @@ def save_tensor(path, tensor: SymmetricTensor) -> None:
 
 
 def load_tensor(path) -> SymmetricTensor:
-    with np.load(path, allow_pickle=False) as data:
+    with _open_npz(path) as data:
         _check_format(data, "tensor", path)
-        return SymmetricTensor(data["values"], int(data["m"]), int(data["n"]))
+        return _build_tensor(
+            SymmetricTensor,
+            _read(data, "values", path),
+            int(_read(data, "m", path)),
+            int(_read(data, "n", path)),
+            path,
+        )
 
 
 def save_batch(path, batch: SymmetricTensorBatch) -> None:
     """Write a tensor batch (the paper's ``T x U`` device layout)."""
-    np.savez_compressed(
+    _atomic_savez(
         path,
         format=_FORMAT,
         kind="batch",
@@ -72,9 +165,15 @@ def save_batch(path, batch: SymmetricTensorBatch) -> None:
 
 
 def load_batch(path) -> SymmetricTensorBatch:
-    with np.load(path, allow_pickle=False) as data:
+    with _open_npz(path) as data:
         _check_format(data, "batch", path)
-        return SymmetricTensorBatch(data["values"], int(data["m"]), int(data["n"]))
+        return _build_tensor(
+            SymmetricTensorBatch,
+            _read(data, "values", path),
+            int(_read(data, "m", path)),
+            int(_read(data, "n", path)),
+            path,
+        )
 
 
 def save_phantom(path, phantom: Phantom) -> None:
@@ -86,7 +185,7 @@ def save_phantom(path, phantom: Phantom) -> None:
     dirs = phantom.true_directions
     concat = np.concatenate(dirs, axis=0) if dirs else np.zeros((0, 3))
     offsets = np.cumsum([0] + [d.shape[0] for d in dirs])
-    np.savez_compressed(
+    _atomic_savez(
         path,
         format=_FORMAT,
         kind="phantom",
@@ -104,11 +203,17 @@ def save_phantom(path, phantom: Phantom) -> None:
 
 
 def load_phantom(path) -> Phantom:
-    with np.load(path, allow_pickle=False) as data:
+    with _open_npz(path) as data:
         _check_format(data, "phantom", path)
-        tensors = SymmetricTensorBatch(data["values"], int(data["m"]), int(data["n"]))
-        offsets = data["dirs_offsets"]
-        concat = data["dirs_concat"]
+        tensors = _build_tensor(
+            SymmetricTensorBatch,
+            _read(data, "values", path),
+            int(_read(data, "m", path)),
+            int(_read(data, "n", path)),
+            path,
+        )
+        offsets = _read(data, "dirs_offsets", path)
+        concat = _read(data, "dirs_concat", path)
         dirs = [
             concat[offsets[i] : offsets[i + 1]].copy()
             for i in range(len(offsets) - 1)
@@ -116,18 +221,21 @@ def load_phantom(path) -> Phantom:
         return Phantom(
             tensors=tensors,
             true_directions=dirs,
-            gradients=data["gradients"],
-            adc=data["adc"],
-            rows=int(data["rows"]),
-            cols=int(data["cols"]),
-            meta=json.loads(str(data["meta"])),
+            gradients=_read(data, "gradients", path),
+            adc=_read(data, "adc", path),
+            rows=int(_read(data, "rows", path)),
+            cols=int(_read(data, "cols", path)),
+            meta=json.loads(str(_read(data, "meta", path))),
         )
 
 
 def save_results(path, result: MultistartResult) -> None:
-    """Write a multistart solve result (eigenvalues/vectors per pair)."""
-    np.savez_compressed(
-        path,
+    """Write a multistart solve result (eigenvalues/vectors per pair).
+
+    The ``failed`` lane mask is stored when present; files written before
+    the mask existed load back with ``failed=None``.
+    """
+    arrays = dict(
         format=_FORMAT,
         kind="results",
         eigenvalues=result.eigenvalues,
@@ -136,15 +244,21 @@ def save_results(path, result: MultistartResult) -> None:
         iterations=result.iterations,
         total_sweeps=result.total_sweeps,
     )
+    if result.failed is not None:
+        arrays["failed"] = result.failed
+    _atomic_savez(path, **arrays)
 
 
 def load_results(path) -> MultistartResult:
-    with np.load(path, allow_pickle=False) as data:
+    # NaN eigenvalues are legitimate here (failed lanes are part of the
+    # record), so results skip the non-finite rejection tensors get
+    with _open_npz(path) as data:
         _check_format(data, "results", path)
         return MultistartResult(
-            eigenvalues=data["eigenvalues"],
-            eigenvectors=data["eigenvectors"],
-            converged=data["converged"],
-            iterations=data["iterations"],
-            total_sweeps=int(data["total_sweeps"]),
+            eigenvalues=_read(data, "eigenvalues", path),
+            eigenvectors=_read(data, "eigenvectors", path),
+            converged=_read(data, "converged", path),
+            iterations=_read(data, "iterations", path),
+            total_sweeps=int(_read(data, "total_sweeps", path)),
+            failed=data["failed"] if "failed" in data else None,
         )

@@ -18,13 +18,25 @@ flops.  Solver metrics follow the same pattern: each worker writes to a
 private :class:`~repro.instrument.metrics.MetricsRegistry` (the active
 registry is thread-local) and the per-worker registries are merged into
 the caller's active registry after the pool drains.
+
+The executor is *hardened*: a chunk whose task raises — a kernel bug, an
+injected fault from the chaos harness, a worker dying mid-solve — is
+requeued on a surviving worker up to ``max_requeues`` times (with a
+``RuntimeWarning`` that the pool is running degraded).  A chunk that
+exhausts its requeue budget is reported in ``ParallelRunReport.failures``
+and contributes an all-NaN placeholder to the merged result (``failed``
+mask all ``True``), so one poisoned chunk cannot take down the sweep or
+silently vanish from the output.  Metrics a crashed chunk recorded before
+dying are still merged.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
 import time
+import warnings
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
@@ -36,17 +48,52 @@ from repro.instrument.metrics import MetricsRegistry, get_registry, use_registry
 from repro.parallel.partition import static_partition
 from repro.symtensor.storage import SymmetricTensorBatch
 
-__all__ = ["ParallelRunReport", "parallel_multistart_sshopm"]
+__all__ = ["ChunkFailure", "ParallelRunReport", "parallel_multistart_sshopm"]
+
+
+@dataclass(frozen=True)
+class ChunkFailure:
+    """A chunk that exhausted its requeue budget.
+
+    ``tensor_range`` is the ``[start, stop)`` slice of the input batch the
+    chunk covered; those rows of the merged result are NaN placeholders
+    with ``failed`` all ``True``.
+    """
+
+    chunk_index: int
+    tensor_range: tuple[int, int]
+    attempts: int
+    error: str
 
 
 @dataclass
 class ParallelRunReport:
-    """A merged multistart result plus execution metadata."""
+    """A merged multistart result plus execution metadata.
+
+    ``failures`` lists chunks that crashed on every attempt (empty for a
+    healthy run); ``requeues`` counts crashed task executions that were
+    rescheduled, successful or not.
+    """
 
     result: MultistartResult
     workers: int
     seconds: float
     chunk_sizes: list[int]
+    failures: list[ChunkFailure] = field(default_factory=list)
+    requeues: int = 0
+
+
+def _placeholder_result(num_tensors: int, num_starts: int, n: int,
+                        dtype) -> MultistartResult:
+    """An all-NaN, all-failed stand-in for a chunk that never completed."""
+    return MultistartResult(
+        eigenvalues=np.full((num_tensors, num_starts), np.nan, dtype=dtype),
+        eigenvectors=np.full((num_tensors, num_starts, n), np.nan, dtype=dtype),
+        converged=np.zeros((num_tensors, num_starts), dtype=bool),
+        iterations=np.zeros((num_tensors, num_starts), dtype=np.int64),
+        total_sweeps=0,
+        failed=np.ones((num_tensors, num_starts), dtype=bool),
+    )
 
 
 def parallel_multistart_sshopm(
@@ -63,6 +110,8 @@ def parallel_multistart_sshopm(
     rng=None,
     config: SolveConfig | None = None,
     *,
+    max_requeues: int = 2,
+    inject: Callable[[int, int], None] | None = None,
     max_iter: int | None = None,
 ) -> ParallelRunReport:
     """Partition ``tensors`` over ``workers`` threads and solve each chunk.
@@ -73,9 +122,17 @@ def parallel_multistart_sshopm(
     ``max_iters`` defaults to 500 (``max_iter=`` is the deprecated
     spelling); ``config`` supplies defaults as in
     :func:`~repro.core.multistart.multistart_sshopm`.
+
+    ``max_requeues`` bounds how many times a crashed chunk task is
+    rescheduled before it is written off (see :class:`ChunkFailure`);
+    ``inject`` is a chaos-testing hook called as
+    ``inject(chunk_index, attempt)`` at the start of every task execution
+    (see :meth:`~repro.resilience.faults.FaultPlan.executor_hook`).
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
+    if max_requeues < 0:
+        raise ValueError(f"max_requeues must be >= 0, got {max_requeues}")
     max_iters = reconcile_max_iters(max_iters, max_iter)
     T = len(tensors)
     if starts is None:
@@ -85,60 +142,132 @@ def parallel_multistart_sshopm(
     parent = current_recorder()
     t0 = time.perf_counter()
 
-    def solve_chunk(r: range) -> tuple[MultistartResult, Recorder | None, MetricsRegistry]:
-        chunk = tensors.subset(np.arange(r.start, r.stop))
-
-        def run():
-            return multistart_sshopm(
-                chunk,
-                alpha=alpha,
-                tol=tol,
-                max_iters=max_iters,
-                starts=starts,
-                backend=backend,
-                dtype=dtype,
-                config=config,
-            )
-
+    def solve_chunk(chunk_index: int, r: range, attempt: int):
         # each worker thread gets its own metrics registry (no cross-thread
-        # lock traffic in the hot path); snapshots merge back below
-        with use_registry() as worker_reg:
-            if parent is None:
-                return run(), None, worker_reg
-            worker_rec = Recorder()
-            with worker_rec.activate():
-                return run(), worker_rec, worker_reg
+        # lock traffic in the hot path); snapshots merge back below — even
+        # for a chunk that crashes partway, so partial metrics survive
+        worker_reg = MetricsRegistry()
+        worker_rec = Recorder() if parent is not None else None
+        res = None
+        error: BaseException | None = None
+        try:
+            with use_registry(worker_reg):
+                if inject is not None:
+                    inject(chunk_index, attempt)
+                chunk = tensors.subset(np.arange(r.start, r.stop))
+
+                def run():
+                    return multistart_sshopm(
+                        chunk,
+                        alpha=alpha,
+                        tol=tol,
+                        max_iters=max_iters,
+                        starts=starts,
+                        backend=backend,
+                        dtype=dtype,
+                        config=config,
+                    )
+
+                if worker_rec is not None:
+                    with worker_rec.activate():
+                        res = run()
+                else:
+                    res = run()
+        except Exception as exc:
+            error = exc
+        return res, error, worker_rec, worker_reg
+
+    parts: dict[int, MultistartResult] = {}
+    recorders: dict[int, Recorder | None] = {}
+    registries: list[MetricsRegistry] = []
+    failures: list[ChunkFailure] = []
+    requeues = 0
+    warned_degraded = False
 
     with _span("parallel_multistart_sshopm"):
-        if len(ranges) == 1:
-            outcomes = [solve_chunk(ranges[0])]
-        else:
-            with ThreadPoolExecutor(max_workers=len(ranges)) as pool:
-                outcomes = list(pool.map(solve_chunk, ranges))
+        with ThreadPoolExecutor(max_workers=len(ranges)) as pool:
+            futures = {
+                pool.submit(solve_chunk, i, r, 0): (i, 0)
+                for i, r in enumerate(ranges)
+            }
+            while futures:
+                done, _ = wait(futures, return_when=FIRST_COMPLETED)
+                for fut in done:
+                    chunk_index, attempt = futures.pop(fut)
+                    res, error, worker_rec, worker_reg = fut.result()
+                    registries.append(worker_reg)
+                    if error is None:
+                        parts[chunk_index] = res
+                        recorders[chunk_index] = worker_rec
+                        continue
+                    requeues_left = max_requeues - attempt
+                    if not warned_degraded:
+                        warned_degraded = True
+                        warnings.warn(
+                            f"worker task for chunk {chunk_index} crashed "
+                            f"({type(error).__name__}: {error}); "
+                            + ("requeueing — running in degraded mode"
+                               if requeues_left > 0 else "requeue budget exhausted"),
+                            RuntimeWarning,
+                            stacklevel=2,
+                        )
+                    if requeues_left > 0:
+                        requeues += 1
+                        fut = pool.submit(solve_chunk, chunk_index,
+                                          ranges[chunk_index], attempt + 1)
+                        futures[fut] = (chunk_index, attempt + 1)
+                        continue
+                    r = ranges[chunk_index]
+                    failures.append(ChunkFailure(
+                        chunk_index=chunk_index,
+                        tensor_range=(r.start, r.stop),
+                        attempts=attempt + 1,
+                        error=f"{type(error).__name__}: {error}",
+                    ))
+                    parts[chunk_index] = _placeholder_result(
+                        len(r), starts.shape[0], tensors.n, np.dtype(dtype))
+                    recorders[chunk_index] = None
+        caller_reg = get_registry()
         if parent is not None:
             # fold per-worker traces in under this span while it is open
             parent.gauge("parallel.workers", len(ranges))
             parent.gauge("parallel.chunk_sizes", [len(r) for r in ranges])
-            for wid, (_, worker_rec, _reg) in enumerate(outcomes):
-                if worker_rec is not None:
-                    parent.absorb(worker_rec, under=f"worker{wid}")
-        caller_reg = get_registry()
-        for _, _, worker_reg in outcomes:
+            for wid in sorted(recorders):
+                if recorders[wid] is not None:
+                    parent.absorb(recorders[wid], under=f"worker{wid}")
+        for worker_reg in registries:
             caller_reg.merge(worker_reg)
+        if requeues:
+            caller_reg.counter(
+                "repro_requeues_total",
+                "Crashed sweep tasks rescheduled on a surviving worker",
+            ).inc(requeues)
+        if failures:
+            caller_reg.counter(
+                "repro_chunk_failures_total",
+                "Parallel chunks that exhausted their requeue budget",
+            ).inc(len(failures))
     seconds = time.perf_counter() - t0
 
-    parts = [res for res, _, _ in outcomes]
-
+    ordered = [parts[i] for i in sorted(parts)]
+    failed_masks = [
+        p.failed if p.failed is not None
+        else np.zeros(p.eigenvalues.shape, dtype=bool)
+        for p in ordered
+    ]
     merged = MultistartResult(
-        eigenvalues=np.concatenate([p.eigenvalues for p in parts], axis=0),
-        eigenvectors=np.concatenate([p.eigenvectors for p in parts], axis=0),
-        converged=np.concatenate([p.converged for p in parts], axis=0),
-        iterations=np.concatenate([p.iterations for p in parts], axis=0),
-        total_sweeps=max(p.total_sweeps for p in parts),
+        eigenvalues=np.concatenate([p.eigenvalues for p in ordered], axis=0),
+        eigenvectors=np.concatenate([p.eigenvectors for p in ordered], axis=0),
+        converged=np.concatenate([p.converged for p in ordered], axis=0),
+        iterations=np.concatenate([p.iterations for p in ordered], axis=0),
+        total_sweeps=max(p.total_sweeps for p in ordered),
+        failed=np.concatenate(failed_masks, axis=0),
     )
     return ParallelRunReport(
         result=merged,
         workers=workers,
         seconds=seconds,
         chunk_sizes=[len(r) for r in ranges],
+        failures=failures,
+        requeues=requeues,
     )

@@ -101,8 +101,8 @@ class SymmetricTensor:
         expected = num_unique_entries(m, n)
         if values.shape != (expected,):
             raise ValueError(
-                f"expected {expected} unique values for R^[{m},{n}], "
-                f"got shape {values.shape}"
+                f"expected {expected} unique values for R^[{m},{n}] "
+                f"(C(m+n-1, m) = C({m + n - 1}, {m})), got shape {values.shape}"
             )
         if not np.issubdtype(values.dtype, np.floating):
             values = values.astype(np.float64)
@@ -280,8 +280,9 @@ class SymmetricTensorBatch:
         expected = num_unique_entries(m, n)
         if values.ndim != 2 or values.shape[1] != expected:
             raise ValueError(
-                f"expected shape (T, {expected}) for R^[{m},{n}] batch, "
-                f"got {values.shape}"
+                f"expected shape (T, {expected}) for R^[{m},{n}] batch "
+                f"(C(m+n-1, m) = C({m + n - 1}, {m}) unique values per "
+                f"tensor), got {values.shape}"
             )
         if not np.issubdtype(values.dtype, np.floating):
             values = values.astype(np.float64)

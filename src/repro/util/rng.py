@@ -11,6 +11,7 @@ import numpy as np
 
 __all__ = [
     "make_rng",
+    "spawn_rng",
     "random_unit_vectors",
     "random_unit_vector",
     "fibonacci_sphere",
@@ -26,6 +27,27 @@ def make_rng(seed: int | np.random.Generator | None = None) -> np.random.Generat
     if isinstance(seed, np.random.Generator):
         return seed
     return np.random.default_rng(seed)
+
+
+def spawn_rng(seed: int | None, *key: int) -> np.random.Generator:
+    """A child generator derived from ``(seed, key)`` via
+    :class:`numpy.random.SeedSequence` spawn keys.
+
+    The stream depends only on the root seed and the key — not on how
+    many siblings were spawned before it, which worker thread asks, or
+    in what order — so per-start randomness (e.g. restart vectors for
+    attempt ``a`` of start ``i``: ``spawn_rng(seed, i, a)``) is identical
+    for ``workers=1`` and ``workers=8``, and a checkpoint-resumed sweep
+    regenerates exactly the streams the interrupted one used.
+
+    ``seed=None`` draws fresh OS entropy (not reproducible); pass an
+    integer for deterministic sweeps.
+    """
+    entropy = seed if seed is None else int(seed)
+    sequence = np.random.SeedSequence(
+        entropy, spawn_key=tuple(int(k) for k in key)
+    )
+    return np.random.default_rng(sequence)
 
 
 def random_unit_vectors(

@@ -1,0 +1,208 @@
+"""Fault-injection (chaos) suite — the resilience layer's acceptance gate.
+
+Run via ``make chaos`` (tier-1 includes it).  Every fault is scheduled
+deterministically by :class:`~repro.resilience.faults.FaultPlan` under a
+pinned seed (``REPRO_CHAOS_SEED``, default 20110516), so a failure here
+reproduces exactly.
+
+The headline scenario: a 64-start sweep with injected NaN kernels, a
+killed worker, and one corrupted start must still return every
+recoverable eigenpair, report the failed start, and — interrupted and
+resumed from its checkpoint — match the uninterrupted run bit-for-bit.
+"""
+
+import json
+import os
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.eigenpairs import dedupe_eigenpairs
+from repro.parallel.executor import parallel_multistart_sshopm
+from repro.resilience import (
+    FaultPlan,
+    InjectedWorkerCrash,
+    RetryPolicy,
+    resilient_multistart,
+)
+from repro.symtensor.random import random_symmetric_batch, random_symmetric_tensor
+
+CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "20110516"))
+
+
+@pytest.fixture
+def tensor():
+    return random_symmetric_tensor(4, 3, rng=np.random.default_rng(CHAOS_SEED))
+
+
+def _pair_set(result):
+    """Comparable (eigenvalue, |first eigenvector component|) signature."""
+    return sorted(round(p.eigenvalue, 9) for p in result.eigenpairs())
+
+
+def test_acceptance_64_starts_survive_chaos(tensor):
+    """The ISSUE acceptance scenario, end to end."""
+    plan = FaultPlan(
+        seed=CHAOS_SEED,
+        nan_kernel={3: (0,), 17: (0,), 41: (0, 1)},  # recoverable via retry
+        crashes={9: 1},                               # recoverable via requeue
+        corrupt={25: 4},                              # unrecoverable input fault
+    )
+    clean = resilient_multistart(tensor, num_starts=64, alpha=2.0,
+                                 seed=CHAOS_SEED, workers=4)
+    assert not clean.failed_starts
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        chaotic = resilient_multistart(
+            tensor, num_starts=64, alpha=2.0, seed=CHAOS_SEED, workers=4,
+            retry=RetryPolicy(max_attempts=3), faults=plan,
+        )
+
+    # the one corrupted start is reported failed, nothing else is
+    assert chaotic.failed_starts == [25]
+    report_25 = next(r for r in chaotic.reports if r.index == 25)
+    assert report_25.error == "nonfinite"
+    assert "failed [nonfinite]: starts 25" in chaotic.summary()
+
+    # the killed worker's start was requeued and recovered
+    report_9 = next(r for r in chaotic.reports if r.index == 9)
+    assert report_9.requeues == 1 and report_9.ok
+    assert chaotic.requeues == 1
+
+    # NaN-kernel starts recovered on retry with an escalated shift
+    for idx in (3, 17, 41):
+        rep = next(r for r in chaotic.reports if r.index == idx)
+        assert rep.attempts > 1 and rep.converged, idx
+        assert abs(rep.alpha) > 2.0  # escalated beyond the requested shift
+
+    # all recoverable eigenpairs still found: same distinct spectrum as
+    # the clean run (the corrupted start only loses one vote, not a pair)
+    assert _pair_set(chaotic) == _pair_set(clean)
+
+
+def test_acceptance_interrupt_resume_bit_for_bit(tensor, tmp_path):
+    ck = tmp_path / "sweep.ckpt.json"
+    full = resilient_multistart(tensor, num_starts=64, alpha=2.0,
+                                seed=CHAOS_SEED, workers=4)
+
+    # simulate an interruption: checkpoint a complete run, then drop every
+    # start past the first 20 from the saved state
+    resilient_multistart(tensor, num_starts=64, alpha=2.0, seed=CHAOS_SEED,
+                         workers=4, checkpoint=str(ck), checkpoint_every=16)
+    state = json.loads(ck.read_text())
+    state["starts"] = {k: v for k, v in state["starts"].items() if int(k) < 20}
+    ck.write_text(json.dumps(state))
+
+    resumed = resilient_multistart(tensor, num_starts=64, alpha=2.0,
+                                   seed=CHAOS_SEED, workers=4,
+                                   checkpoint=str(ck), resume=True)
+    assert resumed.resumed == 20
+    assert len(resumed.reports) == 64
+    for a, b in zip(full.reports, resumed.reports):
+        assert a.index == b.index
+        assert a.eigenvalue == b.eigenvalue  # bit-for-bit, not approx
+        np.testing.assert_array_equal(a.eigenvector, b.eigenvector)
+        assert a.converged == b.converged and a.iterations == b.iterations
+    assert _pair_set(resumed) == _pair_set(full)
+
+
+def test_eigenpair_set_invariant_under_worker_count(tensor):
+    """The RNG satellite: spawn-key streams make workers=1 and workers=8
+    produce identical per-start results, hence identical eigenpair sets."""
+    one = resilient_multistart(tensor, num_starts=32, alpha=2.0,
+                               seed=CHAOS_SEED, workers=1)
+    eight = resilient_multistart(tensor, num_starts=32, alpha=2.0,
+                                 seed=CHAOS_SEED, workers=8)
+    for a, b in zip(one.reports, eight.reports):
+        assert a.eigenvalue == b.eigenvalue
+        np.testing.assert_array_equal(a.eigenvector, b.eigenvector)
+    assert _pair_set(one) == _pair_set(eight)
+
+
+def test_resume_rejects_mismatched_run(tensor, tmp_path):
+    ck = tmp_path / "ck.json"
+    resilient_multistart(tensor, num_starts=8, alpha=2.0, seed=CHAOS_SEED,
+                         checkpoint=str(ck))
+    with pytest.raises(ValueError):
+        resilient_multistart(tensor, num_starts=8, alpha=9.0, seed=CHAOS_SEED,
+                             checkpoint=str(ck), resume=True)
+    other = random_symmetric_tensor(4, 3, rng=np.random.default_rng(1))
+    with pytest.raises(ValueError):
+        resilient_multistart(other, num_starts=8, alpha=2.0, seed=CHAOS_SEED,
+                             checkpoint=str(ck), resume=True)
+
+
+def test_requeue_budget_exhaustion_reports_start(tensor):
+    plan = FaultPlan(seed=CHAOS_SEED, crashes={5: 99})  # always crashes
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        res = resilient_multistart(tensor, num_starts=8, alpha=2.0,
+                                   seed=CHAOS_SEED, workers=2, faults=plan,
+                                   max_requeues=2)
+    assert any("degraded" in str(w.message) for w in caught)
+    assert res.failed_starts == [5]
+    rep = next(r for r in res.reports if r.index == 5)
+    assert rep.error.startswith("crash: InjectedWorkerCrash")
+    assert res.requeues == 2
+    # the other 7 starts are untouched
+    assert sum(r.converged for r in res.reports) == 7
+
+
+def test_slow_task_fault_executes(tensor):
+    plan = FaultPlan(seed=CHAOS_SEED, slow={0: 0.01})
+    res = resilient_multistart(tensor, num_starts=2, alpha=2.0,
+                               seed=CHAOS_SEED, faults=plan)
+    assert not res.failed_starts
+
+
+def test_executor_chunk_crash_requeues_and_recovers():
+    batch = random_symmetric_batch(6, 4, 3,
+                                   rng=np.random.default_rng(CHAOS_SEED))
+    base = parallel_multistart_sshopm(batch, workers=3, num_starts=8,
+                                      alpha=2.0,
+                                      rng=np.random.default_rng(1))
+    plan = FaultPlan(crashes={1: 1})
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        rep = parallel_multistart_sshopm(batch, workers=3, num_starts=8,
+                                         alpha=2.0,
+                                         rng=np.random.default_rng(1),
+                                         inject=plan.executor_hook())
+    assert any("degraded" in str(w.message) for w in caught)
+    assert rep.requeues == 1 and not rep.failures
+    np.testing.assert_array_equal(rep.result.eigenvalues,
+                                  base.result.eigenvalues)
+
+
+def test_executor_exhausted_chunk_becomes_placeholder():
+    batch = random_symmetric_batch(6, 4, 3,
+                                   rng=np.random.default_rng(CHAOS_SEED))
+    plan = FaultPlan(crashes={0: 99})
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        rep = parallel_multistart_sshopm(batch, workers=3, num_starts=8,
+                                         alpha=2.0,
+                                         rng=np.random.default_rng(1),
+                                         inject=plan.executor_hook(),
+                                         max_requeues=1)
+    assert len(rep.failures) == 1
+    failure = rep.failures[0]
+    assert failure.chunk_index == 0 and failure.attempts == 2
+    assert "InjectedWorkerCrash" in failure.error
+    lo, hi = failure.tensor_range
+    assert np.isnan(rep.result.eigenvalues[lo:hi]).all()
+    assert rep.result.failed[lo:hi].all()
+    # the surviving chunks' results are intact and usable
+    assert np.isfinite(rep.result.eigenvalues[hi:]).all()
+    pairs = dedupe_eigenpairs(rep.result.eigenvalues[hi:].ravel(),
+                              rep.result.eigenvectors[hi:].reshape(-1, 3),
+                              batch.m,
+                              converged_mask=rep.result.converged[hi:].ravel())
+    assert pairs
+
+
+def test_injected_crash_is_distinguishable():
+    exc = InjectedWorkerCrash("boom")
+    assert isinstance(exc, RuntimeError)

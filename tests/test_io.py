@@ -85,3 +85,114 @@ class TestResultsIO:
         assert np.array_equal(back.converged, res.converged)
         assert np.array_equal(back.iterations, res.iterations)
         assert back.total_sweeps == res.total_sweeps
+
+    def test_failed_mask_round_trip(self, tmp_path, rng):
+        batch = random_symmetric_batch(2, 4, 3, rng=rng)
+        res = multistart_sshopm(batch, num_starts=4, alpha=5.0, rng=11)
+        assert res.failed is not None
+        path = tmp_path / "res.npz"
+        save_results(path, res)
+        back = load_results(path)
+        assert np.array_equal(back.failed, res.failed)
+
+    def test_old_results_without_failed_mask_load(self, tmp_path, rng):
+        # files written before the `failed` field existed must still load
+        batch = random_symmetric_batch(2, 4, 3, rng=rng)
+        res = multistart_sshopm(batch, num_starts=4, alpha=5.0, rng=11)
+        path = tmp_path / "old.npz"
+        np.savez_compressed(
+            path, format="repro-v1", kind="results",
+            eigenvalues=res.eigenvalues, eigenvectors=res.eigenvectors,
+            converged=res.converged, iterations=res.iterations,
+            total_sweeps=res.total_sweeps,
+        )
+        back = load_results(path)
+        assert back.failed is None
+
+    def test_nan_eigenvalues_allowed_in_results(self, tmp_path, rng):
+        # failed lanes are part of the record; results skip finiteness checks
+        batch = random_symmetric_batch(2, 4, 3, rng=rng)
+        res = multistart_sshopm(batch, num_starts=4, alpha=5.0, rng=11)
+        res.eigenvalues[0, 0] = np.nan
+        path = tmp_path / "res.npz"
+        save_results(path, res)
+        assert np.isnan(load_results(path).eigenvalues[0, 0])
+
+
+class TestRobustness:
+    """Failure-path contract: atomic saves, clear errors on bad payloads."""
+
+    def test_save_is_atomic_over_existing_file(self, tmp_path, rng, monkeypatch):
+        t = random_symmetric_tensor(4, 3, rng=rng)
+        path = tmp_path / "t.npz"
+        save_tensor(path, t)
+        before = path.read_bytes()
+
+        # make the underlying writer explode mid-save; the good file and
+        # directory must be untouched (no temp litter either)
+        def boom(*a, **k):
+            raise OSError("disk on fire")
+
+        monkeypatch.setattr(np, "savez_compressed", boom)
+        with pytest.raises(OSError):
+            save_tensor(path, t)
+        assert path.read_bytes() == before
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["t.npz"]
+
+    def test_truncated_file_is_clear_valueerror(self, tmp_path, rng):
+        t = random_symmetric_tensor(4, 3, rng=rng)
+        path = tmp_path / "t.npz"
+        save_tensor(path, t)
+        payload = path.read_bytes()
+        for cut in (10, len(payload) // 2, len(payload) - 4):
+            path.write_bytes(payload[:cut])
+            with pytest.raises(ValueError, match=r"truncated|corrupt|archive"):
+                load_tensor(path)
+
+    def test_garbage_bytes_are_clear_valueerror(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"this is not a zip archive at all")
+        with pytest.raises(ValueError, match=r"truncated|corrupt|archive"):
+            load_tensor(path)
+
+    def test_missing_file_stays_oserror(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_tensor(tmp_path / "nope.npz")
+
+    def test_wrong_unique_count_names_formula(self, tmp_path):
+        # 15 unique values are needed for R^[4,3]; write 14
+        path = tmp_path / "short.npz"
+        np.savez_compressed(path, format="repro-v1", kind="tensor",
+                            values=np.zeros(14), m=4, n=3)
+        with pytest.raises(ValueError, match=r"C\(m\+n-1, m\)") as exc:
+            load_tensor(path)
+        assert "short.npz" in str(exc.value)
+
+    def test_nonfinite_tensor_payload_rejected(self, tmp_path, rng):
+        t = random_symmetric_tensor(4, 3, rng=rng)
+        t.values[3] = np.nan
+        path = tmp_path / "bad.npz"
+        save_tensor(path, t)
+        with pytest.raises(ValueError, match="non-finite"):
+            load_tensor(path)
+
+    def test_nonfinite_batch_payload_rejected(self, tmp_path, rng):
+        b = random_symmetric_batch(3, 4, 3, rng=rng)
+        b.values[1, 2] = np.inf
+        path = tmp_path / "bad.npz"
+        save_batch(path, b)
+        with pytest.raises(ValueError, match="non-finite"):
+            load_batch(path)
+
+    def test_missing_array_names_key(self, tmp_path):
+        path = tmp_path / "partial.npz"
+        np.savez_compressed(path, format="repro-v1", kind="tensor",
+                            values=np.zeros(15), m=4)  # no n
+        with pytest.raises(ValueError, match="'n'"):
+            load_tensor(path)
+
+    def test_save_appends_npz_suffix_like_numpy(self, tmp_path, rng):
+        t = random_symmetric_tensor(4, 3, rng=rng)
+        save_tensor(tmp_path / "bare", t)
+        assert (tmp_path / "bare.npz").exists()
+        assert load_tensor(tmp_path / "bare.npz").allclose(t)

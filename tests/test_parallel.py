@@ -149,3 +149,111 @@ class TestCpuModelShape:
         params = CpuPerfParams(eff_unrolled=0.5, intra_unrolled=1.0)
         p = predict_cpu_sshopm(1e9, cpu=cpu, cores=2, params=params)
         assert np.isclose(p.gflops, 0.5 * 16.0 * 2.0)
+
+
+class TestHardenedExecutor:
+    """Crash-requeue and partial-failure behavior of the chunk executor."""
+
+    def _batch(self, tensors=6):
+        return random_symmetric_batch(tensors, 4, 3, rng=np.random.default_rng(3))
+
+    def test_inject_hook_sees_every_chunk(self):
+        batch = self._batch()
+        seen = []
+        parallel_multistart_sshopm(
+            batch, workers=3, num_starts=4, alpha=2.0,
+            rng=np.random.default_rng(0),
+            inject=lambda chunk, attempt: seen.append((chunk, attempt)),
+        )
+        assert sorted(seen) == [(0, 0), (1, 0), (2, 0)]
+
+    def test_crashed_chunk_requeues_to_same_result(self):
+        batch = self._batch()
+        base = parallel_multistart_sshopm(batch, workers=3, num_starts=4,
+                                          alpha=2.0, rng=np.random.default_rng(0))
+        budget = {2: 1}
+
+        def inject(chunk, attempt):
+            if budget.get(chunk, 0) > attempt:
+                raise RuntimeError("synthetic worker death")
+
+        with pytest.warns(RuntimeWarning, match="degraded"):
+            rep = parallel_multistart_sshopm(batch, workers=3, num_starts=4,
+                                             alpha=2.0,
+                                             rng=np.random.default_rng(0),
+                                             inject=inject)
+        assert rep.requeues == 1 and not rep.failures
+        assert np.array_equal(rep.result.eigenvalues, base.result.eigenvalues)
+        assert not rep.result.failed.any()
+
+    def test_exhausted_chunk_reported_not_raised(self):
+        batch = self._batch()
+
+        def always_crash(chunk, attempt):
+            if chunk == 1:
+                raise RuntimeError("persistent fault")
+
+        with pytest.warns(RuntimeWarning):
+            rep = parallel_multistart_sshopm(batch, workers=3, num_starts=4,
+                                             alpha=2.0,
+                                             rng=np.random.default_rng(0),
+                                             inject=always_crash,
+                                             max_requeues=1)
+        assert [f.chunk_index for f in rep.failures] == [1]
+        assert rep.failures[0].attempts == 2
+        lo, hi = rep.failures[0].tensor_range
+        assert np.isnan(rep.result.eigenvalues[lo:hi]).all()
+        assert rep.result.failed[lo:hi].all()
+        assert not rep.result.failed[:lo].any()
+        assert not rep.result.failed[hi:].any()
+        # merged shapes stay consistent with the healthy layout
+        assert rep.result.eigenvalues.shape == (len(batch), 4)
+
+    def test_zero_requeues_budget(self):
+        batch = self._batch()
+
+        def crash_once(chunk, attempt):
+            if chunk == 0 and attempt == 0:
+                raise RuntimeError("one-shot fault")
+
+        with pytest.warns(RuntimeWarning):
+            rep = parallel_multistart_sshopm(batch, workers=2, num_starts=4,
+                                             alpha=2.0,
+                                             rng=np.random.default_rng(0),
+                                             inject=crash_once,
+                                             max_requeues=0)
+        assert rep.requeues == 0
+        assert [f.chunk_index for f in rep.failures] == [0]
+
+    def test_partial_metrics_merge_from_crashed_chunk(self):
+        from repro.instrument.metrics import use_registry
+
+        batch = self._batch()
+
+        def crash_chunk_one(chunk, attempt):
+            if chunk == 1 and attempt == 0:
+                raise RuntimeError("dies after registry creation")
+
+        with use_registry() as reg:
+            with pytest.warns(RuntimeWarning):
+                parallel_multistart_sshopm(batch, workers=3, num_starts=4,
+                                           alpha=2.0,
+                                           rng=np.random.default_rng(0),
+                                           inject=crash_chunk_one)
+        names = {m["name"] for m in reg.snapshot()["metrics"]}
+        assert "repro_requeues_total" in names
+        # solver metrics from the surviving + requeued chunks merged in
+        assert any(n.startswith("repro_solver") for n in names)
+
+    def test_failed_lanes_counted_in_dead_lane_metric(self):
+        from repro.instrument.metrics import use_registry
+
+        batch = self._batch(tensors=2)
+        batch.values[:] = np.nan
+        with use_registry() as reg:
+            rep = parallel_multistart_sshopm(batch, workers=2, num_starts=4,
+                                             alpha=2.0,
+                                             rng=np.random.default_rng(0))
+        assert rep.result.failed.all()
+        names = {m["name"] for m in reg.snapshot()["metrics"]}
+        assert "repro_multistart_dead_lanes_total" in names
