@@ -26,7 +26,7 @@ def test_shift_tradeoff(benchmark):
 
     def run_config(alpha):
         res = multistart_sshopm(tensors, num_starts=32, alpha=alpha, rng=22,
-                                tol=1e-10, max_iter=2000)
+                                tol=1e-10, max_iters=2000)
         conv = res.converged.mean()
         iters = res.iterations[res.converged].mean() if res.converged.any() else np.nan
         return conv, iters
@@ -45,7 +45,7 @@ def test_shift_tradeoff(benchmark):
         for t in range(0, len(tensors), 8):
             for seed in range(4):
                 r = adaptive_sshopm(tensors[t], rng=1000 + seed, tol=1e-10,
-                                    max_iter=2000)
+                                    max_iters=2000)
                 total += 1
                 if r.converged:
                     conv_count += 1

@@ -23,7 +23,7 @@ from repro.util.rng import random_unit_vector
 def test_rate_prediction_sweep(benchmark):
     tensor = random_symmetric_tensor(4, 3, rng=77)
     pairs = find_eigenpairs(tensor, num_starts=128, alpha=suggested_shift(tensor),
-                            rng=78, tol=1e-14, max_iter=6000)
+                            rng=78, tol=1e-14, max_iters=6000)
     principal = pairs[0]
     a_min = minimal_attracting_shift(tensor, principal.eigenvalue,
                                      principal.eigenvector)
@@ -36,7 +36,7 @@ def test_rate_prediction_sweep(benchmark):
             ana = analyze_fixed_point(tensor, principal.eigenvalue,
                                       principal.eigenvector, alpha)
             x0 = principal.eigenvector + 0.05 * random_unit_vector(3, rng=79)
-            res = sshopm(tensor, x0=x0, alpha=alpha, tol=1e-14, max_iter=50000)
+            res = sshopm(tensor, x0=x0, alpha=alpha, tol=1e-14, max_iters=50000)
             measured = estimate_rate(res.lambda_history)
             rows.append([
                 f"{alpha:9.3f}",

@@ -106,7 +106,7 @@ def test_bench_host_batched_scaling(benchmark, paper_workload, T):
 
     def run():
         return multistart_sshopm(subset, starts=starts, alpha=0.0, tol=1e-6,
-                                 max_iter=30, backend="batched_unrolled",
+                                 max_iters=30, backend="batched_unrolled",
                                  dtype=np.float32)
 
     benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=1)
@@ -123,10 +123,10 @@ def test_report_host_scaling(benchmark, paper_workload):
             subset = phantom.tensors.subset(T)
             t0 = time.perf_counter()
             res = multistart_sshopm(subset, starts=starts, alpha=0.0, tol=1e-6,
-                                    max_iter=30, backend="batched_unrolled",
+                                    max_iters=30, backend="batched_unrolled",
                                     dtype=np.float32)
             dt = time.perf_counter() - t0
-            sweeps = res.total_sweeps
+            sweeps = res.sweeps
             pair_iters = T * 128 * sweeps
             rows.append([T, f"{dt*1e3:9.1f}", f"{pair_iters/dt/1e6:10.2f}"])
         return rows

@@ -107,7 +107,7 @@ _MEASURED: dict[str, float] = {}  # variant -> seconds for full workload
 
 def _per_pair_seconds(variant, tensor, start, iters=25):
     t0 = time.perf_counter()
-    sshopm(tensor, x0=start, alpha=0.0, tol=0.0, max_iter=iters, kernels=variant)
+    sshopm(tensor, x0=start, alpha=0.0, tol=0.0, max_iters=iters, kernels=variant)
     return (time.perf_counter() - t0) / iters
 
 
@@ -121,7 +121,7 @@ def test_bench_per_pair_variants(benchmark, paper_workload, variant):
     tensor = phantom.tensors[0]
 
     def run():
-        return sshopm(tensor, x0=starts[0], alpha=0.0, tol=0.0, max_iter=10,
+        return sshopm(tensor, x0=starts[0], alpha=0.0, tol=0.0, max_iters=10,
                       kernels=variant)
 
     benchmark(run)
@@ -138,7 +138,7 @@ def test_bench_full_workload_batched(benchmark, paper_workload, backend):
 
     def run():
         return multistart_sshopm(
-            phantom.tensors, starts=starts, alpha=0.0, tol=1e-6, max_iter=60,
+            phantom.tensors, starts=starts, alpha=0.0, tol=1e-6, max_iters=60,
             backend=backend, dtype=np.float32,
         )
 

@@ -23,7 +23,7 @@ def test_warp_divergence_report(benchmark, paper_workload):
 
     def build():
         res = multistart_sshopm(
-            phantom.tensors, starts=starts, alpha=0.0, tol=1e-6, max_iter=200,
+            phantom.tensors, starts=starts, alpha=0.0, tol=1e-6, max_iters=200,
             dtype=np.float32,
         )
         iters = np.maximum(res.iterations, 1)

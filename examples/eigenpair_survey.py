@@ -16,14 +16,17 @@ Run:  python examples/eigenpair_survey.py
 
 import numpy as np
 
-from repro.core import (
-    adaptive_sshopm,
-    find_eigenpairs,
-    sshopm,
-    suggested_shift,
-)
+import repro
+from repro.core import suggested_shift
 from repro.symtensor import kolda_mayo_example_3x3x3
 from repro.util.rng import random_unit_vector
+
+
+def survey(tensor, alpha, rng):
+    """Reachable spectrum via the facade: multistart + dedup + stability."""
+    report = repro.solve(tensor, starts=500, alpha=alpha, rng=rng,
+                         tol=1e-14, max_iters=5000)
+    return report.eigenpairs(tensor, classify=True)[0]
 
 
 def main():
@@ -37,15 +40,13 @@ def main():
     print(f"conservative convexity shift alpha = {alpha:.3f}\n")
 
     print("=== reachable spectrum, convex iteration (alpha > 0) ===")
-    pairs_max = find_eigenpairs(tensor, num_starts=500, alpha=alpha, rng=0,
-                                tol=1e-14, max_iters=5000)
+    pairs_max = survey(tensor, alpha, rng=0)
     for p in pairs_max:
         print(f"  lambda = {p.eigenvalue:+.4f}  {p.stability:<11s} "
               f"basin {p.occurrences / 500:5.1%}  residual {p.residual:.1e}")
 
     print("\n=== reachable spectrum, concave iteration (alpha < 0) ===")
-    pairs_min = find_eigenpairs(tensor, num_starts=500, alpha=-alpha, rng=1,
-                                tol=1e-14, max_iters=5000)
+    pairs_min = survey(tensor, -alpha, rng=1)
     for p in pairs_min:
         print(f"  lambda = {p.eigenvalue:+.4f}  {p.stability:<11s} "
               f"basin {p.occurrences / 500:5.1%}  residual {p.residual:.1e}")
@@ -61,15 +62,18 @@ def main():
     rows = []
     for label, runner in [
         ("alpha = 0 (unshifted S-HOPM)",
-         lambda x0: sshopm(tensor, x0=x0, alpha=0.0, tol=1e-12, max_iters=5000)),
+         lambda x0: repro.solve(tensor, starts=x0, alpha=0.0,
+                                tol=1e-12, max_iters=5000)),
         (f"alpha = {alpha:.2f} (conservative)",
-         lambda x0: sshopm(tensor, x0=x0, alpha=alpha, tol=1e-12, max_iters=5000)),
+         lambda x0: repro.solve(tensor, starts=x0, alpha=alpha,
+                                tol=1e-12, max_iters=5000)),
         ("adaptive (GEAP-style)",
-         lambda x0: adaptive_sshopm(tensor, x0=x0, tol=1e-12, max_iters=5000)),
+         lambda x0: repro.solve(tensor, starts=x0, adaptive=True,
+                                tol=1e-12, max_iters=5000)),
     ]:
         iters, converged = [], 0
         for seed in range(20):
-            res = runner(random_unit_vector(3, rng=seed))
+            res = runner(random_unit_vector(3, rng=seed)).result
             if res.converged:
                 converged += 1
                 iters.append(res.iterations)

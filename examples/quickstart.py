@@ -2,16 +2,19 @@
 
 Builds a random 4th-order, 3-dimensional symmetric tensor (the size of the
 paper's DW-MRI application), stores it compressed (15 unique values instead
-of 81 dense entries), and finds its SS-HOPM-reachable eigenpairs from many
-starting vectors.
+of 81 dense entries), and finds its SS-HOPM-reachable eigenpairs through
+``repro.solve`` — the one front door that routes each request to the right
+solver by its shape (one start, many starts, or a whole batch).
 
 Run:  python examples/quickstart.py
 """
 
 import numpy as np
 
-from repro.core import find_eigenpairs, sshopm, suggested_shift
-from repro.symtensor import random_symmetric_tensor
+import repro
+from repro.core import suggested_shift
+from repro.symtensor import random_symmetric_batch, random_symmetric_tensor
+
 
 def main():
     # a reproducible random symmetric tensor in R^[4,3]
@@ -20,19 +23,24 @@ def main():
     print(f"dense entries: {tensor.num_dense}, stored: {tensor.num_unique} "
           f"({tensor.compression_ratio:.1f}x compression)\n")
 
-    # one SS-HOPM run (Figure 1 of the paper) with a convexity shift
+    # one SS-HOPM run (Figure 1 of the paper) with a convexity shift;
+    # a single-start request routes to plain sshopm
     alpha = suggested_shift(tensor)
-    result = sshopm(tensor, alpha=alpha, rng=0, tol=1e-14, max_iters=2000)
-    print("single SS-HOPM run:")
+    report = repro.solve(tensor, alpha=alpha, rng=0, tol=1e-14, max_iters=2000)
+    result = report.result
+    print(f"single run (routed to {report.solver}):")
     print(f"  lambda      = {result.eigenvalue:+.6f}")
     print(f"  x           = {np.array2string(result.eigenvector, precision=4)}")
     print(f"  iterations  = {result.iterations}, converged = {result.converged}")
     print(f"  ||Ax^3 - lambda x|| = {result.residual:.2e}\n")
 
-    # the full reachable spectrum: multistart + dedup + stability labels
-    pairs = find_eigenpairs(tensor, num_starts=128, alpha=alpha, rng=1,
-                            tol=1e-13, max_iters=3000)
-    print(f"found {len(pairs)} distinct real eigenpairs from 128 starts:")
+    # the full reachable spectrum: starts=128 routes to the multistart
+    # solver; eigenpairs() dedups and (with classify=True) labels stability
+    report = repro.solve(tensor, starts=128, alpha=alpha, rng=1,
+                         tol=1e-13, max_iters=3000)
+    pairs = report.eigenpairs(tensor, classify=True)[0]
+    print(f"found {len(pairs)} distinct real eigenpairs from 128 starts "
+          f"(routed to {report.solver}):")
     print(f"{'lambda':>10s}  {'stability':<12s} {'basin':>6s}  eigenvector")
     for p in pairs:
         vec = np.array2string(p.eigenvector, precision=4, suppress_small=True)
@@ -41,7 +49,18 @@ def main():
     # positive-stable pairs are the local maxima of f(x) = A x^4 on the
     # sphere — in the MRI application these are the fiber directions
     maxima = [p for p in pairs if p.stability == "pos_stable"]
-    print(f"\nlocal maxima of A x^4 on the unit sphere: {len(maxima)}")
+    print(f"\nlocal maxima of A x^4 on the unit sphere: {len(maxima)}\n")
+
+    # a whole batch routes to the fleet engine: every (tensor, start) lane
+    # advances together, finished lanes retire, kernels come from the plan
+    # cache
+    batch = random_symmetric_batch(16, 4, 3, rng=7)
+    report = repro.solve(batch, starts=32, alpha=alpha, rng=2)
+    print(f"batch of {len(batch)} tensors (routed to {report.solver}):")
+    print(f"  {report.result.summary()}")
+    spectra = report.eigenpairs()
+    print(f"  distinct eigenpairs per tensor: "
+          f"{[len(ps) for ps in spectra[:8]]} ...")
 
 
 if __name__ == "__main__":

@@ -13,6 +13,9 @@ Subpackages
 ``repro.core``
     SS-HOPM (fixed and adaptive shift), batched multistart, eigenpair
     deduplication and stability classification.
+``repro.engine``
+    The fleet solve engine: whole-workload batched scheduling with lane
+    retirement, active-set compaction, and plan-cached kernels.
 ``repro.gpu``
     Simulated CUDA substrate: device specs, occupancy, event-driven grid
     execution, calibrated performance model (substitutes for the Tesla
@@ -28,11 +31,15 @@ Subpackages
 
 Quick start
 -----------
+>>> import repro
 >>> from repro.symtensor import random_symmetric_tensor
->>> from repro.core import find_eigenpairs, suggested_shift
+>>> from repro.core import suggested_shift
 >>> A = random_symmetric_tensor(4, 3, rng=0)
->>> pairs = find_eigenpairs(A, num_starts=64, alpha=suggested_shift(A), rng=1)
->>> (pairs[0].eigenvalue, pairs[0].stability)  # doctest: +SKIP
+>>> report = repro.solve(A, starts=64, alpha=suggested_shift(A), rng=1)
+>>> pairs = report.eigenpairs(A)[0]  # doctest: +SKIP
+
+``repro.solve`` routes by request shape (one tensor / a batch, one start
+/ many, ``workers=``); see ``docs/api.md``.
 """
 
 def _read_version() -> str:
@@ -71,15 +78,20 @@ def _read_version() -> str:
 
 __version__ = _read_version()
 
-from repro import core, gpu, instrument, kernels, mri, parallel, symtensor, util
+from repro import core, engine, gpu, instrument, kernels, mri, parallel, symtensor, util
+from repro.facade import SolveReport, SolveRequest, solve
 
 __all__ = [
+    "SolveReport",
+    "SolveRequest",
     "core",
+    "engine",
     "gpu",
     "instrument",
     "kernels",
     "mri",
     "parallel",
+    "solve",
     "symtensor",
     "util",
     "__version__",

@@ -3,6 +3,7 @@
 Subcommands mirror the workflows in the paper and this repo's benchmarks::
 
     repro spectrum  --m 4 --n 3 --seed 42          # eigenpairs of a tensor
+    repro fleet-solve --tensors 64 --starts 32     # whole-batch fleet engine
     repro phantom   --rows 32 --cols 32 -o p.npz   # synthesize a test set
     repro detect    p.npz                          # fiber detection + score
     repro gpu-model --tensors 1024                 # Table III-style output
@@ -267,6 +268,62 @@ def _cmd_solve(args) -> int:
     return 0 if not result.failed_starts or pairs else 1
 
 
+def _cmd_fleet_solve(args) -> int:
+    import repro
+    from repro.symtensor import random_symmetric_batch
+
+    if args.batch:
+        from repro.io import load_batch
+
+        try:
+            batch = load_batch(args.batch)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"loaded {args.batch}: {batch!r}")
+    else:
+        batch = random_symmetric_batch(args.tensors, args.m, args.n,
+                                       rng=args.seed)
+        print(f"random batch: {batch!r} (seed {args.seed})")
+    try:
+        report = repro.solve(
+            batch,
+            starts=args.starts,
+            alpha=args.alpha,
+            tol=args.tol,
+            max_iters=args.max_iters,
+            rng=args.seed + 1,
+            adaptive=args.adaptive,
+            workers=args.workers,
+            variant=args.variant,
+            compact_every=args.compact_every,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    result = report.result
+    print(f"solver: {report.solver} ({report.seconds:.2f}s)")
+    print(result.summary())
+    if report.extra is not None:
+        sizes = "/".join(str(s) for s in report.extra.shard_sizes)
+        print(f"shards: {sizes} tensors over {report.extra.workers} workers")
+    if args.spectra:
+        for t, pairs in enumerate(result.eigenpairs()):
+            lams = ", ".join(f"{p.eigenvalue:+.5f}x{p.occurrences}"
+                             for p in pairs) or "(none converged)"
+            print(f"tensor {t}: {lams}")
+    if args.output:
+        from repro.io import save_results
+
+        try:
+            save_results(args.output, result)
+        except OSError as exc:
+            print(f"error: cannot write {args.output}: {exc}", file=sys.stderr)
+            return 2
+        print(f"wrote {args.output}")
+    return 0 if result.converged.any() else 1
+
+
 def _cmd_bench_smoke(args) -> int:
     from repro.bench import BenchTimeout, run_smoke, write_bench_file
 
@@ -378,6 +435,35 @@ def build_parser() -> argparse.ArgumentParser:
                    "(parameters must match; results are bit-for-bit "
                    "identical to an uninterrupted run)")
     p.set_defaults(func=_cmd_solve)
+
+    p = add_parser("fleet-solve", help="solve a whole tensor batch with the "
+                   "fleet engine (lane retirement + plan-cached kernels)")
+    p.add_argument("--batch", metavar="FILE.npz", default=None,
+                   help="solve this saved batch (see repro.io.save_batch) "
+                   "instead of a random one")
+    p.add_argument("--tensors", type=int, default=64,
+                   help="random-batch size when no --batch file is given")
+    p.add_argument("--m", type=int, default=4)
+    p.add_argument("--n", type=int, default=6)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--starts", type=int, default=32)
+    p.add_argument("--alpha", type=float, default=0.0)
+    p.add_argument("--tol", type=float, default=1e-10)
+    p.add_argument("--max-iters", type=int, default=500)
+    p.add_argument("--variant", default="vectorized",
+                   help="kernel-plan variant (vectorized, unrolled, "
+                   "unrolled_cse, blocked, or auto)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="shard the tensor axis over this many threads")
+    p.add_argument("--adaptive", action="store_true",
+                   help="per-lane shift escalation on oscillation")
+    p.add_argument("--compact-every", type=int, default=8, metavar="K",
+                   help="sweeps between active-set compactions")
+    p.add_argument("--spectra", action="store_true",
+                   help="print the deduplicated spectrum per tensor")
+    p.add_argument("-o", "--output", metavar="RESULTS.npz", default=None,
+                   help="save the (T, V) result bundle (repro.io format)")
+    p.set_defaults(func=_cmd_fleet_solve)
 
     p = add_parser("phantom", help="synthesize a DW-MRI phantom")
     p.add_argument("--rows", type=int, default=32)

@@ -20,6 +20,7 @@ from repro.core.eigenpairs import (
 )
 from repro.core.multistart import MultistartResult, multistart_sshopm, starting_vectors
 from repro.core.refine import NewtonResult, newton_refine, refine_pairs
+from repro.core.results import FleetResult, ResultProtocol
 from repro.core.solve import find_eigenpairs, find_eigenpairs_batch
 from repro.core.sshopm import SSHOPMResult, sshopm, suggested_shift
 from repro.core.theory import (
@@ -46,7 +47,9 @@ __all__ = [
     "eigen_residual",
     "hessian_matrix",
     "projected_hessian_eigenvalues",
+    "FleetResult",
     "MultistartResult",
+    "ResultProtocol",
     "multistart_sshopm",
     "starting_vectors",
     "NewtonResult",

@@ -71,7 +71,7 @@ def basin_map(
     starts = np.asarray(starts, dtype=np.float64)
 
     res = multistart_sshopm(tensor, starts=starts, alpha=alpha, tol=tol,
-                            max_iter=max_iter)
+                            max_iters=max_iter)
     lams = res.eigenvalues[0]
     vecs = res.eigenvectors[0]
     conv = res.converged[0]

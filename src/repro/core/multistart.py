@@ -19,6 +19,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.config import SolveConfig, reconcile_max_iters, resolve_option
+from repro.core.results import warn_renamed_field
 from repro.instrument import current_recorder, gauge as _gauge
 from repro.instrument import span as _span
 from repro.instrument.metrics import observe_solver_run
@@ -45,7 +46,8 @@ class MultistartResult:
     eigenvectors : ``(T, V, n)`` final unit vectors.
     converged : ``(T, V)`` bool.
     iterations : ``(T, V)`` iterations until each pair froze.
-    total_sweeps : lockstep iteration sweeps executed (max over pairs).
+    sweeps : lockstep iteration sweeps executed (max over pairs);
+        ``total_sweeps`` is the deprecated pre-1.2 spelling.
     telemetry : per-sweep aggregate convergence stream
         (:class:`~repro.instrument.telemetry.ConvergenceTelemetry`; mean
         lambda / max residual / mean step over the still-active pairs)
@@ -60,7 +62,7 @@ class MultistartResult:
     eigenvectors: np.ndarray
     converged: np.ndarray
     iterations: np.ndarray
-    total_sweeps: int
+    sweeps: int
     telemetry: ConvergenceTelemetry | None = None
     failed: np.ndarray | None = None
 
@@ -71,6 +73,55 @@ class MultistartResult:
     @property
     def num_starts(self) -> int:
         return self.eigenvalues.shape[1]
+
+    @property
+    def total_sweeps(self) -> int:
+        """Deprecated alias of :attr:`sweeps` (pre-1.2 spelling)."""
+        warn_renamed_field("total_sweeps", "sweeps")
+        return self.sweeps
+
+    def eigenpairs(
+        self,
+        tensors: SymmetricTensorBatch | SymmetricTensor,
+        lambda_tol: float = 1e-5,
+        angle_tol: float = 1e-2,
+        classify: bool = False,
+    ) -> list[list]:
+        """Per-tensor deduplicated eigenpairs from the converged lanes.
+
+        ``tensors`` must be the batch (or single tensor) the result was
+        computed from; it supplies ``m`` for sign canonicalization and,
+        with ``classify=True``, the residual/stability classification.
+        Returns one list of :class:`~repro.core.eigenpairs.Eigenpair`
+        per tensor.
+        """
+        from repro.core.eigenpairs import dedupe_eigenpairs
+
+        if isinstance(tensors, SymmetricTensor):
+            tensors = SymmetricTensorBatch(
+                tensors.values[None, :], tensors.m, tensors.n
+            )
+        if len(tensors) != self.num_tensors:
+            raise ValueError(
+                f"batch has {len(tensors)} tensors but result has "
+                f"{self.num_tensors}"
+            )
+        keep = self.converged
+        if self.failed is not None:
+            keep = keep & ~self.failed
+        return [
+            dedupe_eigenpairs(
+                self.eigenvalues[t],
+                self.eigenvectors[t],
+                tensors.m,
+                tensor=tensors[t] if classify else None,
+                lambda_tol=lambda_tol,
+                angle_tol=angle_tol,
+                classify=classify,
+                converged_mask=keep[t],
+            )
+            for t in range(self.num_tensors)
+        ]
 
 
 def starting_vectors(
@@ -325,7 +376,7 @@ def multistart_sshopm(
         eigenvectors=x,
         converged=converged,
         iterations=iterations,
-        total_sweeps=sweeps,
+        sweeps=sweeps,
         telemetry=tel,
         failed=failed,
     )

@@ -1,0 +1,170 @@
+"""Normalized result types: one protocol across every solver.
+
+Every solver result — :class:`~repro.core.sshopm.SSHOPMResult` (one
+tensor, one start), :class:`~repro.core.multistart.MultistartResult`
+(lockstep multistart), and :class:`FleetResult` (the fleet engine's
+whole-workload solve) — satisfies :class:`ResultProtocol`: it exposes
+``converged``, ``telemetry``, and an ``eigenpairs()`` method producing
+deduplicated :class:`~repro.core.eigenpairs.Eigenpair` objects.  Code
+that consumes "whatever the solver returned" (the :func:`repro.solve`
+facade, the CLI, reports) programs against the protocol instead of
+switching on concrete types.
+
+Renamed fields keep deprecated aliases that warn but still work; see
+:func:`warn_renamed_field` (``MultistartResult.total_sweeps`` →
+``.sweeps`` is the current straggler, mirrored on :class:`FleetResult`
+for uniformity).
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+from typing import Any, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.core.eigenpairs import Eigenpair, dedupe_eigenpairs
+
+__all__ = ["FleetResult", "ResultProtocol", "warn_renamed_field"]
+
+
+def warn_renamed_field(old: str, new: str, *, stacklevel: int = 3) -> None:
+    """Emit the shared renamed-result-field :class:`DeprecationWarning`.
+
+    ``stacklevel=3`` blames the attribute access site (caller → property
+    wrapper → this helper), so the warning points at user code, not at
+    the result class.
+    """
+    warnings.warn(
+        f"the {old} result field is deprecated; use {new}",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
+
+
+@runtime_checkable
+class ResultProtocol(Protocol):
+    """What every solver result guarantees.
+
+    ``converged`` is a bool (single-start) or boolean array (one flag per
+    lane); ``telemetry`` is the run's
+    :class:`~repro.instrument.telemetry.ConvergenceTelemetry` stream or
+    ``None``; ``eigenpairs()`` clusters the converged output into
+    distinct :class:`~repro.core.eigenpairs.Eigenpair` objects (a flat
+    list for single-tensor results, one list per tensor for batch
+    results).
+    """
+
+    converged: Any
+    telemetry: Any
+
+    def eigenpairs(self, *args, **kwargs) -> list: ...
+
+
+@dataclass
+class FleetResult:
+    """Outcome of a fleet solve: ``T`` tensors × ``V`` starts in one run.
+
+    Shapes use ``T`` = tensors, ``V`` = starts per tensor, ``n`` = mode
+    dimension; the engine's flat lane ``l`` maps to ``(t, v) = divmod(l, V)``.
+
+    Attributes
+    ----------
+    eigenvalues : ``(T, V)`` final ``lambda`` per lane.
+    eigenvectors : ``(T, V, n)`` final unit vectors.
+    converged : ``(T, V)`` bool — lanes that met the tolerance.
+    iterations : ``(T, V)`` iterations until each lane retired.
+    sweeps : lockstep sweeps the engine executed (max over lanes).
+    failed : ``(T, V)`` bool — lanes that died numerically (NaN/Inf or a
+        collapsed update) and were retired without poisoning the batch.
+    shifts : ``(T, V)`` final per-lane shift (differs from the initial
+        alpha when adaptive escalation ran), or ``None``.
+    telemetry : per-sweep aggregate convergence stream, or ``None``.
+    variant : canonical kernel-plan variant the engine used.
+    compactions : active-set compactions performed.
+    tensors : the solved batch (kept so :meth:`eigenpairs` can classify
+        and compute residuals without re-threading it), or ``None`` for
+        results reloaded from disk.
+    """
+
+    eigenvalues: np.ndarray
+    eigenvectors: np.ndarray
+    converged: np.ndarray
+    iterations: np.ndarray
+    sweeps: int
+    failed: np.ndarray
+    shifts: np.ndarray | None = None
+    telemetry: Any = None
+    variant: str = ""
+    compactions: int = 0
+    tensors: Any = field(default=None, repr=False)
+
+    @property
+    def num_tensors(self) -> int:
+        return self.eigenvalues.shape[0]
+
+    @property
+    def num_starts(self) -> int:
+        return self.eigenvalues.shape[1]
+
+    @property
+    def total_sweeps(self) -> int:
+        """Deprecated alias of :attr:`sweeps` (pre-1.2 spelling)."""
+        warn_renamed_field("total_sweeps", "sweeps")
+        return self.sweeps
+
+    def converged_fraction(self) -> float:
+        return float(np.mean(self.converged)) if self.converged.size else 0.0
+
+    def eigenpairs(
+        self,
+        tensors=None,
+        lambda_tol: float = 1e-5,
+        angle_tol: float = 1e-2,
+        classify: bool = False,
+    ) -> list[list[Eigenpair]]:
+        """Per-tensor deduplicated eigenpairs: ``out[t]`` is the sorted
+        distinct spectrum reached for tensor ``t`` (failed and
+        unconverged lanes are excluded).
+
+        Uses the batch captured at solve time; pass ``tensors=`` to
+        override (required for results reloaded from disk, which carry
+        no batch).  ``classify=True`` also fills residuals and stability
+        labels (costs one Hessian eigendecomposition per pair).
+        """
+        batch = tensors if tensors is not None else self.tensors
+        if batch is None:
+            raise ValueError(
+                "this FleetResult carries no tensor batch; pass tensors="
+            )
+        if len(batch) != self.num_tensors:
+            raise ValueError(
+                f"batch has {len(batch)} tensors but result has "
+                f"{self.num_tensors}"
+            )
+        keep = self.converged & ~self.failed
+        return [
+            dedupe_eigenpairs(
+                self.eigenvalues[t],
+                self.eigenvectors[t],
+                batch.m,
+                tensor=batch[t] if classify else None,
+                lambda_tol=lambda_tol,
+                angle_tol=angle_tol,
+                classify=classify,
+                converged_mask=keep[t],
+            )
+            for t in range(self.num_tensors)
+        ]
+
+    def summary(self) -> str:
+        """One-line human summary (used by the CLI)."""
+        T, V = self.eigenvalues.shape
+        return (
+            f"{T} tensors x {V} starts: "
+            f"{int(self.converged.sum())}/{T * V} lanes converged "
+            f"({int(self.failed.sum())} failed) in {self.sweeps} sweeps "
+            f"[{self.variant or 'default'} plan, "
+            f"{self.compactions} compactions]"
+        )

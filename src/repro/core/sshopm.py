@@ -63,6 +63,33 @@ class SSHOPMResult:
     lambda_history: list[float] = field(default_factory=list)
     telemetry: ConvergenceTelemetry | None = None
 
+    def eigenpairs(
+        self,
+        tensor: SymmetricTensor | None = None,
+        lambda_tol: float = 1e-5,
+        angle_tol: float = 1e-2,
+        classify: bool = False,
+    ) -> list:
+        """The run's eigenpair as a (zero- or one-element) list, matching
+        the :class:`~repro.core.results.ResultProtocol` shape shared with
+        the batch solvers.  Unconverged runs yield ``[]``; ``tensor`` is
+        needed only for ``classify=True``.
+        """
+        from repro.core.eigenpairs import dedupe_eigenpairs
+
+        if not self.converged:
+            return []
+        m = tensor.m if tensor is not None else 0
+        return dedupe_eigenpairs(
+            np.asarray([self.eigenvalue]),
+            self.eigenvector[None, :],
+            m,
+            tensor=tensor if classify else None,
+            lambda_tol=lambda_tol,
+            angle_tol=angle_tol,
+            classify=classify,
+        )
+
 
 def suggested_shift(tensor: SymmetricTensor) -> float:
     """A shift large enough to guarantee SS-HOPM convergence.

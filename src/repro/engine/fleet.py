@@ -1,0 +1,362 @@
+"""The fleet solve engine: one vectorized SS-HOPM sweep over a whole workload.
+
+:func:`~repro.core.multistart.multistart_sshopm` vectorizes the ``V``
+starts of each tensor but advances every (tensor, start) pair to the
+common ``max_iters`` horizon, carrying converged pairs as dead weight in
+every kernel call.  The fleet engine instead treats the workload as a
+flat pool of ``L = T * V`` independent *lanes* and keeps the kernels
+dense over the *active* lanes only:
+
+* every lane carries its own state — iterate, lambda, shift — so shifts
+  can escalate per lane (adaptive mode) without splitting the batch;
+* converged and numerically-dead lanes are retired immediately (their
+  outputs written back to the full-result arrays) and physically removed
+  from the working arrays at the next *compaction*, the host-side analog
+  of persistent-kernel work re-binning on a GPU;
+* all kernel calls go through one :class:`~repro.kernels.plan.KernelPlan`
+  resolved from the process-wide plan cache, so table and codegen costs
+  are paid once per ``(m, n, variant)`` across the entire fleet.
+
+Lane ``l`` maps to pair ``(t, v) = divmod(l, V)``; results come back as
+``(T, V)`` arrays in a :class:`~repro.core.results.FleetResult`.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.config import SolveConfig, reconcile_max_iters, resolve_option
+from repro.core.multistart import starting_vectors
+from repro.core.results import FleetResult
+from repro.instrument import current_recorder, gauge as _gauge
+from repro.instrument import span as _span
+from repro.instrument.metrics import (
+    observe_fleet_compaction,
+    observe_solver_run,
+)
+from repro.instrument.telemetry import ConvergenceTelemetry, telemetry_enabled
+from repro.kernels.plan import KernelPlan, get_plan
+from repro.resilience.guards import LaneGuard, resolve_guards
+from repro.symtensor.indexing import multiplicity_table
+from repro.symtensor.storage import SymmetricTensor, SymmetricTensorBatch
+from repro.util.flopcount import FlopCounter, null_counter
+
+__all__ = ["fleet_solve", "suggested_shifts"]
+
+# escalate a lane's shift after this many consecutive sign-alternating
+# lambda deltas (the too-small-shift signature; cf. GuardConfig)
+_OSC_WINDOW = 4
+
+
+def suggested_shifts(tensors: SymmetricTensorBatch) -> np.ndarray:
+    """Per-tensor convergence-guaranteeing shifts ``m (m-1) ||A_t||_F``.
+
+    The batched analog of :func:`repro.core.sshopm.suggested_shift`,
+    computed in one vectorized pass over the compressed values.
+    """
+    m, n = tensors.m, tensors.n
+    mult = multiplicity_table(m, n).astype(np.float64)
+    norms = np.sqrt((mult * np.asarray(tensors.values, np.float64) ** 2).sum(-1))
+    return m * (m - 1) * norms
+
+
+def _as_batch(tensors) -> SymmetricTensorBatch:
+    if isinstance(tensors, SymmetricTensor):
+        return SymmetricTensorBatch(tensors.values[None, :], tensors.m, tensors.n)
+    return tensors
+
+
+def _resolve_starts(starts, num_starts, n, scheme, rng, dtype) -> np.ndarray:
+    if starts is None:
+        return starting_vectors(num_starts, n, scheme=scheme, rng=rng, dtype=dtype)
+    starts = np.asarray(starts, dtype=dtype)
+    if starts.ndim != 2 or starts.shape[1] != n:
+        raise ValueError(f"starts must have shape (V, {n}), got {starts.shape}")
+    norms = np.linalg.norm(starts, axis=1, keepdims=True)
+    if np.any(norms == 0):
+        raise ValueError("starting vectors must be nonzero")
+    return starts / norms
+
+
+def fleet_solve(
+    tensors: SymmetricTensorBatch | SymmetricTensor,
+    num_starts: int | None = None,
+    alpha: float | None = None,
+    tol: float | None = None,
+    max_iters: int | None = None,
+    starts: np.ndarray | None = None,
+    scheme: str | None = None,
+    variant: str | None = None,
+    dtype=None,
+    rng=None,
+    counter: FlopCounter | None = None,
+    config: SolveConfig | None = None,
+    *,
+    adaptive: bool = False,
+    compact_every: int = 8,
+    plan: KernelPlan | None = None,
+    telemetry: bool | None = None,
+    guards=None,
+) -> FleetResult:
+    """Solve the whole ``T``-tensor, ``V``-start workload in one fleet run.
+
+    Parameters mirror :func:`~repro.core.multistart.multistart_sshopm`
+    (same defaults, same ``config`` resolution); the engine-specific ones:
+
+    variant : batched kernel variant for the :class:`KernelPlan`
+        (``"vectorized"``, ``"unrolled"``, ``"unrolled_cse"``,
+        ``"blocked"``, their ``batched*`` aliases, or ``"auto"``).
+        Resolved through the ``backend`` config field when unset.
+    adaptive : give each lane its own shift and escalate it halfway
+        toward the tensor's convergence-guaranteeing bound (see
+        :func:`suggested_shifts`) whenever the lane's lambda sequence
+        sign-alternates for ``_OSC_WINDOW`` consecutive sweeps — the
+        fleet analog of :func:`repro.core.adaptive.adaptive_sshopm`.
+    compact_every : sweeps between active-set compactions.  Between
+        compactions retired lanes ride along masked; each compaction
+        gathers the survivors so kernel work tracks the live population.
+    plan : prebuilt :class:`KernelPlan` to use instead of a cache lookup
+        (the parallel sharding path passes one per worker).
+    guards : per-lane semantics — an individual dying lane (NaN/Inf or
+        collapsed update) is always retired and reported via
+        ``result.failed``; enabling guards only makes *total* collapse
+        (every lane dead) raise a structured
+        :class:`~repro.resilience.guards.SolveFailure`.
+
+    Returns a :class:`~repro.core.results.FleetResult` whose ``(T, V)``
+    lane grid matches what per-tensor ``multistart_sshopm`` calls would
+    produce (up to dedup tolerance — lane schedules differ, fixed points
+    do not).
+    """
+    max_iters = reconcile_max_iters(max_iters, None)
+    num_starts = resolve_option("num_starts", num_starts, config, 32)
+    alpha = resolve_option("alpha", alpha, config, 0.0)
+    tol = resolve_option("tol", tol, config, 1e-10)
+    max_iters = resolve_option("max_iters", max_iters, config, 500)
+    scheme = resolve_option("scheme", scheme, config, "random")
+    variant = resolve_option("backend", variant, config, "vectorized")
+    dtype = resolve_option("dtype", dtype, config, np.float64)
+    rng = resolve_option("rng", rng, config, None)
+    guard_cfg = resolve_guards(resolve_option("guards", guards, config, None))
+    if compact_every < 1:
+        raise ValueError(f"compact_every must be >= 1, got {compact_every}")
+
+    tensors = _as_batch(tensors)
+    m, n = tensors.m, tensors.n
+    T = len(tensors)
+    counter = counter or null_counter()
+    recorder = current_recorder()
+    if recorder is not None:
+        counter = recorder.flop_counter(mirror=counter)
+
+    starts = _resolve_starts(starts, num_starts, n, scheme, rng, dtype)
+    V = starts.shape[0]
+    L = T * V
+
+    if plan is None:
+        plan = get_plan(m, n, variant)
+    elif (plan.m, plan.n) != (m, n):
+        raise ValueError(
+            f"plan is for shape {(plan.m, plan.n)} but batch is {(m, n)}"
+        )
+
+    _gauge("fleet.tensors", T)
+    _gauge("fleet.starts", V)
+    _gauge("fleet.variant", plan.variant)
+    _gauge("fleet.shape", [m, n])
+
+    tel = None
+    if telemetry_enabled(telemetry, recorder):
+        tel = ConvergenceTelemetry(
+            "fleet_solve",
+            meta={"tensors": T, "starts": V, "alpha": alpha,
+                  "variant": plan.variant, "shape": [m, n],
+                  "adaptive": adaptive, "compact_every": compact_every},
+        )
+    guard = LaneGuard(guard_cfg, solver="fleet_solve", total_lanes=L)
+
+    values = np.asarray(tensors.values, dtype=dtype)          # (T, U)
+    # lane state (active working set; compactions shrink these arrays).
+    # Retired lanes keep riding along between compactions — their outputs
+    # are already written back, so their working rows are free to update
+    # unconditionally (no masked assignments in the hot loop).
+    idx = np.arange(L)                                        # global lane ids
+    tensor_of = idx // V                                      # (A,)
+    x = np.tile(starts, (T, 1)).astype(dtype, copy=True)      # (A, n)
+    alpha_lane = np.full(L, alpha, dtype=np.float64)
+    uniform_shift = not adaptive                              # scalar fast path
+    any_neg = alpha < 0
+    lane_vals = values[tensor_of]                             # (A, U)
+    # one kernel per sweep: y = A x^{m-1} drives both the update and, via
+    # lambda = A x^m = x . y, the eigenvalue — no separate ax_m call
+    y = np.asarray(plan.ax_m1(lane_vals, x, counter=counter))
+    lam = np.einsum("ij,ij->i", x, y, dtype=np.float64)
+    live = np.ones(L, dtype=bool)
+    if adaptive:
+        bounds = suggested_shifts(tensors)                    # (T,)
+        prev_delta = np.zeros(L)
+        osc = np.zeros(L, dtype=np.int64)
+
+    # full-workload outputs, written as lanes retire
+    out_lam = np.full(L, np.nan)
+    out_x = np.full((L, n), np.nan, dtype=dtype)
+    out_conv = np.zeros(L, dtype=bool)
+    out_iters = np.zeros(L, dtype=np.int64)
+    out_failed = np.zeros(L, dtype=bool)
+    out_alpha = np.full(L, alpha, dtype=np.float64)
+
+    sweeps = 0
+    compactions = 0
+
+    def write_back(sel: np.ndarray, converged: bool, failed: bool) -> None:
+        # every live lane iterates every sweep, so a retiring lane has done
+        # exactly `sweeps` iterations
+        gids = idx[sel]
+        out_lam[gids] = lam[sel]
+        out_x[gids] = x[sel]
+        out_conv[gids] = converged
+        out_failed[gids] = failed
+        out_iters[gids] = sweeps
+        out_alpha[gids] = alpha_lane[sel]
+
+    t0 = time.perf_counter()
+    with _span("fleet_solve"), np.errstate(invalid="ignore", over="ignore",
+                                           divide="ignore"):
+        for _ in range(max_iters):
+            if not live.any():
+                break
+            sweeps += 1
+            with _span("sweep"):
+                if uniform_shift:
+                    x_new = y + alpha * x if alpha != 0.0 else y
+                    if any_neg:
+                        x_new = -x_new
+                else:
+                    x_new = y + alpha_lane[:, None] * x
+                    if any_neg:
+                        neg = alpha_lane < 0
+                        x_new[neg] = -x_new[neg]
+                norms = np.linalg.norm(x_new, axis=-1)
+                dead = live & ((norms == 0) | ~np.isfinite(norms))
+                if dead.any():
+                    # retire with the pre-update (last finite) state
+                    write_back(dead, converged=False, failed=True)
+                if tel is not None:
+                    x_prev = x
+                safe = np.where(norms > 0, norms, 1.0)
+                x = x_new / safe[:, None]
+                y = np.asarray(plan.ax_m1(lane_vals, x, counter=counter))
+                lam_prev = lam
+                lam = np.einsum("ij,ij->i", x, y, dtype=np.float64)
+                counter.add_flops(2 * x.shape[0] * n)
+                bad_lam = live & ~dead & ~np.isfinite(lam)
+                if bad_lam.any():
+                    gids = idx[bad_lam]
+                    out_lam[gids] = lam_prev[bad_lam]
+                    out_x[gids] = x[bad_lam]
+                    out_failed[gids] = True
+                    out_iters[gids] = sweeps
+                    out_alpha[gids] = alpha_lane[bad_lam]
+                    dead = dead | bad_lam
+                delta = lam - lam_prev
+                just_conv = live & ~dead & (np.abs(delta) < tol)
+
+                if adaptive:
+                    upd = live & ~dead
+                    flip = upd & (delta * prev_delta < 0) & (np.abs(delta) >= tol)
+                    osc[flip] += 1
+                    osc[upd & ~flip] = 0
+                    prev_delta = np.where(upd, delta, prev_delta)
+                    esc = osc >= _OSC_WINDOW
+                    if esc.any():
+                        target = np.where(
+                            alpha_lane[esc] < 0, -1.0, 1.0
+                        ) * bounds[tensor_of[esc]]
+                        alpha_lane[esc] = 0.5 * (alpha_lane[esc] + target)
+                        osc[esc] = 0
+                        any_neg = bool((alpha_lane < 0).any())
+
+                if tel is not None:
+                    upd_tel = live & ~dead
+                    if upd_tel.any():
+                        resid_now = np.linalg.norm(
+                            y - lam[:, None] * x, axis=-1)[upd_tel]
+                        step_now = np.linalg.norm(
+                            x - x_prev, axis=-1)[upd_tel]
+                        tel.append(
+                            sweeps, float(lam[upd_tel].mean()),
+                            residual=float(resid_now.max()),
+                            shift=float(alpha_lane[upd_tel].mean()),
+                            step_norm=float(step_now.mean()),
+                            active=int(upd_tel.sum()),
+                        )
+
+                if just_conv.any():
+                    write_back(just_conv, converged=True, failed=False)
+                retired = just_conv | dead
+                if retired.any():
+                    guard.retire(sweeps, int(just_conv.sum()), int(dead.sum()))
+                    live &= ~retired
+                    guard.check_collapse(sweeps, telemetry=tel,
+                                         details={"lanes": L, "sweep": sweeps})
+
+                if sweeps % compact_every == 0 and not live.all():
+                    with _span("compact"):
+                        idx = idx[live]
+                        tensor_of = tensor_of[live]
+                        x = x[live]
+                        y = y[live]
+                        lam = lam[live]
+                        alpha_lane = alpha_lane[live]
+                        lane_vals = values[tensor_of]
+                        if adaptive:
+                            prev_delta = prev_delta[live]
+                            osc = osc[live]
+                        live = np.ones(idx.shape[0], dtype=bool)
+                    compactions += 1
+                    observe_fleet_compaction(idx.shape[0], L)
+
+        # lanes that ran out of iterations: record their current state
+        if live.any():
+            write_back(live, converged=False, failed=False)
+
+        with _span("residuals"):
+            full_vals = values[np.arange(L) // V]
+            y_all = np.asarray(plan.ax_m1(full_vals, out_x, counter=counter))
+            residuals = np.linalg.norm(
+                y_all - out_lam[:, None] * out_x, axis=-1
+            )
+            out_conv &= np.isfinite(residuals)
+            out_failed |= ~np.isfinite(out_lam) | ~np.isfinite(residuals)
+
+    elapsed = time.perf_counter() - t0
+    if tel is not None:
+        finite = residuals[np.isfinite(residuals)]
+        tel.append(
+            sweeps, float(np.nanmean(out_lam)) if L else float("nan"),
+            residual=float(finite.max()) if finite.size else float("nan"),
+            shift=float(out_alpha.mean()) if L else alpha,
+            active=int(live.sum()),
+            force=True,
+        )
+        if recorder is not None:
+            recorder.add_telemetry(tel)
+    observe_solver_run(
+        "fleet_solve", elapsed,
+        out_iters.reshape(T, V), int(out_conv.sum()), L,
+    )
+    return FleetResult(
+        eigenvalues=out_lam.reshape(T, V),
+        eigenvectors=out_x.reshape(T, V, n),
+        converged=out_conv.reshape(T, V),
+        iterations=out_iters.reshape(T, V),
+        sweeps=sweeps,
+        failed=out_failed.reshape(T, V),
+        shifts=out_alpha.reshape(T, V),
+        telemetry=tel,
+        variant=plan.variant,
+        compactions=compactions,
+        tensors=tensors,
+    )

@@ -1,0 +1,254 @@
+"""``repro.solve`` — one front door for every eigensolver in the package.
+
+The solvers grew up separately: :func:`~repro.core.sshopm.sshopm` for one
+tensor and one start, :func:`~repro.core.adaptive.adaptive_sshopm` for
+the self-tuning shift, :func:`~repro.core.multistart.multistart_sshopm`
+for the lockstep multistart, and the fleet engine
+(:func:`~repro.engine.fleet.fleet_solve`) for whole-workload scheduling.
+Choosing among them is mechanical — it depends only on the *shape* of the
+request (one tensor or a batch? one start or many? fixed or adaptive
+shift? how many workers?) — so the facade makes the choice:
+
+>>> import repro
+>>> report = repro.solve(tensor)                      # one start: sshopm
+>>> report = repro.solve(tensor, starts=64)           # multistart
+>>> report = repro.solve(batch, starts=32)            # fleet engine
+>>> report.result.eigenpairs(...)                     # ResultProtocol
+
+Every report wraps a result satisfying
+:class:`~repro.core.results.ResultProtocol`, so downstream code reads
+``.converged`` / ``.telemetry`` / ``.eigenpairs()`` without caring which
+solver ran.  See ``docs/api.md`` for the full reference and the
+migration table from the per-solver entry points.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core.config import SolveConfig
+from repro.core.results import ResultProtocol
+from repro.symtensor.storage import SymmetricTensor, SymmetricTensorBatch
+
+__all__ = ["SolveReport", "SolveRequest", "solve"]
+
+
+@dataclass
+class SolveRequest:
+    """A fully-specified solve, ready to route.
+
+    ``starts`` follows :func:`solve`'s convention: ``None`` (one random
+    start), an ``int`` count, a 1-D array (one explicit start), or a 2-D
+    ``(V, n)`` array of explicit starts.  ``options`` carries any extra
+    keyword arguments forwarded verbatim to the routed solver.
+    """
+
+    problem: SymmetricTensorBatch | SymmetricTensor
+    starts: int | np.ndarray | None = None
+    alpha: float | None = None
+    tol: float | None = None
+    max_iters: int | None = None
+    adaptive: bool = False
+    workers: int = 1
+    config: SolveConfig | None = None
+    rng: Any = None
+    options: dict = field(default_factory=dict)
+
+    @property
+    def is_batch(self) -> bool:
+        return isinstance(self.problem, SymmetricTensorBatch)
+
+    @property
+    def num_starts(self) -> int:
+        """Starting vectors the request asks for (0 = solver default)."""
+        if self.starts is None:
+            return 1
+        if isinstance(self.starts, (int, np.integer)):
+            return int(self.starts)
+        arr = np.asarray(self.starts)
+        return 1 if arr.ndim == 1 else arr.shape[0]
+
+    def solver_name(self) -> str:
+        """Which solver :func:`solve` will route this request to."""
+        if self.is_batch or self.num_starts > 1:
+            if self.is_batch and self.workers > 1:
+                return "parallel_fleet_solve"
+            if self.is_batch:
+                return "fleet_solve"
+            return "multistart_sshopm"
+        return "adaptive_sshopm" if self.adaptive else "sshopm"
+
+
+@dataclass
+class SolveReport:
+    """What :func:`solve` hands back.
+
+    ``result`` satisfies :class:`~repro.core.results.ResultProtocol`;
+    ``solver`` names the routed entry point (see
+    :meth:`SolveRequest.solver_name`); ``seconds`` is end-to-end wall
+    time; ``extra`` carries solver-specific side products (e.g. the
+    :class:`~repro.parallel.fleet.FleetRunReport` of a parallel run).
+    """
+
+    result: ResultProtocol
+    solver: str
+    seconds: float
+    request: SolveRequest
+    extra: Any = None
+
+    @property
+    def converged(self):
+        return self.result.converged
+
+    @property
+    def telemetry(self):
+        return self.result.telemetry
+
+    def eigenpairs(self, *args, **kwargs):
+        return self.result.eigenpairs(*args, **kwargs)
+
+
+def _split_starts(request: SolveRequest):
+    """Normalize ``starts`` into (count or None, explicit array or None)."""
+    s = request.starts
+    if s is None:
+        return None, None
+    if isinstance(s, (int, np.integer)):
+        return int(s), None
+    arr = np.asarray(s, dtype=np.float64)
+    if arr.ndim == 1:
+        return 1, arr
+    if arr.ndim == 2:
+        return arr.shape[0], arr
+    raise ValueError(f"starts must be an int or a 1-D/2-D array, got ndim={arr.ndim}")
+
+
+def solve(
+    problem: SymmetricTensorBatch | SymmetricTensor,
+    starts: int | np.ndarray | None = None,
+    alpha: float | None = None,
+    tol: float | None = None,
+    max_iters: int | None = None,
+    config: SolveConfig | None = None,
+    rng: Any = None,
+    *,
+    adaptive: bool = False,
+    workers: int = 1,
+    **options,
+) -> SolveReport:
+    """Solve a tensor eigenproblem, routing by the shape of the request.
+
+    Parameters
+    ----------
+    problem : a :class:`~repro.symtensor.SymmetricTensor` or a
+        :class:`~repro.symtensor.SymmetricTensorBatch`.
+    starts : ``None`` (one random start), an ``int`` (that many shared
+        random starts), a 1-D ``(n,)`` vector (one explicit start), or a
+        2-D ``(V, n)`` array of explicit starts.
+    alpha, tol, max_iters, config, rng : as in the underlying solvers;
+        ``config`` supplies defaults for anything unset.
+    adaptive : self-tuning shift.  Routes a single-start request to
+        :func:`~repro.core.adaptive.adaptive_sshopm` and turns on the
+        fleet engine's per-lane shift escalation for batch requests.
+    workers : shard a batch request over this many threads via
+        :func:`~repro.parallel.fleet.parallel_fleet_solve`.
+    **options : forwarded verbatim to the routed solver (e.g.
+        ``variant=``/``backend=``, ``telemetry=``, ``guards=``,
+        ``scheme=``, ``dtype=``, ``compact_every=``).
+
+    Routing
+    -------
+    ==========================  =======================================
+    request shape               solver
+    ==========================  =======================================
+    tensor, one start           ``sshopm`` / ``adaptive_sshopm``
+    tensor, many starts         ``multistart_sshopm``
+    batch (any starts)          ``fleet_solve``
+    batch, ``workers > 1``      ``parallel_fleet_solve``
+    ==========================  =======================================
+
+    Returns a :class:`SolveReport`; ``report.result`` satisfies
+    :class:`~repro.core.results.ResultProtocol` whichever solver ran.
+    """
+    request = SolveRequest(
+        problem=problem,
+        starts=starts,
+        alpha=alpha,
+        tol=tol,
+        max_iters=max_iters,
+        adaptive=adaptive,
+        workers=workers,
+        config=config,
+        rng=rng,
+        options=dict(options),
+    )
+    solver = request.solver_name()
+    count, explicit = _split_starts(request)
+    common = dict(alpha=alpha, tol=tol, max_iters=max_iters, config=config)
+    extra = None
+
+    t0 = time.perf_counter()
+    if solver in ("sshopm", "adaptive_sshopm"):
+        x0 = explicit if explicit is not None else None
+        if solver == "adaptive_sshopm":
+            from repro.core.adaptive import adaptive_sshopm
+
+            opts = dict(options)
+            # adaptive picks its own shift trajectory; alpha seeds it as tau
+            opts.pop("variant", None)
+            result = adaptive_sshopm(
+                problem, x0=x0, tol=tol, max_iters=max_iters,
+                config=config, rng=rng, **opts,
+            )
+        else:
+            from repro.core.sshopm import sshopm
+
+            result = sshopm(problem, x0=x0, rng=rng, **common, **options)
+    elif solver == "multistart_sshopm":
+        from repro.core.multistart import multistart_sshopm
+
+        result = multistart_sshopm(
+            problem, num_starts=count, starts=explicit, rng=rng,
+            **common, **options,
+        )
+    else:
+        batch = problem
+        fleet_opts = dict(options)
+        # accept backend= as an alias of variant= (the multistart spelling)
+        if "backend" in fleet_opts and "variant" not in fleet_opts:
+            fleet_opts["variant"] = fleet_opts.pop("backend")
+        if solver == "parallel_fleet_solve":
+            from repro.parallel.fleet import parallel_fleet_solve
+
+            kwargs = dict(
+                workers=workers, alpha=alpha or 0.0, tol=tol or 1e-10,
+                max_iters=max_iters or 500, starts=explicit, rng=rng,
+                config=config, adaptive=adaptive, **fleet_opts,
+            )
+            if count is not None and explicit is None:
+                kwargs["num_starts"] = count
+            report = parallel_fleet_solve(batch, **kwargs)
+            result, extra = report.result, report
+        else:
+            from repro.engine.fleet import fleet_solve
+
+            kwargs = dict(
+                starts=explicit, rng=rng, adaptive=adaptive,
+                **common, **fleet_opts,
+            )
+            if count is not None and explicit is None:
+                kwargs["num_starts"] = count
+            result = fleet_solve(batch, **kwargs)
+    seconds = time.perf_counter() - t0
+
+    return SolveReport(
+        result=result,
+        solver=solver,
+        seconds=seconds,
+        request=request,
+        extra=extra,
+    )

@@ -49,6 +49,9 @@ __all__ = [
     "default_buckets",
     "default_registry",
     "get_registry",
+    "observe_fleet_compaction",
+    "observe_fleet_retired",
+    "observe_plan_cache",
     "observe_solver_run",
     "use_registry",
 ]
@@ -584,6 +587,39 @@ def observe_solver_run(solver: str, seconds: float, iterations,
         hist.observe_many(iterations)
     else:
         hist.observe(iterations)
+
+
+def observe_plan_cache(event: str) -> None:
+    """One kernel-plan cache event (``"hit"`` / ``"miss"`` / ``"evict"``)
+    on the active registry (see :mod:`repro.kernels.plan`)."""
+    get_registry().counter(
+        "repro_plan_cache_events_total",
+        "Kernel-plan cache lookups by outcome", ("event",),
+    ).labels(event=event).inc()
+
+
+def observe_fleet_compaction(active_lanes: int, total_lanes: int) -> None:
+    """One fleet active-set compaction: bump the compaction counter and
+    refresh the lane-occupancy gauge (active / total lanes)."""
+    reg = get_registry()
+    reg.counter(
+        "repro_fleet_compactions_total",
+        "Fleet-engine active-set compactions",
+    ).inc()
+    reg.gauge(
+        "repro_fleet_lane_occupancy",
+        "Fraction of fleet lanes still active after the last compaction",
+    ).set(active_lanes / total_lanes if total_lanes else 0.0)
+
+
+def observe_fleet_retired(reason: str, count: int) -> None:
+    """Count fleet lanes retired for ``reason`` (``"converged"`` /
+    ``"failed"``) on the active registry."""
+    if count:
+        get_registry().counter(
+            "repro_fleet_lanes_retired_total",
+            "Fleet lanes retired from the active set", ("reason",),
+        ).labels(reason=reason).inc(count)
 
 
 @contextmanager

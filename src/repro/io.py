@@ -242,7 +242,7 @@ def save_results(path, result: MultistartResult) -> None:
         eigenvectors=result.eigenvectors,
         converged=result.converged,
         iterations=result.iterations,
-        total_sweeps=result.total_sweeps,
+        total_sweeps=result.sweeps,  # stored key kept stable across the rename
     )
     if result.failed is not None:
         arrays["failed"] = result.failed
@@ -259,6 +259,6 @@ def load_results(path) -> MultistartResult:
             eigenvectors=_read(data, "eigenvectors", path),
             converged=_read(data, "converged", path),
             iterations=_read(data, "iterations", path),
-            total_sweeps=int(_read(data, "total_sweeps", path)),
+            sweeps=int(_read(data, "total_sweeps", path)),
             failed=data["failed"] if "failed" in data else None,
         )

@@ -18,10 +18,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.kernels.errors import TableInferenceError
 from repro.kernels.tables import KernelTables, kernel_tables
 from repro.util.flopcount import FlopCounter, null_counter
 
-__all__ = ["ax_m_batched", "ax_m1_batched", "monomials_batched"]
+__all__ = ["ax_m_batched", "ax_m1_batched", "infer_shape", "monomials_batched"]
 
 
 def monomials_batched(x: np.ndarray, tab: KernelTables) -> np.ndarray:
@@ -53,7 +54,7 @@ def ax_m_batched(
     counter = counter or null_counter()
     values = np.asarray(values)
     x = np.asarray(x)
-    tab = tables or _infer_tables(values, x, tables)
+    tab = _resolve_tables(values, x, tables)
     mono = monomials_batched(x, tab)  # (..., U)
     mult = tab.mult.astype(values.dtype)
     y = np.einsum("...u,...u,u->...", values, mono, mult, optimize=True)
@@ -79,7 +80,7 @@ def ax_m1_batched(
     counter = counter or null_counter()
     values = np.asarray(values)
     x = np.asarray(x)
-    tab = tables or _infer_tables(values, x, tables)
+    tab = _resolve_tables(values, x, tables)
     m = tab.m
 
     if m == 2:
@@ -102,26 +103,58 @@ def ax_m1_batched(
     return y
 
 
-def _infer_tables(values: np.ndarray, x: np.ndarray, tables) -> KernelTables:
-    """Recover ``(m, n)`` from array shapes when tables are not supplied.
+def infer_shape(values: np.ndarray, x: np.ndarray) -> tuple[int, int]:
+    """Recover ``(m, n)`` from batched-kernel array shapes.
 
     ``n`` is the last axis of ``x``; ``m`` is found by matching the last
-    axis of ``values`` against ``C(m+n-1, m)``.
+    axis of ``values`` against ``C(m+n-1, m)``.  Raises
+    :class:`~repro.kernels.errors.TableInferenceError` when no order fits
+    (or the shape is ambiguous, as for ``n == 1``).
     """
     from repro.util.combinatorics import num_unique_entries
 
-    n = x.shape[-1]
-    U = values.shape[-1]
+    n = int(np.shape(x)[-1])
+    U = int(np.shape(values)[-1])
     if n == 1:
         # U == 1 for every order when n == 1; the shape is ambiguous
-        raise ValueError("cannot infer tensor order for n=1; pass tables= explicitly")
+        raise TableInferenceError(
+            "cannot infer tensor order for n=1; pass tables= explicitly", n=n
+        )
     for m in range(2, 64):
         u = num_unique_entries(m, n)
         if u == U:
-            return kernel_tables(m, n)
+            return m, n
         if u > U:
             break
-    raise ValueError(
+    raise TableInferenceError(
         f"cannot infer tensor order: no m gives C(m+{n}-1, m) == {U}; "
-        "pass tables= explicitly"
+        "pass tables= explicitly",
+        n=n,
     )
+
+
+def _resolve_tables(values: np.ndarray, x: np.ndarray,
+                    tables: KernelTables | None) -> KernelTables:
+    """Supplied tables are validated against the array shapes; ``None``
+    triggers inference.  Both failure modes raise the typed
+    :class:`~repro.kernels.errors.TableInferenceError` (mismatched explicit
+    tables were historically accepted silently and produced garbage)."""
+    if tables is None:
+        return kernel_tables(*infer_shape(values, x))
+    n = int(np.shape(x)[-1])
+    U = int(np.shape(values)[-1])
+    if tables.n != n or tables.num_unique != U:
+        raise TableInferenceError(
+            f"supplied tables are for R^[{tables.m},{tables.n}] "
+            f"({tables.num_unique} unique values) but arrays have "
+            f"x trailing dim {n} and {U} values per tensor",
+            m=tables.m,
+            n=tables.n,
+        )
+    return tables
+
+
+def _infer_tables(values: np.ndarray, x: np.ndarray, tables) -> KernelTables:
+    """Backward-compatible spelling of table inference (pre-1.2 internal
+    helper some downstream code imports); defers to :func:`infer_shape`."""
+    return kernel_tables(*infer_shape(values, x))

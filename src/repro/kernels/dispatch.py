@@ -50,6 +50,7 @@ from typing import Callable
 import numpy as np
 
 from repro.kernels.batched import ax_m1_batched, ax_m_batched
+from repro.kernels.errors import KernelLookupError, UnknownVariantError
 from repro.kernels.compressed import ax_m1_compressed, ax_m_compressed
 from repro.kernels.precomputed import ax_m1_precomputed, ax_m_precomputed
 from repro.kernels.reference import ax_m1_reference, ax_m_reference
@@ -60,29 +61,11 @@ from repro.symtensor.storage import SymmetricTensor
 __all__ = [
     "KernelPair",
     "BatchedKernelPair",
+    "KernelLookupError",
     "UnknownVariantError",
     "get_kernels",
     "available_variants",
 ]
-
-
-class UnknownVariantError(KeyError, ValueError):
-    """An unrecognized kernel variant (or batched backend) name.
-
-    Subclasses both ``KeyError`` and ``ValueError``: the registry
-    historically raised either depending on the call site, so existing
-    ``except``/``pytest.raises`` clauses of both kinds keep working.
-    """
-
-    def __init__(self, variant: str, available: list[str]):
-        self.variant = variant
-        self.available = list(available)
-        super().__init__(
-            f"unknown kernel variant {variant!r}; available: {self.available}"
-        )
-
-    def __str__(self) -> str:  # KeyError would repr-quote the message
-        return self.args[0]
 
 
 @dataclass(frozen=True)

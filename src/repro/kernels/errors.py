@@ -1,0 +1,46 @@
+"""Typed errors for kernel lookup, dispatch, and shape inference.
+
+One family rooted at :class:`KernelLookupError` so callers can catch every
+"the kernel layer could not figure out what you meant" failure with a
+single except clause.  The root subclasses both ``KeyError`` and
+``ValueError`` because the registry historically raised either depending
+on the call site — pre-existing handlers of both kinds keep working.
+"""
+
+from __future__ import annotations
+
+__all__ = ["KernelLookupError", "UnknownVariantError", "TableInferenceError"]
+
+
+class KernelLookupError(KeyError, ValueError):
+    """Base of the kernel lookup/dispatch error family."""
+
+    def __str__(self) -> str:  # KeyError would repr-quote the message
+        return self.args[0] if self.args else ""
+
+
+class UnknownVariantError(KernelLookupError):
+    """An unrecognized kernel variant (or batched backend) name."""
+
+    def __init__(self, variant: str, available: list[str]):
+        self.variant = variant
+        self.available = list(available)
+        super().__init__(
+            f"unknown kernel variant {variant!r}; available: {self.available}"
+        )
+
+
+class TableInferenceError(KernelLookupError):
+    """Array shapes do not identify (or contradict) a kernel table shape.
+
+    Raised by the batched kernels when the trailing axes of ``values`` and
+    ``x`` match no ``(m, n)`` (so the tensor order cannot be inferred), or
+    when explicitly supplied tables disagree with the array shapes — the
+    latter used to be accepted silently and produced garbage output.
+    """
+
+    def __init__(self, message: str, *, m: int | None = None,
+                 n: int | None = None):
+        self.m = m
+        self.n = n
+        super().__init__(message)

@@ -1,0 +1,243 @@
+"""Kernel plans: shape-specialized batched suites, built once and cached.
+
+Constructing a batched kernel suite for a shape ``(m, n)`` is not free:
+the precomputed index/multinomial tables (:mod:`repro.kernels.tables`),
+the blocking decomposition, and — for the unrolled variants — generated
+and ``exec``-compiled straight-line code all have to be materialized.
+The paper pays that cost once per shape and shares the result across
+every thread block; :class:`KernelPlan` is the host-side analog: one
+immutable bundle of (tables, compiled suite) per ``(m, n, variant)``,
+held in a process-wide LRU :class:`PlanCache` so plan construction is
+paid once per shape, not once per solve.
+
+The fleet engine (:mod:`repro.engine`) resolves every kernel call
+through :func:`get_plan`; ad-hoc callers can use :func:`contract_many`,
+the single entry point that unifies the flat-batched and
+blocked-batched dispatch behind one signature.
+
+Cache hits/misses/evictions land on the
+``repro_plan_cache_events_total`` metric (see
+:func:`repro.instrument.metrics.observe_plan_cache`).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.kernels.batched import infer_shape
+from repro.kernels.dispatch import (
+    _BATCHED_ALIASES,
+    BatchedKernelPair,
+    UnknownVariantError,
+    _batched_suite,
+)
+from repro.kernels.errors import KernelLookupError
+from repro.kernels.tables import KernelTables, kernel_tables
+
+__all__ = [
+    "KernelPlan",
+    "PlanCache",
+    "clear_plan_cache",
+    "contract_many",
+    "default_plan_cache",
+    "get_plan",
+]
+
+
+@dataclass(frozen=True)
+class KernelPlan:
+    """An immutable, reusable evaluation plan for one ``(m, n, variant)``.
+
+    Attributes
+    ----------
+    m, n : tensor order and mode dimension.
+    variant : canonical batched variant name (``"vectorized"``,
+        ``"unrolled"``, ``"unrolled_cse"``, or ``"blocked"``).
+    tables : the shared precomputed index/multinomial tables.
+    suite : the compiled :class:`~repro.kernels.dispatch.BatchedKernelPair`.
+    build_seconds : wall time spent constructing the plan (the cost the
+        cache amortizes away).
+    """
+
+    m: int
+    n: int
+    variant: str
+    tables: KernelTables
+    suite: BatchedKernelPair
+    build_seconds: float
+
+    def ax_m(self, values: np.ndarray, x: np.ndarray, counter=None) -> np.ndarray:
+        """Batched ``A x^m`` over broadcasting leading dimensions."""
+        return self.suite.ax_m(values, x, counter=counter)
+
+    def ax_m1(self, values: np.ndarray, x: np.ndarray, counter=None) -> np.ndarray:
+        """Batched ``A x^{m-1}`` over broadcasting leading dimensions."""
+        return self.suite.ax_m1(values, x, counter=counter)
+
+    @property
+    def key(self) -> tuple[int, int, str]:
+        return (self.m, self.n, self.variant)
+
+
+def _canonical_variant(variant: str, m: int, n: int) -> str:
+    """Resolve aliases (``"batched"``, ``"batched_unrolled"``) and
+    ``"auto"`` (autotuned) to a canonical batched variant name."""
+    if variant == "auto":
+        from repro.kernels.autotune import autotune
+
+        best = autotune(m, n).best
+        variant = best if best in _BATCHED_ALIASES else "vectorized"
+    if variant not in _BATCHED_ALIASES:
+        raise UnknownVariantError(
+            variant, sorted({*_BATCHED_ALIASES.values()}) + ["auto"]
+        )
+    return _BATCHED_ALIASES[variant]
+
+
+def _build_plan(m: int, n: int, canonical: str) -> KernelPlan:
+    t0 = time.perf_counter()
+    tables = kernel_tables(m, n)
+    suite = _batched_suite(canonical, m, n)
+    return KernelPlan(
+        m=m,
+        n=n,
+        variant=canonical,
+        tables=tables,
+        suite=suite,
+        build_seconds=time.perf_counter() - t0,
+    )
+
+
+class PlanCache:
+    """Thread-safe LRU cache of :class:`KernelPlan` keyed ``(m, n, variant)``.
+
+    ``maxsize`` bounds resident plans (an unrolled plan for a large shape
+    holds compiled code and tables); the least recently *used* plan is
+    evicted.  Hit/miss/eviction counts are kept both locally (``stats()``)
+    and on the active metrics registry.
+    """
+
+    def __init__(self, maxsize: int = 32):
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._plans: OrderedDict[tuple[int, int, str], KernelPlan] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, m: int, n: int, variant: str = "vectorized") -> KernelPlan:
+        """The cached plan for ``(m, n, variant)``, building it on a miss."""
+        from repro.instrument.metrics import observe_plan_cache
+
+        m, n = int(m), int(n)
+        canonical = _canonical_variant(variant, m, n)
+        key = (m, n, canonical)
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is not None:
+                self._plans.move_to_end(key)
+                self.hits += 1
+                observe_plan_cache("hit")
+                return plan
+        # build outside the lock: plans are immutable, so a racing double
+        # build wastes a little work but is correct
+        plan = _build_plan(m, n, canonical)
+        with self._lock:
+            self.misses += 1
+            observe_plan_cache("miss")
+            self._plans[key] = plan
+            self._plans.move_to_end(key)
+            while len(self._plans) > self.maxsize:
+                self._plans.popitem(last=False)
+                self.evictions += 1
+                observe_plan_cache("evict")
+        return plan
+
+    def clear(self) -> None:
+        with self._lock:
+            self._plans.clear()
+            self.hits = self.misses = self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def __contains__(self, key: tuple[int, int, str]) -> bool:
+        return key in self._plans
+
+    def stats(self) -> dict:
+        """JSON-able counters plus the resident key list (LRU order)."""
+        with self._lock:
+            return {
+                "maxsize": self.maxsize,
+                "size": len(self._plans),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "keys": [list(k) for k in self._plans],
+            }
+
+
+_DEFAULT_CACHE = PlanCache()
+
+
+def default_plan_cache() -> PlanCache:
+    """The process-wide plan cache shared by every solver."""
+    return _DEFAULT_CACHE
+
+
+def get_plan(m: int, n: int, variant: str = "vectorized") -> KernelPlan:
+    """Shorthand for ``default_plan_cache().get(m, n, variant)``."""
+    return _DEFAULT_CACHE.get(m, n, variant)
+
+
+def clear_plan_cache() -> None:
+    """Drop every cached plan and reset the counters (mainly for tests)."""
+    _DEFAULT_CACHE.clear()
+
+
+def contract_many(
+    values: np.ndarray,
+    x: np.ndarray,
+    kind: str = "ax_m1",
+    *,
+    variant: str = "vectorized",
+    plan: KernelPlan | None = None,
+    m: int | None = None,
+    n: int | None = None,
+    counter=None,
+) -> np.ndarray:
+    """One entry point for every batched symmetric contraction.
+
+    Evaluates ``A x^m`` (``kind="ax_m"``) or ``A x^{m-1}``
+    (``kind="ax_m1"``) for all broadcast leading-dimension combinations of
+    ``values (..., U)`` against ``x (..., n)``, routing through the plan
+    cache — this unifies the historical split between
+    :mod:`repro.kernels.batched` and :mod:`repro.kernels.blocked_batched`
+    behind one signature (pick ``variant="blocked"`` for the blocked path).
+
+    ``(m, n)`` are inferred from the trailing axes when not given
+    (raising :class:`~repro.kernels.errors.TableInferenceError` on
+    ambiguity); pass them explicitly on hot paths to skip the search, or
+    pass a prebuilt ``plan`` to skip the cache lookup entirely.
+    """
+    if kind not in ("ax_m", "ax_m1"):
+        raise ValueError(f"kind must be 'ax_m' or 'ax_m1', got {kind!r}")
+    if plan is None:
+        if m is None or n is None:
+            m, n = infer_shape(values, x)
+        plan = get_plan(m, n, variant)
+    else:
+        lead_n = int(np.shape(x)[-1])
+        if plan.n != lead_n:
+            raise KernelLookupError(
+                f"plan is for n={plan.n} but x has trailing dim {lead_n}"
+            )
+    fn = plan.ax_m if kind == "ax_m" else plan.ax_m1
+    return fn(values, x, counter=counter)

@@ -9,6 +9,7 @@ from repro.parallel.cpumodel import (
     speedup_curve,
 )
 from repro.parallel.executor import ParallelRunReport, parallel_multistart_sshopm
+from repro.parallel.fleet import FleetRunReport, parallel_fleet_solve
 from repro.parallel.partition import chunk_sizes, interleaved_partition, static_partition
 
 __all__ = [
@@ -17,7 +18,9 @@ __all__ = [
     "CpuPrediction",
     "predict_cpu_sshopm",
     "speedup_curve",
+    "FleetRunReport",
     "ParallelRunReport",
+    "parallel_fleet_solve",
     "parallel_multistart_sshopm",
     "chunk_sizes",
     "interleaved_partition",

@@ -91,7 +91,7 @@ def _placeholder_result(num_tensors: int, num_starts: int, n: int,
         eigenvectors=np.full((num_tensors, num_starts, n), np.nan, dtype=dtype),
         converged=np.zeros((num_tensors, num_starts), dtype=bool),
         iterations=np.zeros((num_tensors, num_starts), dtype=np.int64),
-        total_sweeps=0,
+        sweeps=0,
         failed=np.ones((num_tensors, num_starts), dtype=bool),
     )
 
@@ -260,7 +260,7 @@ def parallel_multistart_sshopm(
         eigenvectors=np.concatenate([p.eigenvectors for p in ordered], axis=0),
         converged=np.concatenate([p.converged for p in ordered], axis=0),
         iterations=np.concatenate([p.iterations for p in ordered], axis=0),
-        total_sweeps=max(p.total_sweeps for p in ordered),
+        sweeps=max(p.sweeps for p in ordered),
         failed=np.concatenate(failed_masks, axis=0),
     )
     return ParallelRunReport(

@@ -1,0 +1,164 @@
+"""T-axis sharding for the fleet engine.
+
+The fleet scheduler (:func:`repro.engine.fleet.fleet_solve`) already
+vectorizes every (tensor, start) lane of its workload; this driver splits
+the *tensor* axis into contiguous shards and runs one fleet per worker
+thread, the same partition/merge discipline as
+:func:`repro.parallel.executor.parallel_multistart_sshopm`: shared
+starting-vector set, per-worker metrics registries merged into the
+caller's after the pool drains, per-worker recorder traces absorbed under
+``worker0``, ``worker1``, ... nodes.  All shards resolve their kernels
+from the same process-wide plan cache, so the plan is built once no
+matter how many workers run.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import SolveConfig
+from repro.core.multistart import starting_vectors
+from repro.core.results import FleetResult
+from repro.instrument import Recorder, current_recorder
+from repro.instrument import span as _span
+from repro.instrument.metrics import MetricsRegistry, get_registry, use_registry
+from repro.parallel.partition import static_partition
+from repro.symtensor.storage import SymmetricTensorBatch
+
+__all__ = ["FleetRunReport", "parallel_fleet_solve"]
+
+
+@dataclass
+class FleetRunReport:
+    """A merged fleet result plus execution metadata.
+
+    ``shard_sizes`` lists how many tensors each worker solved;
+    ``shard_seconds`` the per-shard wall times (their spread shows load
+    imbalance the static partition could not avoid).
+    """
+
+    result: FleetResult
+    workers: int
+    seconds: float
+    shard_sizes: list[int]
+    shard_seconds: list[float] = field(default_factory=list)
+
+
+def parallel_fleet_solve(
+    tensors: SymmetricTensorBatch,
+    workers: int = 1,
+    num_starts: int = 32,
+    alpha: float = 0.0,
+    tol: float = 1e-10,
+    max_iters: int = 500,
+    starts: np.ndarray | None = None,
+    scheme: str = "random",
+    variant: str = "vectorized",
+    dtype=np.float64,
+    rng=None,
+    config: SolveConfig | None = None,
+    *,
+    adaptive: bool = False,
+    compact_every: int = 8,
+    guards=None,
+) -> FleetRunReport:
+    """Shard ``tensors`` over ``workers`` threads, one fleet per shard.
+
+    Parameters are those of :func:`repro.engine.fleet.fleet_solve`; every
+    shard shares one starting-vector set, so the merged ``(T, V)`` result
+    equals a single-worker fleet run with the same starts (shard
+    boundaries change lane scheduling, not fixed points).
+    """
+    from repro.engine.fleet import fleet_solve
+
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if starts is None:
+        starts = starting_vectors(num_starts, tensors.n, scheme=scheme,
+                                  rng=rng, dtype=dtype)
+    ranges = [r for r in static_partition(len(tensors), workers) if len(r) > 0]
+    parent = current_recorder()
+    t0 = time.perf_counter()
+
+    def solve_shard(r: range):
+        worker_reg = MetricsRegistry()
+        worker_rec = Recorder() if parent is not None else None
+        shard = tensors.subset(np.arange(r.start, r.stop))
+        ts = time.perf_counter()
+        with use_registry(worker_reg):
+
+            def run():
+                return fleet_solve(
+                    shard,
+                    alpha=alpha,
+                    tol=tol,
+                    max_iters=max_iters,
+                    starts=starts,
+                    variant=variant,
+                    dtype=dtype,
+                    config=config,
+                    adaptive=adaptive,
+                    compact_every=compact_every,
+                    guards=guards,
+                )
+
+            if worker_rec is not None:
+                with worker_rec.activate():
+                    res = run()
+            else:
+                res = run()
+        return res, worker_rec, worker_reg, time.perf_counter() - ts
+
+    with _span("parallel_fleet_solve"):
+        if len(ranges) == 1:
+            # degenerate single shard: skip the pool, keep caller's registry
+            res = fleet_solve(
+                tensors, alpha=alpha, tol=tol, max_iters=max_iters,
+                starts=starts, variant=variant, dtype=dtype, config=config,
+                adaptive=adaptive, compact_every=compact_every, guards=guards,
+            )
+            return FleetRunReport(
+                result=res, workers=1,
+                seconds=time.perf_counter() - t0,
+                shard_sizes=[len(ranges[0])],
+                shard_seconds=[time.perf_counter() - t0],
+            )
+
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=len(ranges)) as pool:
+            outs = list(pool.map(solve_shard, ranges))
+
+        caller_reg = get_registry()
+        if parent is not None:
+            parent.gauge("parallel.workers", len(ranges))
+            parent.gauge("parallel.shard_sizes", [len(r) for r in ranges])
+            for wid, (_, worker_rec, _, _) in enumerate(outs):
+                if worker_rec is not None:
+                    parent.absorb(worker_rec, under=f"worker{wid}")
+        for _, _, worker_reg, _ in outs:
+            caller_reg.merge(worker_reg)
+
+    parts = [o[0] for o in outs]
+    merged = FleetResult(
+        eigenvalues=np.concatenate([p.eigenvalues for p in parts], axis=0),
+        eigenvectors=np.concatenate([p.eigenvectors for p in parts], axis=0),
+        converged=np.concatenate([p.converged for p in parts], axis=0),
+        iterations=np.concatenate([p.iterations for p in parts], axis=0),
+        sweeps=max(p.sweeps for p in parts),
+        failed=np.concatenate([p.failed for p in parts], axis=0),
+        shifts=np.concatenate([p.shifts for p in parts], axis=0),
+        variant=parts[0].variant,
+        compactions=sum(p.compactions for p in parts),
+        tensors=tensors,
+    )
+    return FleetRunReport(
+        result=merged,
+        workers=len(ranges),
+        seconds=time.perf_counter() - t0,
+        shard_sizes=[len(r) for r in ranges],
+        shard_seconds=[o[3] for o in outs],
+    )

@@ -36,6 +36,7 @@ from repro.resilience.faults import (
 from repro.resilience.guards import (
     GuardConfig,
     IterationGuard,
+    LaneGuard,
     SolveFailure,
     record_solve_failure,
     resolve_guards,
@@ -68,6 +69,7 @@ __all__ = [
     "InjectedFault",
     "InjectedWorkerCrash",
     "IterationGuard",
+    "LaneGuard",
     "ResilientSweepResult",
     "RetryExhausted",
     "RetryOutcome",

@@ -31,6 +31,7 @@ import numpy as np
 __all__ = [
     "GuardConfig",
     "IterationGuard",
+    "LaneGuard",
     "SolveFailure",
     "record_solve_failure",
     "resolve_guards",
@@ -243,4 +244,56 @@ class IterationGuard:
                 f"no |delta lambda| progress over {w} iterations",
                 details={"window": w, "best_previous": best_prev,
                          "best_recent": best_recent},
+            )
+
+
+class LaneGuard:
+    """Per-lane watchdog for the fleet engine's vectorized sweep.
+
+    The fleet invariant is the opposite of the single-vector guard's:
+    one lane dying numerically (NaN/Inf or a collapsed update) must
+    *never* poison the batch — the lane is retired, counted, and the
+    sweep continues.  The guard therefore only raises when nothing is
+    left to save: every lane died, so the whole solve produced no usable
+    output (the same total-collapse semantics as
+    :func:`~repro.core.multistart.multistart_sshopm`).
+
+    Lane deaths are always tracked and counted on the
+    ``repro_fleet_lanes_retired_total{reason="failed"}`` metric; the
+    ``config`` (a :class:`GuardConfig` or ``None``) only controls whether
+    total collapse raises a :class:`SolveFailure`.
+    """
+
+    def __init__(self, config: GuardConfig | None, *, solver: str = "fleet_solve",
+                 total_lanes: int = 0):
+        self.config = config
+        self.solver = solver
+        self.total_lanes = int(total_lanes)
+        self.dead_lanes = 0
+        self.converged_lanes = 0
+
+    def retire(self, sweep: int, converged: int, failed: int) -> None:
+        """Account lanes leaving the active set this sweep."""
+        from repro.instrument.metrics import observe_fleet_retired
+
+        self.converged_lanes += int(converged)
+        self.dead_lanes += int(failed)
+        observe_fleet_retired("converged", int(converged))
+        observe_fleet_retired("failed", int(failed))
+
+    def check_collapse(self, sweep: int, *, telemetry=None,
+                       details: dict | None = None) -> None:
+        """Raise when every lane died numerically (nothing recoverable)."""
+        if self.config is None or not self.config.check_finite:
+            return
+        if self.total_lanes and self.dead_lanes == self.total_lanes:
+            record_solve_failure(self.solver, "collapse")
+            raise SolveFailure(
+                "collapse",
+                f"{self.solver}: all {self.total_lanes} lanes died "
+                "numerically",
+                solver=self.solver,
+                iteration=sweep,
+                telemetry=telemetry,
+                details=details or {"lanes": self.total_lanes},
             )

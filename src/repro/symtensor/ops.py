@@ -172,7 +172,7 @@ def best_rank_one(
     for shift in (alpha, -alpha):
         res = multistart_sshopm(
             tensor, num_starts=num_starts, alpha=shift, tol=tol,
-            max_iter=max_iter, rng=rng,
+            max_iters=max_iter, rng=rng,
         )
         lams = res.eigenvalues[0]
         conv = res.converged[0]

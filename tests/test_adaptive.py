@@ -13,14 +13,14 @@ from repro.util.rng import random_unit_vector
 class TestAdaptiveConvergence:
     def test_monotone_ascent(self, rng):
         tensor = random_symmetric_tensor(4, 3, rng=rng)
-        res = adaptive_sshopm(tensor, rng=rng, tol=1e-14, max_iter=1000)
+        res = adaptive_sshopm(tensor, rng=rng, tol=1e-14, max_iters=1000)
         assert res.converged
         hist = np.array(res.lambda_history)
         assert np.all(np.diff(hist) >= -1e-9)
 
     def test_monotone_descent_for_min_mode(self, rng):
         tensor = random_symmetric_tensor(4, 3, rng=rng)
-        res = adaptive_sshopm(tensor, mode="min", rng=rng, tol=1e-14, max_iter=1000)
+        res = adaptive_sshopm(tensor, mode="min", rng=rng, tol=1e-14, max_iters=1000)
         assert res.converged
         hist = np.array(res.lambda_history)
         assert np.all(np.diff(hist) <= 1e-9)
@@ -28,14 +28,14 @@ class TestAdaptiveConvergence:
     def test_residual_small(self, rng):
         for m, n in [(3, 3), (4, 3), (4, 4)]:
             tensor = random_symmetric_tensor(m, n, rng=rng)
-            res = adaptive_sshopm(tensor, rng=rng, tol=1e-14, max_iter=2000)
+            res = adaptive_sshopm(tensor, rng=rng, tol=1e-14, max_iters=2000)
             assert res.converged
             assert res.residual < 1e-6
 
     def test_finds_local_maximum(self, rng):
         """mode='max' fixed points should be positive stable (or degenerate)."""
         tensor = random_symmetric_tensor(4, 3, rng=rng)
-        res = adaptive_sshopm(tensor, rng=rng, tol=1e-14, max_iter=2000)
+        res = adaptive_sshopm(tensor, rng=rng, tol=1e-14, max_iters=2000)
         label = classify_eigenpair(tensor, res.eigenvalue, res.eigenvector)
         assert label in {"pos_stable", "degenerate"}
 
@@ -48,8 +48,8 @@ class TestAdaptiveConvergence:
         fixed_iters, adaptive_iters = [], []
         for seed in range(10):
             x0 = random_unit_vector(3, rng=seed)
-            f = sshopm(tensor, x0=x0, alpha=alpha, tol=1e-12, max_iter=20000)
-            a = adaptive_sshopm(tensor, x0=x0, tol=1e-12, max_iter=20000)
+            f = sshopm(tensor, x0=x0, alpha=alpha, tol=1e-12, max_iters=20000)
+            a = adaptive_sshopm(tensor, x0=x0, tol=1e-12, max_iters=20000)
             if f.converged and a.converged:
                 fixed_iters.append(f.iterations)
                 adaptive_iters.append(a.iterations)
@@ -59,7 +59,7 @@ class TestAdaptiveConvergence:
     def test_matrix_case(self, rng):
         tensor = random_symmetric_tensor(2, 5, rng=rng)
         w, _ = np.linalg.eigh(tensor.to_dense())
-        res = adaptive_sshopm(tensor, rng=rng, tol=1e-14, max_iter=5000)
+        res = adaptive_sshopm(tensor, rng=rng, tol=1e-14, max_iters=5000)
         assert res.converged
         # converges to *an* eigenvalue that is a local max of the Rayleigh
         # quotient — for matrices only the largest qualifies

@@ -1,0 +1,110 @@
+"""Lock the public API against an explicit, checked-in snapshot.
+
+``tests/api_surface.json`` records ``repro.__all__``, the signatures of
+the facade and solver entry points, and the field lists of the public
+result/request dataclasses.  Any drift — a renamed keyword, a dropped
+export, a reordered positional parameter — fails here *by name*, so API
+changes are always deliberate and reviewed next to the snapshot diff.
+
+To bless an intentional change, regenerate the snapshot:
+
+    REPRO_UPDATE_API_SNAPSHOT=1 PYTHONPATH=src pytest tests/test_api_surface.py
+"""
+
+import dataclasses
+import inspect
+import json
+import os
+import pathlib
+
+import pytest
+
+SNAPSHOT_PATH = pathlib.Path(__file__).parent / "api_surface.json"
+
+# (dotted name, attribute) pairs whose signatures form the public surface
+SIGNATURES = [
+    "repro.solve",
+    "repro.core.sshopm",
+    "repro.core.adaptive_sshopm",
+    "repro.core.multistart_sshopm",
+    "repro.core.suggested_shift",
+    "repro.engine.fleet_solve",
+    "repro.engine.suggested_shifts",
+    "repro.parallel.parallel_fleet_solve",
+    "repro.kernels.get_kernels",
+    "repro.kernels.plan.get_plan",
+    "repro.kernels.plan.contract_many",
+]
+
+DATACLASSES = [
+    "repro.SolveRequest",
+    "repro.SolveReport",
+    "repro.core.FleetResult",
+]
+
+
+def _resolve(dotted: str):
+    import repro  # noqa: F401 — root of every dotted path
+
+    parts = dotted.split(".")
+    obj = __import__(parts[0])
+    for p in parts[1:]:
+        obj = getattr(obj, p)
+    return obj
+
+
+def build_surface() -> dict:
+    import repro
+
+    surface = {
+        "all": sorted(repro.__all__),
+        "signatures": {
+            name: str(inspect.signature(_resolve(name))) for name in SIGNATURES
+        },
+        "dataclasses": {
+            name: [f.name for f in dataclasses.fields(_resolve(name))]
+            for name in DATACLASSES
+        },
+        "result_protocol": sorted(
+            n for n in ("eigenpairs", "converged", "telemetry")
+        ),
+    }
+    return surface
+
+
+def test_public_api_matches_snapshot():
+    surface = build_surface()
+    if os.environ.get("REPRO_UPDATE_API_SNAPSHOT"):
+        SNAPSHOT_PATH.write_text(json.dumps(surface, indent=2) + "\n")
+        pytest.skip(f"snapshot regenerated at {SNAPSHOT_PATH}")
+    assert SNAPSHOT_PATH.exists(), (
+        "missing tests/api_surface.json — regenerate with "
+        "REPRO_UPDATE_API_SNAPSHOT=1"
+    )
+    snapshot = json.loads(SNAPSHOT_PATH.read_text())
+
+    assert surface["all"] == snapshot["all"], "repro.__all__ drifted"
+    for name in SIGNATURES:
+        assert surface["signatures"][name] == snapshot["signatures"][name], (
+            f"signature of {name} drifted"
+        )
+    for name in DATACLASSES:
+        assert surface["dataclasses"][name] == snapshot["dataclasses"][name], (
+            f"fields of {name} drifted"
+        )
+    # nothing extra, nothing missing at the top level either
+    assert set(surface["signatures"]) == set(snapshot["signatures"])
+    assert set(surface["dataclasses"]) == set(snapshot["dataclasses"])
+
+
+def test_result_protocol_members_exist():
+    """Every result class advertises the shared protocol members."""
+    from repro.core import FleetResult
+    from repro.core.multistart import MultistartResult
+    from repro.core.sshopm import SSHOPMResult
+
+    for cls in (SSHOPMResult, MultistartResult, FleetResult):
+        assert callable(getattr(cls, "eigenpairs"))
+        fields = {f.name for f in dataclasses.fields(cls)}
+        assert "converged" in fields
+        assert "telemetry" in fields

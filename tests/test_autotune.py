@@ -66,7 +66,7 @@ class TestAutoVariant:
 
         tensor = random_symmetric_tensor(4, 3, rng=rng)
         res = sshopm(tensor, alpha=suggested_shift(tensor), kernels="auto",
-                     rng=1, tol=1e-12, max_iter=2000)
+                     rng=1, tol=1e-12, max_iters=2000)
         assert res.converged
         # |dlambda| < 1e-12 with a large shift bounds the residual loosely
         assert res.residual < 1e-4

@@ -74,6 +74,38 @@ class TestTableInference:
         with pytest.raises(ValueError):
             ax_m_batched(rng.normal(size=7), rng.normal(size=3))  # 7 != C(m+2,m)
 
+    def test_inference_failure_is_typed(self, rng):
+        from repro.kernels.errors import KernelLookupError, TableInferenceError
+
+        with pytest.raises(TableInferenceError, match="cannot infer"):
+            ax_m_batched(rng.normal(size=7), rng.normal(size=3))
+        # the typed family stays catchable as the historical ValueError
+        # and as the shared kernel-lookup base
+        assert issubclass(TableInferenceError, ValueError)
+        assert issubclass(TableInferenceError, KernelLookupError)
+
+    def test_ambiguous_n1_refuses_to_guess(self, rng):
+        from repro.kernels.errors import TableInferenceError
+
+        with pytest.raises(TableInferenceError, match="n=1"):
+            ax_m_batched(rng.normal(size=1), rng.normal(size=1))
+
+    def test_mismatched_explicit_tables_rejected(self, rng):
+        # historically accepted silently (tables trusted blindly -> garbage)
+        from repro.kernels.errors import TableInferenceError
+
+        t = random_symmetric_tensor(5, 3, rng=rng)
+        wrong = kernel_tables(4, 3)  # 15 unique values, arrays carry 21
+        with pytest.raises(TableInferenceError, match="supplied tables"):
+            ax_m_batched(t.values, rng.normal(size=3), tables=wrong)
+
+    def test_matching_explicit_tables_accepted(self, rng):
+        t = random_symmetric_tensor(5, 3, rng=rng)
+        x = rng.normal(size=3)
+        tab = kernel_tables(5, 3)
+        assert np.isclose(ax_m_batched(t.values, x, tables=tab),
+                          ax_m_batched(t.values, x))
+
 
 class TestFlopCounter:
     def test_counts_scale_with_batch(self, rng):

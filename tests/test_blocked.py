@@ -169,7 +169,7 @@ class TestBlockedInSshopm:
         t = random_symmetric_tensor(4, 8, rng=rng)
         x0 = random_unit_vector(8, rng=rng)
         alpha = suggested_shift(t)
-        a = sshopm(t, x0=x0, alpha=alpha, kernels="blocked", tol=1e-13, max_iter=3000)
-        b = sshopm(t, x0=x0, alpha=alpha, kernels="precomputed", tol=1e-13, max_iter=3000)
+        a = sshopm(t, x0=x0, alpha=alpha, kernels="blocked", tol=1e-13, max_iters=3000)
+        b = sshopm(t, x0=x0, alpha=alpha, kernels="precomputed", tol=1e-13, max_iters=3000)
         assert a.converged and b.converged
         assert np.isclose(a.eigenvalue, b.eigenvalue, atol=1e-9)

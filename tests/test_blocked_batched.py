@@ -85,9 +85,9 @@ class TestMultistartBackend:
         batch = random_symmetric_batch(4, 4, 5, rng=rng)
         starts = starting_vectors(6, 5, rng=2)
         a = multistart_sshopm(batch, starts=starts, alpha=8.0, tol=1e-11,
-                              max_iter=1500, backend="batched")
+                              max_iters=1500, backend="batched")
         b = multistart_sshopm(batch, starts=starts, alpha=8.0, tol=1e-11,
-                              max_iter=1500, backend="blocked")
+                              max_iters=1500, backend="blocked")
         assert np.allclose(a.eigenvalues, b.eigenvalues, atol=1e-9)
         assert np.allclose(a.eigenvectors, b.eigenvectors, atol=1e-7)
         assert np.array_equal(a.converged, b.converged)
@@ -102,7 +102,7 @@ class TestMultistartBackend:
         # accept partial convergence within the iteration budget
         alpha = max(suggested_shift(batch[t]) for t in range(6))
         res = multistart_sshopm(batch, num_starts=8, alpha=alpha, rng=3,
-                                tol=1e-9, max_iter=3000, backend="blocked")
+                                tol=1e-9, max_iters=3000, backend="blocked")
         assert res.converged.mean() > 0.4
         from repro.kernels.blocked_batched import ax_m1_blocked_batched as axm1
 

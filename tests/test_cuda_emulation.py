@@ -48,7 +48,7 @@ class TestEmulatedKernels:
         lam, vec = emulate_cuda_sshopm(batch, starts, alpha=alpha, tol=1e-6,
                                        max_iter=3000)
         py = multistart_sshopm(batch, starts=starts, alpha=alpha, tol=1e-6,
-                               max_iter=3000, dtype=np.float32)
+                               max_iters=3000, dtype=np.float32)
         assert np.isclose(lam, py.eigenvalues, atol=2e-3).mean() >= 0.95
 
     def test_variants_agree_with_each_other(self, workload):

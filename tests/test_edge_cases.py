@@ -86,13 +86,13 @@ class TestExtremeValues:
         """alpha >> ||A||: the iteration contracts extremely slowly but
         stays numerically sane and the iterates remain unit norm."""
         t = random_symmetric_tensor(4, 3, rng=rng)
-        res = sshopm(t, alpha=1e8, rng=rng, tol=0.0, max_iter=50)
+        res = sshopm(t, alpha=1e8, rng=rng, tol=0.0, max_iters=50)
         assert np.isclose(np.linalg.norm(res.eigenvector), 1.0)
         assert np.isfinite(res.eigenvalue)
 
     def test_nan_tensor_terminates(self):
         t = SymmetricTensor(np.full(15, np.nan), 4, 3)
-        res = sshopm(t, alpha=0.0, rng=0, max_iter=20)
+        res = sshopm(t, alpha=0.0, rng=0, max_iters=20)
         assert not res.converged
 
     def test_multistart_with_nan_lane_does_not_poison_others(self, rng):
@@ -102,7 +102,7 @@ class TestExtremeValues:
         bad = SymmetricTensor(np.full(15, np.nan), 4, 3)
         batch = SymmetricTensorBatch.from_tensors([good, bad])
         res = multistart_sshopm(batch, num_starts=8, alpha=suggested_shift(good),
-                                rng=1, tol=1e-10, max_iter=2000)
+                                rng=1, tol=1e-10, max_iters=2000)
         assert res.converged[0].all()
         assert not res.converged[1].any()
 
@@ -132,7 +132,7 @@ class TestDegenerateSpectra:
         vector in the top eigenspace."""
         dense = np.diag([2.0, 2.0, 1.0])
         t = SymmetricTensor.from_dense(dense)
-        res = sshopm(t, alpha=suggested_shift(t), rng=3, tol=1e-13, max_iter=4000)
+        res = sshopm(t, alpha=suggested_shift(t), rng=3, tol=1e-13, max_iters=4000)
         assert res.converged
         assert np.isclose(res.eigenvalue, 2.0, atol=1e-8)
         assert abs(res.eigenvector[2]) < 1e-4
@@ -144,5 +144,5 @@ class TestDegenerateSpectra:
 
         t = random_symmetric_tensor(3, 3, rng=rng)
         pairs = find_eigenpairs(t, num_starts=64, alpha=suggested_shift(t),
-                                rng=4, max_iter=4000)
+                                rng=4, max_iters=4000)
         assert all(p.eigenvalue >= -1e-12 for p in pairs)

@@ -174,7 +174,7 @@ class TestDedupe:
         from repro.core.sshopm import sshopm, suggested_shift
 
         results = [
-            sshopm(tensor, alpha=suggested_shift(tensor), rng=s, max_iter=4000, tol=1e-14)
+            sshopm(tensor, alpha=suggested_shift(tensor), rng=s, max_iters=4000, tol=1e-14)
             for s in range(8)
         ]
         pairs = dedupe_eigenpairs(

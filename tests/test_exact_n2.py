@@ -65,7 +65,7 @@ class TestAsOracle:
     def test_sshopm_results_among_exact_roots(self, m, seed):
         t = random_symmetric_tensor(m, 2, rng=seed)
         exact = exact_eigenpairs_n2(t)
-        res = sshopm(t, alpha=suggested_shift(t), rng=seed, tol=1e-14, max_iter=8000)
+        res = sshopm(t, alpha=suggested_shift(t), rng=seed, tol=1e-14, max_iters=8000)
         if not res.converged or res.residual > 1e-7:
             return
         from repro.core.eigenpairs import canonicalize_sign
@@ -83,7 +83,7 @@ class TestAsOracle:
         exact = exact_eigenpairs_n2(t)
         stable = [p for p in exact if p.stability == "pos_stable"]
         found = find_eigenpairs(t, num_starts=200, alpha=suggested_shift(t),
-                                rng=rng, tol=1e-13, max_iter=6000)
+                                rng=rng, tol=1e-13, max_iters=6000)
         for p in stable:
             assert any(abs(f.eigenvalue - p.eigenvalue) < 1e-6 for f in found)
 

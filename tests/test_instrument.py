@@ -301,7 +301,7 @@ class TestSolveConfig:
         tensor = random_symmetric_tensor(4, 3, rng=0)
         res = multistart_sshopm(tensor, rng=1, config=cfg)
         assert res.num_starts == 4
-        assert res.total_sweeps <= 30
+        assert res.sweeps <= 30
 
     def test_explicit_kwarg_beats_config(self):
         cfg = SolveConfig(num_starts=4)
@@ -340,8 +340,10 @@ class TestDeprecationShims:
         assert res.iterations <= 10
 
     def test_conflicting_spellings_raise(self):
-        with pytest.raises(TypeError):
-            reconcile_max_iters(10, 20)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            with pytest.raises(TypeError):
+                reconcile_max_iters(10, 20)
 
     def test_same_value_both_spellings_ok(self):
         with pytest.warns(DeprecationWarning):

@@ -44,7 +44,7 @@ class TestFullPipelineWithPersistence:
         assert rep.correct_count_fraction > 0.9
 
         raw = multistart_sshopm(loaded.tensors, num_starts=16, alpha=0.0,
-                                rng=33, tol=1e-8, max_iter=200)
+                                rng=33, tol=1e-8, max_iters=200)
         save_results(tmp_path / "results.npz", raw)
         assert (tmp_path / "results.npz").exists()
 
@@ -71,7 +71,7 @@ class TestSolverToPerformanceModel:
         phantom = make_phantom(rows=4, cols=4, num_gradients=24, rng=35)
         starts = starting_vectors(32, 3, rng=36)
         res = multistart_sshopm(phantom.tensors, starts=starts, alpha=0.0,
-                                tol=1e-6, max_iter=150, dtype=np.float32)
+                                tol=1e-6, max_iters=150, dtype=np.float32)
         iters = np.maximum(res.iterations, 1)
         prof = warp_profile(iters)
         pred = predict_sshopm(num_tensors=16, num_starts=32,
@@ -85,7 +85,7 @@ class TestSolverToPerformanceModel:
     def test_parallel_executor_full_application(self):
         phantom = make_phantom(rows=4, cols=2, num_gradients=24, rng=37)
         rep = parallel_multistart_sshopm(phantom.tensors, workers=3,
-                                         num_starts=16, rng=38, max_iter=300)
+                                         num_starts=16, rng=38, max_iters=300)
         assert rep.result.eigenvalues.shape == (8, 16)
 
 
@@ -97,7 +97,7 @@ class TestTheoryMeetsPractice:
         batch = phantom.tensors
         alpha = max(suggested_shift(batch[t]) for t in range(len(batch)))
         pairs, _ = find_eigenpairs_batch(batch, num_starts=32, alpha=alpha,
-                                         rng=40, tol=1e-12, max_iter=4000)
+                                         rng=40, tol=1e-12, max_iters=4000)
         checked = 0
         for t, plist in enumerate(pairs):
             for p in plist:

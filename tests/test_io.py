@@ -76,7 +76,7 @@ class TestPhantomIO:
 class TestResultsIO:
     def test_round_trip(self, tmp_path, rng):
         batch = random_symmetric_batch(3, 4, 3, rng=rng)
-        res = multistart_sshopm(batch, num_starts=8, alpha=5.0, rng=11, max_iter=500)
+        res = multistart_sshopm(batch, num_starts=8, alpha=5.0, rng=11, max_iters=500)
         path = tmp_path / "res.npz"
         save_results(path, res)
         back = load_results(path)
@@ -84,7 +84,7 @@ class TestResultsIO:
         assert np.array_equal(back.eigenvectors, res.eigenvectors)
         assert np.array_equal(back.converged, res.converged)
         assert np.array_equal(back.iterations, res.iterations)
-        assert back.total_sweeps == res.total_sweeps
+        assert back.sweeps == res.sweeps
 
     def test_failed_mask_round_trip(self, tmp_path, rng):
         batch = random_symmetric_batch(2, 4, 3, rng=rng)
@@ -104,7 +104,7 @@ class TestResultsIO:
             path, format="repro-v1", kind="results",
             eigenvalues=res.eigenvalues, eigenvectors=res.eigenvectors,
             converged=res.converged, iterations=res.iterations,
-            total_sweeps=res.total_sweeps,
+            total_sweeps=res.sweeps,
         )
         back = load_results(path)
         assert back.failed is None

@@ -43,10 +43,10 @@ class TestLockstepEquivalence:
         alpha = suggested_shift(tensor)
         starts = starting_vectors(6, 3, rng=1)
         batch_res = multistart_sshopm(
-            tensor, starts=starts, alpha=alpha, tol=1e-13, max_iter=2000
+            tensor, starts=starts, alpha=alpha, tol=1e-13, max_iters=2000
         )
         for v in range(6):
-            seq = sshopm(tensor, x0=starts[v], alpha=alpha, tol=1e-13, max_iter=2000)
+            seq = sshopm(tensor, x0=starts[v], alpha=alpha, tol=1e-13, max_iters=2000)
             assert np.isclose(batch_res.eigenvalues[0, v], seq.eigenvalue, atol=1e-9)
             assert np.allclose(
                 batch_res.eigenvectors[0, v], seq.eigenvector, atol=1e-6
@@ -56,9 +56,9 @@ class TestLockstepEquivalence:
         batch = random_symmetric_batch(5, 4, 3, rng=rng)
         starts = starting_vectors(8, 3, rng=2)
         a = multistart_sshopm(batch, starts=starts, alpha=5.0, backend="batched",
-                              tol=1e-12, max_iter=1500)
+                              tol=1e-12, max_iters=1500)
         b = multistart_sshopm(batch, starts=starts, alpha=5.0, backend="batched_unrolled",
-                              tol=1e-12, max_iter=1500)
+                              tol=1e-12, max_iters=1500)
         assert np.allclose(a.eigenvalues, b.eigenvalues, atol=1e-10)
         assert np.allclose(a.eigenvectors, b.eigenvectors, atol=1e-8)
         assert np.array_equal(a.converged, b.converged)
@@ -69,7 +69,7 @@ class TestConvergenceBehavior:
         batch = random_symmetric_batch(8, 4, 3, rng=rng)
         alphas = [suggested_shift(batch[t]) for t in range(8)]
         res = multistart_sshopm(batch, num_starts=16, alpha=max(alphas),
-                                rng=3, tol=1e-11, max_iter=4000)
+                                rng=3, tol=1e-11, max_iters=4000)
         assert res.converged.all()
         # all converged lanes satisfy the eigenpair equation
         from repro.kernels.batched import ax_m1_batched
@@ -84,8 +84,8 @@ class TestConvergenceBehavior:
         """Once converged, extra sweeps must not change a lane's result."""
         tensor = random_symmetric_tensor(4, 3, rng=rng)
         starts = starting_vectors(4, 3, rng=5)
-        short = multistart_sshopm(tensor, starts=starts, alpha=10.0, tol=1e-12, max_iter=400)
-        long = multistart_sshopm(tensor, starts=starts, alpha=10.0, tol=1e-12, max_iter=4000)
+        short = multistart_sshopm(tensor, starts=starts, alpha=10.0, tol=1e-12, max_iters=400)
+        long = multistart_sshopm(tensor, starts=starts, alpha=10.0, tol=1e-12, max_iters=4000)
         conv = short.converged[0]
         assert np.allclose(
             short.eigenvalues[0, conv], long.eigenvalues[0, conv], atol=1e-12
@@ -94,35 +94,35 @@ class TestConvergenceBehavior:
     def test_iterations_counted_per_lane(self, rng):
         tensor = random_symmetric_tensor(4, 3, rng=rng)
         res = multistart_sshopm(tensor, num_starts=8, alpha=10.0, rng=6,
-                                tol=1e-12, max_iter=2000)
+                                tol=1e-12, max_iters=2000)
         assert res.iterations.shape == (1, 8)
         assert np.all(res.iterations[res.converged] >= 1)
-        assert res.total_sweeps >= res.iterations.max()
+        assert res.sweeps >= res.iterations.max()
 
     def test_unit_norm_outputs(self, rng):
         batch = random_symmetric_batch(3, 3, 3, rng=rng)
-        res = multistart_sshopm(batch, num_starts=10, alpha=8.0, rng=7, max_iter=2000)
+        res = multistart_sshopm(batch, num_starts=10, alpha=8.0, rng=7, max_iters=2000)
         norms = np.linalg.norm(res.eigenvectors, axis=-1)
         assert np.allclose(norms, 1.0, atol=1e-10)
 
     def test_max_iter_zero_sweeps(self, rng):
         tensor = random_symmetric_tensor(4, 3, rng=rng)
-        res = multistart_sshopm(tensor, num_starts=4, rng=8, max_iter=0)
-        assert res.total_sweeps == 0
+        res = multistart_sshopm(tensor, num_starts=4, rng=8, max_iters=0)
+        assert res.sweeps == 0
         assert not res.converged.any()
 
 
 class TestInputs:
     def test_single_tensor_promoted_to_batch(self, rng):
         tensor = random_symmetric_tensor(4, 3, rng=rng)
-        res = multistart_sshopm(tensor, num_starts=4, rng=9, max_iter=50)
+        res = multistart_sshopm(tensor, num_starts=4, rng=9, max_iters=50)
         assert res.num_tensors == 1
         assert res.num_starts == 4
 
     def test_explicit_starts_normalized(self, rng):
         tensor = random_symmetric_tensor(4, 3, rng=rng)
         starts = np.array([[2.0, 0, 0], [0, 3.0, 0]])
-        res = multistart_sshopm(tensor, starts=starts, alpha=5.0, max_iter=500)
+        res = multistart_sshopm(tensor, starts=starts, alpha=5.0, max_iters=500)
         assert res.num_starts == 2
 
     def test_bad_starts_shape(self, rng):
@@ -144,12 +144,12 @@ class TestInputs:
         """Paper runs in single precision; driver must support it."""
         tensor = random_symmetric_tensor(4, 3, rng=rng)
         res = multistart_sshopm(tensor, num_starts=8, alpha=10.0, rng=10,
-                                dtype=np.float32, tol=1e-5, max_iter=2000)
+                                dtype=np.float32, tol=1e-5, max_iters=2000)
         assert res.eigenvalues.dtype == np.float32
         assert res.converged.any()
 
     def test_flop_counter(self, rng):
         tensor = random_symmetric_tensor(4, 3, rng=rng)
         counter = FlopCounter()
-        multistart_sshopm(tensor, num_starts=4, rng=11, max_iter=20, counter=counter)
+        multistart_sshopm(tensor, num_starts=4, rng=11, max_iters=20, counter=counter)
         assert counter.flops > 0

@@ -56,7 +56,7 @@ class TestSolverRecovery:
     def test_sshopm_converges_to_a_component(self, rng):
         tensor, basis, weights = random_odeco_tensor(4, 4, rng=rng)
         res = sshopm(tensor, alpha=suggested_shift(tensor), rng=rng,
-                     tol=1e-14, max_iter=5000)
+                     tol=1e-14, max_iters=5000)
         assert res.converged
         errs = [abs(res.eigenvalue - w) for w in weights]
         i = int(np.argmin(errs))
@@ -69,7 +69,7 @@ class TestSolverRecovery:
         tensor, basis, weights = random_odeco_tensor(4, 3, rng=rng)
         pairs = find_eigenpairs(tensor, num_starts=256,
                                 alpha=suggested_shift(tensor), rng=rng,
-                                tol=1e-13, max_iter=5000)
+                                tol=1e-13, max_iters=5000)
         stable = [p for p in pairs if p.stability == "pos_stable"]
         assert len(stable) >= 3
         for w, u in zip(weights, basis):
@@ -89,7 +89,7 @@ class TestSolverRecovery:
         tensor, basis, weights = random_odeco_tensor(3, 3, rng=rng)
         pairs = find_eigenpairs(tensor, num_starts=256,
                                 alpha=suggested_shift(tensor), rng=rng,
-                                tol=1e-13, max_iter=5000)
+                                tol=1e-13, max_iters=5000)
         lams = [p.eigenvalue for p in pairs]
         # principal component always reachable
         assert any(abs(l - weights[0]) < 1e-6 for l in lams)
@@ -98,7 +98,7 @@ class TestSolverRecovery:
         from repro.core.adaptive import adaptive_sshopm
 
         tensor, basis, weights = random_odeco_tensor(4, 4, rng=rng)
-        res = adaptive_sshopm(tensor, rng=rng, tol=1e-14, max_iter=2000)
+        res = adaptive_sshopm(tensor, rng=rng, tol=1e-14, max_iters=2000)
         assert res.converged
         assert min(abs(res.eigenvalue - w) for w in weights) < 1e-7
 

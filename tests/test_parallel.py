@@ -49,10 +49,10 @@ class TestExecutor:
         batch = random_symmetric_batch(9, 4, 3, rng=rng)
         starts = starting_vectors(8, 3, rng=1)
         base = parallel_multistart_sshopm(batch, workers=1, starts=starts,
-                                          alpha=8.0, max_iter=1500)
+                                          alpha=8.0, max_iters=1500)
         for workers in (2, 4, 9, 16):
             rep = parallel_multistart_sshopm(batch, workers=workers, starts=starts,
-                                             alpha=8.0, max_iter=1500)
+                                             alpha=8.0, max_iters=1500)
             assert np.allclose(rep.result.eigenvalues, base.result.eigenvalues)
             assert np.allclose(rep.result.eigenvectors, base.result.eigenvectors)
             assert np.array_equal(rep.result.converged, base.result.converged)
@@ -60,7 +60,7 @@ class TestExecutor:
     def test_chunk_metadata(self, rng):
         batch = random_symmetric_batch(10, 4, 3, rng=rng)
         rep = parallel_multistart_sshopm(batch, workers=3, num_starts=4,
-                                         rng=2, max_iter=100)
+                                         rng=2, max_iters=100)
         assert rep.workers == 3
         assert sum(rep.chunk_sizes) == 10
         assert rep.seconds > 0
@@ -68,7 +68,7 @@ class TestExecutor:
     def test_more_workers_than_tensors(self, rng):
         batch = random_symmetric_batch(2, 4, 3, rng=rng)
         rep = parallel_multistart_sshopm(batch, workers=8, num_starts=4,
-                                         rng=3, max_iter=100)
+                                         rng=3, max_iters=100)
         assert sum(rep.chunk_sizes) == 2
 
     def test_invalid_worker_count(self, rng):

@@ -127,7 +127,7 @@ def test_sshopm_fixed_point_invariant(seed):
     from repro.core.sshopm import sshopm, suggested_shift
 
     t = random_symmetric_tensor(4, 3, rng=seed)
-    res = sshopm(t, alpha=suggested_shift(t), rng=seed, tol=1e-13, max_iter=3000)
+    res = sshopm(t, alpha=suggested_shift(t), rng=seed, tol=1e-13, max_iters=3000)
     if res.converged:
         assert res.residual < 1e-5
         assert np.isclose(np.linalg.norm(res.eigenvector), 1.0, atol=1e-10)

@@ -16,7 +16,7 @@ class TestNewtonRefine:
         steps."""
         t = random_symmetric_tensor(4, 3, rng=rng)
         rough = sshopm(t, alpha=suggested_shift(t), rng=rng, tol=1e-5,
-                       max_iter=2000)
+                       max_iters=2000)
         res = newton_refine(t, rough.eigenvalue, rough.eigenvector)
         assert res.converged
         assert res.residual < 1e-12
@@ -26,7 +26,7 @@ class TestNewtonRefine:
         """Residuals decay (at least) quadratically once in the basin."""
         t = random_symmetric_tensor(4, 3, rng=rng)
         exact = sshopm(t, alpha=suggested_shift(t), rng=rng, tol=1e-14,
-                       max_iter=8000)
+                       max_iters=8000)
         x0 = exact.eigenvector + 1e-3 * random_unit_vector(3, rng=rng)
         res = newton_refine(t, exact.eigenvalue + 1e-3, x0, tol=1e-15)
         h = [r for r in res.residual_history if r > 1e-14]
@@ -70,7 +70,7 @@ class TestRefinePairs:
     def test_improves_whole_spectrum(self, rng):
         t = random_symmetric_tensor(4, 3, rng=rng)
         pairs = find_eigenpairs(t, num_starts=96, alpha=suggested_shift(t),
-                                rng=rng, tol=1e-6, max_iter=1500)
+                                rng=rng, tol=1e-6, max_iters=1500)
         refined = refine_pairs(t, pairs)
         assert len(refined) == len(pairs)
         for before, after in zip(pairs, refined):
@@ -84,9 +84,9 @@ class TestRefinePairs:
         t = random_symmetric_tensor(4, 3, rng=rng)
         alpha = suggested_shift(t)
         x0 = random_unit_vector(3, rng=rng)
-        loose = sshopm(t, x0=x0, alpha=alpha, tol=1e-4, max_iter=5000)
+        loose = sshopm(t, x0=x0, alpha=alpha, tol=1e-4, max_iters=5000)
         polished = newton_refine(t, loose.eigenvalue, loose.eigenvector)
-        tight = sshopm(t, x0=x0, alpha=alpha, tol=1e-14, max_iter=20000)
+        tight = sshopm(t, x0=x0, alpha=alpha, tol=1e-14, max_iters=20000)
         assert polished.residual <= tight.residual * 10
         total_cheap = loose.iterations + polished.iterations
         assert total_cheap < tight.iterations / 3

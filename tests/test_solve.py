@@ -18,7 +18,7 @@ class TestFindEigenpairs:
         tensor = kolda_mayo_example_3x3x3()
         pairs = find_eigenpairs(
             tensor, num_starts=200, alpha=suggested_shift(tensor),
-            rng=3, tol=1e-14, max_iter=4000,
+            rng=3, tol=1e-14, max_iters=4000,
         )
         lams = sorted(round(p.eigenvalue, 3) for p in pairs)
         # the four SS-HOPM-reachable pairs documented on the constructor
@@ -52,7 +52,7 @@ class TestFindEigenpairs:
         d2 = np.array([0.0, 1.0, 0.0])
         tensor = sum_of_rank_ones(np.stack([d1, d2]), np.array([3.0, 2.0]), m=4)
         pairs = find_eigenpairs(tensor, num_starts=128, alpha=suggested_shift(tensor),
-                                rng=6, tol=1e-13, max_iter=3000)
+                                rng=6, tol=1e-13, max_iters=3000)
         maxima = [p for p in pairs if p.stability == "pos_stable"]
         assert len(maxima) >= 2
         aligned1 = any(abs(abs(p.eigenvector @ d1)) > 0.99 for p in maxima)
@@ -72,7 +72,7 @@ class TestFindEigenpairsBatch:
         batch = random_symmetric_batch(6, 4, 3, rng=rng)
         alpha = max(suggested_shift(batch[t]) for t in range(6))
         pairs, raw = find_eigenpairs_batch(batch, num_starts=32, alpha=alpha,
-                                           rng=8, tol=1e-11, max_iter=3000)
+                                           rng=8, tol=1e-11, max_iters=3000)
         assert len(pairs) == 6
         assert raw.eigenvalues.shape == (6, 32)
         for t, plist in enumerate(pairs):
@@ -87,9 +87,9 @@ class TestFindEigenpairsBatch:
         batch = random_symmetric_batch(2, 4, 3, rng=rng)
         alpha = max(suggested_shift(batch[t]) for t in range(2))
         pairs, _ = find_eigenpairs_batch(batch, num_starts=48, alpha=alpha, rng=9,
-                                         tol=1e-12, max_iter=3000)
+                                         tol=1e-12, max_iters=3000)
         single = find_eigenpairs(batch[0], num_starts=48, alpha=alpha, rng=9,
-                                 tol=1e-12, max_iter=3000, classify=False,
+                                 tol=1e-12, max_iters=3000, classify=False,
                                  lambda_tol=1e-5, angle_tol=1e-2)
         batch_lams = {round(p.eigenvalue, 4) for p in pairs[0]}
         single_lams = {round(p.eigenvalue, 4) for p in single}

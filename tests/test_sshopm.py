@@ -23,7 +23,7 @@ class TestMatrixCase:
         converging to the largest eigenvalue of A."""
         tensor = random_symmetric_tensor(2, 6, rng=rng)
         w, V = np.linalg.eigh(tensor.to_dense())
-        res = sshopm(tensor, alpha=suggested_shift(tensor), rng=rng, max_iter=5000, tol=1e-14)
+        res = sshopm(tensor, alpha=suggested_shift(tensor), rng=rng, max_iters=5000, tol=1e-14)
         assert res.converged
         assert abs(res.eigenvalue - w[-1]) < 1e-7
         assert abs(abs(res.eigenvector @ V[:, -1]) - 1) < 1e-5
@@ -31,7 +31,7 @@ class TestMatrixCase:
     def test_negative_shift_finds_smallest(self, rng):
         tensor = random_symmetric_tensor(2, 5, rng=rng)
         w, _ = np.linalg.eigh(tensor.to_dense())
-        res = sshopm(tensor, alpha=-suggested_shift(tensor), rng=rng, max_iter=5000, tol=1e-14)
+        res = sshopm(tensor, alpha=-suggested_shift(tensor), rng=rng, max_iters=5000, tol=1e-14)
         assert res.converged
         assert abs(res.eigenvalue - w[0]) < 1e-7
 
@@ -40,7 +40,7 @@ class TestEigenpairProperties:
     def test_fixed_point_is_eigenpair(self, rng):
         for m, n in [(3, 3), (4, 3), (4, 4), (5, 2)]:
             tensor = random_symmetric_tensor(m, n, rng=rng)
-            res = sshopm(tensor, alpha=suggested_shift(tensor), rng=rng, max_iter=3000, tol=1e-14)
+            res = sshopm(tensor, alpha=suggested_shift(tensor), rng=rng, max_iters=3000, tol=1e-14)
             assert res.converged, (m, n)
             assert res.residual < 1e-6, (m, n, res.residual)
             assert np.isclose(np.linalg.norm(res.eigenvector), 1.0)
@@ -48,13 +48,13 @@ class TestEigenpairProperties:
     def test_lambda_history_monotone_for_convex_shift(self, rng):
         """Kolda & Mayo: alpha > beta(A) makes lambda_k nondecreasing."""
         tensor = random_symmetric_tensor(4, 3, rng=rng)
-        res = sshopm(tensor, alpha=suggested_shift(tensor), rng=rng, max_iter=2000, tol=1e-14)
+        res = sshopm(tensor, alpha=suggested_shift(tensor), rng=rng, max_iters=2000, tol=1e-14)
         hist = np.array(res.lambda_history)
         assert np.all(np.diff(hist) >= -1e-9)
 
     def test_lambda_history_monotone_decreasing_for_concave_shift(self, rng):
         tensor = random_symmetric_tensor(4, 3, rng=rng)
-        res = sshopm(tensor, alpha=-suggested_shift(tensor), rng=rng, max_iter=2000, tol=1e-14)
+        res = sshopm(tensor, alpha=-suggested_shift(tensor), rng=rng, max_iters=2000, tol=1e-14)
         hist = np.array(res.lambda_history)
         assert np.all(np.diff(hist) <= 1e-9)
 
@@ -71,7 +71,7 @@ class TestKnownTensors:
         d = random_unit_vector(3, rng=rng)
         tensor = rank_one_tensor(d, 4, weight=3.0)
         res = sshopm(tensor, x0=d + 0.1 * random_unit_vector(3, rng=rng),
-                     alpha=suggested_shift(tensor), max_iter=2000, tol=1e-14)
+                     alpha=suggested_shift(tensor), max_iters=2000, tol=1e-14)
         assert res.converged
         assert abs(res.eigenvalue - 3.0) < 1e-8
         assert abs(abs(res.eigenvector @ d) - 1.0) < 1e-6
@@ -92,14 +92,14 @@ class TestKnownTensors:
         found = set()
         for seed in range(30):
             res = sshopm(tensor, alpha=suggested_shift(tensor), rng=seed,
-                         max_iter=5000, tol=1e-14)
+                         max_iters=5000, tol=1e-14)
             if res.converged and res.residual < 1e-6:
                 found.add(round(res.eigenvalue, 3))
         assert 0.873 in found  # the principal eigenvalue is always reachable
 
     def test_zero_tensor_terminates(self):
         tensor = SymmetricTensor.zeros(4, 3)
-        res = sshopm(tensor, alpha=0.0, rng=0, max_iter=50)
+        res = sshopm(tensor, alpha=0.0, rng=0, max_iters=50)
         assert not res.converged  # A x^{m-1} = 0 kills the iteration
         assert res.iterations <= 1
 
@@ -110,7 +110,7 @@ class TestOptions:
         x0 = random_unit_vector(3, rng=rng)
         alpha = suggested_shift(tensor)
         results = [
-            sshopm(tensor, x0=x0, alpha=alpha, kernels=name, max_iter=500, tol=1e-13)
+            sshopm(tensor, x0=x0, alpha=alpha, kernels=name, max_iters=500, tol=1e-13)
             for name in ("compressed", "precomputed", "unrolled", "vectorized")
         ]
         for r in results[1:]:
@@ -125,14 +125,14 @@ class TestOptions:
 
     def test_max_iter_respected(self, rng):
         tensor = random_symmetric_tensor(4, 3, rng=rng)
-        res = sshopm(tensor, alpha=suggested_shift(tensor), rng=rng, max_iter=3, tol=0.0)
+        res = sshopm(tensor, alpha=suggested_shift(tensor), rng=rng, max_iters=3, tol=0.0)
         assert res.iterations == 3
         assert not res.converged
 
     def test_flop_counter_accumulates(self, rng):
         tensor = random_symmetric_tensor(4, 3, rng=rng)
         counter = FlopCounter()
-        res = sshopm(tensor, alpha=1.0, rng=rng, counter=counter, max_iter=100)
+        res = sshopm(tensor, alpha=1.0, rng=rng, counter=counter, max_iters=100)
         assert counter.flops > 0
 
     def test_x0_validation(self, rng):
@@ -160,5 +160,5 @@ class TestSuggestedShift:
         tensor = random_symmetric_tensor(3, 4, rng=rng)
         alpha = suggested_shift(tensor)
         for seed in range(10):
-            res = sshopm(tensor, alpha=alpha, rng=seed, max_iter=10000, tol=1e-12)
+            res = sshopm(tensor, alpha=alpha, rng=seed, max_iters=10000, tol=1e-12)
             assert res.converged

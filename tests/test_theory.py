@@ -20,7 +20,7 @@ from repro.util.rng import random_unit_vector
 def tensor_and_pairs():
     t = random_symmetric_tensor(4, 3, rng=42)
     pairs = find_eigenpairs(t, num_starts=128, alpha=suggested_shift(t),
-                            rng=1, tol=1e-14, max_iter=5000)
+                            rng=1, tol=1e-14, max_iters=5000)
     return t, pairs
 
 
@@ -52,7 +52,7 @@ class TestAnalysis:
         alpha = suggested_shift(t)
         ana = analyze_fixed_point(t, p.eigenvalue, p.eigenvector, alpha)
         x0 = p.eigenvector + 0.05 * random_unit_vector(3, rng=3)
-        res = sshopm(t, x0=x0, alpha=alpha, tol=1e-15, max_iter=8000)
+        res = sshopm(t, x0=x0, alpha=alpha, tol=1e-15, max_iters=8000)
         measured = estimate_rate(res.lambda_history)
         assert np.isfinite(measured)
         assert abs(measured - ana.rate**2) < 0.05
@@ -110,7 +110,7 @@ class TestAttraction:
         predicted threshold for a pair with a_min > 0."""
         t, pairs = random_symmetric_tensor(4, 3, rng=11), None
         pairs = find_eigenpairs(t, num_starts=96, alpha=suggested_shift(t),
-                                rng=12, tol=1e-14, max_iter=5000)
+                                rng=12, tol=1e-14, max_iters=5000)
         target = None
         for p in pairs:
             a_min = minimal_attracting_shift(t, p.eigenvalue, p.eigenvector)
@@ -121,7 +121,7 @@ class TestAttraction:
             pytest.skip("no pair with a positive attraction threshold")
         p, a_min = target
         x0 = p.eigenvector + 0.02 * random_unit_vector(3, rng=13)
-        above = sshopm(t, x0=x0, alpha=a_min + 0.2, tol=1e-13, max_iter=20000)
+        above = sshopm(t, x0=x0, alpha=a_min + 0.2, tol=1e-13, max_iters=20000)
         assert abs(above.eigenvalue - p.eigenvalue) < 1e-6
 
     def test_odeco_components_attracting_unshifted(self, rng):

@@ -100,7 +100,7 @@ class TestModelIntegration:
 
         batch = random_symmetric_batch(16, 4, 3, rng=rng)
         res = multistart_sshopm(batch, num_starts=64, alpha=3.0, rng=1,
-                                tol=1e-8, max_iter=500)
+                                tol=1e-8, max_iters=500)
         iters = np.maximum(res.iterations, 1)
         prof = warp_profile(iters)
         assert 0 < prof.simt_efficiency <= 1.0
