@@ -12,15 +12,18 @@ OLD ?= BENCH_old.json
 NEW ?= BENCH_new.json
 THRESHOLD ?= 0.2
 
-.PHONY: test api-check smoke-instrument smoke-report chaos bench bench-overhead bench-smoke bench-compare
+.PHONY: test api-check codegen-check smoke-instrument smoke-report chaos bench bench-overhead bench-smoke bench-compare
 
-test: smoke-instrument api-check  ## tier-1: instrumentation smoke, then the full suite
+test: smoke-instrument api-check codegen-check  ## tier-1: instrumentation smoke, then the full suite
 	python -m pytest -x -q
 	$(MAKE) smoke-report
 	$(MAKE) chaos
 
 api-check:  ## public API must match the checked-in snapshot
 	python -m pytest -q tests/test_api_surface.py
+
+codegen-check:  ## every (variant, backend) emitter must agree with the reference at 1e-10
+	python -m pytest -q tests/test_codegen_agreement.py
 
 chaos:  ## fault-injection suite (deterministic; seed pinned)
 	REPRO_CHAOS_SEED=20110516 python -m pytest -q tests/test_chaos.py

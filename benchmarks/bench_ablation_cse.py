@@ -12,7 +12,7 @@ import numpy as np
 import pytest
 
 from benchmarks.conftest import format_table, report
-from repro.kernels.unrolled import make_unrolled
+from repro.kernels.codegen import emit
 from repro.symtensor.random import random_symmetric_tensor
 
 SIZES = [(4, 3), (4, 5), (6, 3), (6, 5), (8, 3)]
@@ -23,8 +23,8 @@ def test_report_static_flop_reduction(benchmark):
     def build():
         rows = []
         for m, n in SIZES:
-            plain = make_unrolled(m, n)
-            cse = make_unrolled(m, n, cse=True)
+            plain = emit(m, n, "unrolled", target="numpy")
+            cse = emit(m, n, "unrolled_cse", target="numpy")
             rows.append([
                 f"m={m} n={n}",
                 plain.flops_scalar, cse.flops_scalar,
@@ -56,7 +56,7 @@ def test_report_static_flop_reduction(benchmark):
 def test_bench_cse_wallclock(benchmark, cse, m, n):
     tensor = random_symmetric_tensor(m, n, rng=0)
     x = np.random.default_rng(1).normal(size=n)
-    gen = make_unrolled(m, n, cse=cse)
+    gen = emit(m, n, "unrolled_cse" if cse else "unrolled", target="numpy")
 
     def run():
         gen.ax_m(tensor.values, x)

@@ -1,0 +1,126 @@
+"""Codegen-backend comparison: numpy exec path vs numba native JIT, and
+the persistent plan cache's cross-process warm-up.
+
+Two acceptance floors from the codegen-backend redesign live here (they
+are timing assertions, so they ride the benchmark suite, not tier-1):
+
+* the numba backend runs the fleet workload (T=64, m=4, n=6, V=32) at
+  least 1.5x faster than the numpy backend — asserted only when numba is
+  actually installed (without it the backend degrades to numpy and the
+  ratio is definitionally ~1);
+* a second process constructing an already-persisted plan from the disk
+  cache is at least 10x faster than a cold first process.
+"""
+
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import format_table, report
+from repro.engine.fleet import fleet_solve
+from repro.kernels.codegen import emit, numba_available
+from repro.symtensor.random import random_symmetric_batch
+
+T, M, N, V = 64, 4, 6, 32
+
+
+def _fleet(batch, backend):
+    return fleet_solve(batch, num_starts=V, alpha=0.0, max_iters=200,
+                       rng=7, variant="unrolled_cse", backend=backend)
+
+
+@pytest.mark.benchmark(group="codegen-backends")
+@pytest.mark.parametrize("backend", ["numpy", "numba"])
+def test_bench_fleet_backend(benchmark, backend):
+    batch = random_symmetric_batch(T, M, N, rng=42)
+    _fleet(batch, backend)  # warm: JIT + plan build outside the timing
+    benchmark(lambda: _fleet(batch, backend))
+
+
+def test_numba_speedup_floor():
+    """The redesign's perf acceptance: numba >= 1.5x numpy on the fleet
+    workload.  Skipped (not failed) when numba is absent — the graceful
+    numpy fallback is covered functionally in tier-1."""
+    if not numba_available():
+        pytest.skip("numba not installed; backend degrades to numpy")
+    batch = random_symmetric_batch(T, M, N, rng=42)
+    times = {}
+    for backend in ("numpy", "numba"):
+        _fleet(batch, backend)  # warm
+        reps = [0.0] * 3
+        for i in range(3):
+            t0 = time.perf_counter()
+            _fleet(batch, backend)
+            reps[i] = time.perf_counter() - t0
+        times[backend] = min(reps)
+    ratio = times["numpy"] / times["numba"]
+    report(
+        "codegen_backends",
+        format_table(
+            f"Codegen backends on the fleet workload (T={T}, m={M}, "
+            f"n={N}, V={V})",
+            ["backend", "best of 3 (ms)", "speedup vs numpy"],
+            [[b, f"{t * 1e3:9.2f}", f"{times['numpy'] / t:6.2f}x"]
+             for b, t in times.items()],
+        ),
+    )
+    assert ratio >= 1.5, (
+        f"numba backend only {ratio:.2f}x over numpy (floor is 1.5x)"
+    )
+
+
+_TIME_PLAN = """\
+import os, sys, time
+os.environ["REPRO_PLAN_CACHE_DIR"] = sys.argv[1]
+t0 = time.perf_counter()
+from repro.kernels.plan import get_plan
+import_seconds = time.perf_counter() - t0
+t0 = time.perf_counter()
+plan = get_plan({m}, {n}, "unrolled_cse", "numpy")
+print(time.perf_counter() - t0, int(plan.meta.get("from_disk", False)))
+"""
+
+
+def _plan_seconds(cache_dir, m=6, n=6):
+    proc = subprocess.run(
+        [sys.executable, "-c", _TIME_PLAN.format(m=m, n=n), str(cache_dir)],
+        capture_output=True, text=True, check=True,
+    )
+    seconds, from_disk = proc.stdout.split()
+    return float(seconds), bool(int(from_disk))
+
+
+def test_disk_cache_warm_speedup_floor(tmp_path):
+    """Second-process plan construction from the persisted entry must be
+    >= 10x faster than the cold build (tables + codegen skipped)."""
+    cache_dir = tmp_path / "plans"
+    cold, cold_from_disk = _plan_seconds(cache_dir)
+    warm, warm_from_disk = _plan_seconds(cache_dir)
+    assert not cold_from_disk and warm_from_disk
+    report(
+        "plan_disk_cache",
+        format_table(
+            "Cross-process plan construction (m=6, n=6, unrolled_cse)",
+            ["process", "seconds", "speedup"],
+            [["cold (builds + persists)", f"{cold:8.4f}", "1.00x"],
+             ["warm (loads from disk)", f"{warm:8.4f}",
+              f"{cold / warm:6.1f}x"]],
+        ),
+    )
+    assert cold / warm >= 10.0, (
+        f"warm plan construction only {cold / warm:.1f}x faster (floor 10x)"
+    )
+
+
+def test_backends_bitwise_comparable(tmp_path):
+    """Sanity next to the timing: both backends produce results within
+    1e-10 on the bench workload itself (fastmath stays off in the JIT)."""
+    batch = random_symmetric_batch(8, M, N, rng=3)
+    a = batch.values[:, None, :]
+    x = np.random.default_rng(4).standard_normal((8, V, N))
+    ref = emit(M, N, "unrolled_cse", target="numpy", batched=True)
+    alt = emit(M, N, "unrolled_cse", target="numba")
+    np.testing.assert_allclose(alt.ax_m1(a, x), ref.ax_m1(a, x), atol=1e-10)

@@ -8,13 +8,19 @@ result document (``BENCH_<stamp>.json``), and a threshold gate that fails
 when a new result file regresses against a baseline.
 """
 
-from repro.bench.compare import compare_bench, has_regression, render_comparison
+from repro.bench.compare import (
+    IncomparableBenchError,
+    compare_bench,
+    has_regression,
+    render_comparison,
+)
 from repro.bench.harness import BenchTimeout, run_smoke, write_bench_file
 from repro.bench.schema import BENCH_SCHEMA, validate_bench
 
 __all__ = [
     "BENCH_SCHEMA",
     "BenchTimeout",
+    "IncomparableBenchError",
     "compare_bench",
     "has_regression",
     "render_comparison",

@@ -5,6 +5,12 @@ ratio, and classifies each as ``ok`` / ``faster`` / ``slower`` (ratio
 beyond ``1 + threshold``), with ``added`` / ``removed`` for names present
 on only one side.  ``repro bench-compare`` renders the table and exits
 nonzero iff any benchmark is ``slower`` — the merge gate.
+
+Two files are only *comparable* when they timed the same configuration:
+documents recorded under different codegen backends (``meta.backend``,
+absent meaning ``"numpy"``) raise :class:`IncomparableBenchError`, which
+the CLI reports as "incomparable inputs" (exit 2) rather than letting a
+backend switch masquerade as a regression (exit 1).
 """
 
 from __future__ import annotations
@@ -15,7 +21,24 @@ from pathlib import Path
 
 from repro.bench.schema import validate_bench
 
-__all__ = ["ComparisonRow", "compare_bench", "load_bench", "render_comparison"]
+__all__ = [
+    "ComparisonRow",
+    "IncomparableBenchError",
+    "compare_bench",
+    "load_bench",
+    "render_comparison",
+]
+
+
+class IncomparableBenchError(ValueError):
+    """The two bench documents timed different configurations (e.g.
+    different codegen backends) — a ratio between them is meaningless."""
+
+    def __init__(self, message: str, *, old: str | None = None,
+                 new: str | None = None):
+        super().__init__(message)
+        self.old = old
+        self.new = new
 
 
 @dataclass
@@ -72,6 +95,16 @@ def compare_bench(
         new = load_bench(new)
     else:
         validate_bench(new)
+
+    old_backend = (old.get("meta") or {}).get("backend") or "numpy"
+    new_backend = (new.get("meta") or {}).get("backend") or "numpy"
+    if old_backend != new_backend:
+        raise IncomparableBenchError(
+            f"bench files are incomparable: old was recorded with codegen "
+            f"backend {old_backend!r}, new with {new_backend!r}; rerun both "
+            f"on the same backend before gating on the ratio",
+            old=old_backend, new=new_backend,
+        )
 
     old_by = {e["name"]: e for e in old["benchmarks"]}
     new_by = {e["name"]: e for e in new["benchmarks"]}

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import statistics
 import threading
@@ -153,7 +154,8 @@ SMOKE_WORKLOADS = [
 
 
 def run_smoke(reps: int = 3, include: list[str] | None = None,
-              timeout: float | None = None) -> dict:
+              timeout: float | None = None,
+              backend: str | None = None) -> dict:
     """Time every smoke workload ``reps`` times; return a bench document.
 
     ``include`` restricts the run to the named workloads (unknown names
@@ -163,9 +165,13 @@ def run_smoke(reps: int = 3, include: list[str] | None = None,
     ``timeout`` caps each individual execution's wall-clock seconds and
     raises :class:`BenchTimeout` when exceeded — the CI guard against a
     hung kernel turning the smoke gate into an infinite wait.
+    ``backend`` stamps the codegen backend the run represents into
+    ``meta.backend`` (default: ``$REPRO_BENCH_BACKEND`` or ``"numpy"``);
+    ``repro bench-compare`` refuses to gate across different backends.
     """
     if reps < 1:
         raise ValueError(f"reps must be >= 1, got {reps}")
+    backend = backend or os.environ.get("REPRO_BENCH_BACKEND") or "numpy"
     if timeout is not None and timeout <= 0:
         raise ValueError(f"timeout must be positive, got {timeout}")
     known = {name for name, _, _ in SMOKE_WORKLOADS}
@@ -204,6 +210,7 @@ def run_smoke(reps: int = 3, include: list[str] | None = None,
             "platform": platform.platform(),
             "machine": platform.machine(),
             "reps": reps,
+            "backend": backend,
         },
         "benchmarks": entries,
     }
@@ -233,6 +240,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
                         help="per-workload wall-clock budget; a workload "
                              "exceeding it aborts the run with exit code 2")
+    parser.add_argument("--backend", default=None,
+                        help="codegen backend tag recorded in meta.backend "
+                             "(default $REPRO_BENCH_BACKEND or 'numpy')")
     parser.add_argument("--list", action="store_true",
                         help="list smoke workloads and exit")
     args = parser.parse_args(argv)
@@ -242,7 +252,7 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     try:
         doc = run_smoke(reps=args.reps, include=args.include,
-                        timeout=args.timeout)
+                        timeout=args.timeout, backend=args.backend)
     except BenchTimeout as exc:
         print(f"error: {exc}")
         return 2

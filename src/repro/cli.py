@@ -296,6 +296,7 @@ def _cmd_fleet_solve(args) -> int:
             adaptive=args.adaptive,
             workers=args.workers,
             variant=args.variant,
+            codegen_backend=args.backend,
             compact_every=args.compact_every,
         )
     except ValueError as exc:
@@ -328,7 +329,8 @@ def _cmd_bench_smoke(args) -> int:
     from repro.bench import BenchTimeout, run_smoke, write_bench_file
 
     try:
-        doc = run_smoke(reps=args.reps, timeout=args.timeout)
+        doc = run_smoke(reps=args.reps, timeout=args.timeout,
+                        backend=args.backend)
     except BenchTimeout as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -341,16 +343,76 @@ def _cmd_bench_smoke(args) -> int:
 
 
 def _cmd_bench_compare(args) -> int:
-    from repro.bench import compare_bench, has_regression, render_comparison
+    from repro.bench import (
+        IncomparableBenchError,
+        compare_bench,
+        has_regression,
+        render_comparison,
+    )
 
     try:
         rows = compare_bench(args.old, args.new, threshold=args.threshold,
                              metric=args.metric)
+    except IncomparableBenchError as exc:
+        # not a regression: the two files timed different configurations
+        print(f"incomparable: {exc}", file=sys.stderr)
+        return 2
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(render_comparison(rows, threshold=args.threshold, metric=args.metric))
     return 1 if has_regression(rows) else 0
+
+
+def _cmd_plan_cache(args) -> int:
+    from repro.kernels import diskcache
+
+    if args.cache_command == "info":
+        info = diskcache.cache_info()
+        if not info["enabled"]:
+            print("plan cache: disabled (REPRO_PLAN_CACHE=0)")
+            return 0
+        print(f"plan cache: {info['dir']}")
+        print(f"schema: {info['schema']} (codegen v{info['codegen_version']})")
+        if not info["entries"]:
+            print("entries: none")
+        else:
+            print(f"entries: {len(info['entries'])}")
+            for e in info["entries"]:
+                state = "ok" if e["valid"] else "stale"
+                eff = e.get("effective_backend") or e.get("backend") or "?"
+                print(f"  {e['key']:40s} {e['bytes']:8d} B  "
+                      f"[{state}] runs as {eff}")
+        print(f"total: {info['bytes']} bytes")
+        return 0
+
+    if args.cache_command == "clear":
+        removed = diskcache.clear_cache()
+        print(f"removed {removed} file(s)")
+        return 0
+
+    # warm: build the requested plans so later processes load them from disk
+    from repro.kernels.plan import get_plan
+
+    variants = args.variant or ["vectorized"]
+    backends = args.backend or ["numpy"]
+    if diskcache.cache_dir() is None:
+        print("warning: plan cache is disabled; warming only this process",
+              file=sys.stderr)
+    status = 0
+    for variant in variants:
+        for backend in backends:
+            try:
+                plan = get_plan(args.m, args.n, variant, backend)
+            except (ValueError, KeyError) as exc:
+                print(f"error: m={args.m} n={args.n} {variant}/{backend}: "
+                      f"{exc}", file=sys.stderr)
+                status = 2
+                continue
+            origin = "disk" if plan.meta.get("from_disk") else "built"
+            print(f"m={args.m} n={args.n} {variant:12s} {backend:6s} "
+                  f"-> {plan.effective_backend} ({origin})")
+    return status
 
 
 def _cmd_cudagen(args) -> int:
@@ -453,6 +515,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--variant", default="vectorized",
                    help="kernel-plan variant (vectorized, unrolled, "
                    "unrolled_cse, blocked, or auto)")
+    p.add_argument("--backend", default=None,
+                   help="codegen backend for the kernel plan (numpy, numba, "
+                   "or auto to race them; default numpy)")
     p.add_argument("--workers", type=int, default=1,
                    help="shard the tensor axis over this many threads")
     p.add_argument("--adaptive", action="store_true",
@@ -503,6 +568,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--example", action="store_true")
     p.set_defaults(func=_cmd_basins)
 
+    p = add_parser("plan-cache", help="inspect, clear, or warm the "
+                   "persistent on-disk kernel-plan cache")
+    cache_sub = p.add_subparsers(dest="cache_command", required=True)
+    pc = cache_sub.add_parser("info", parents=[common],
+                              help="list cached plan entries and sizes")
+    pc.set_defaults(func=_cmd_plan_cache)
+    pc = cache_sub.add_parser("clear", parents=[common],
+                              help="delete every cached plan entry")
+    pc.set_defaults(func=_cmd_plan_cache)
+    pc = cache_sub.add_parser("warm", parents=[common],
+                              help="build plans now so later processes "
+                              "start from the disk cache")
+    pc.add_argument("--m", type=int, default=4)
+    pc.add_argument("--n", type=int, default=6)
+    pc.add_argument("--variant", action="append", default=None,
+                    metavar="NAME",
+                    help="plan variant to warm (repeatable; default "
+                    "vectorized)")
+    pc.add_argument("--backend", action="append", default=None,
+                    metavar="NAME",
+                    help="codegen backend to warm (repeatable; default "
+                    "numpy)")
+    pc.set_defaults(func=_cmd_plan_cache)
+
     p = add_parser("cudagen", help="emit the CUDA kernel source (.cu)")
     p.add_argument("--m", type=int, default=4)
     p.add_argument("--n", type=int, default=3)
@@ -545,6 +634,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
                    help="per-workload wall-clock budget; exceeding it "
                    "aborts with exit code 2 (hung-workload guard)")
+    p.add_argument("--backend", default=None,
+                   help="codegen backend tag recorded in meta.backend; "
+                   "bench-compare refuses to gate across backends")
     p.set_defaults(func=_cmd_bench_smoke)
 
     p = add_parser("bench-compare", help="regression gate between two "

@@ -47,6 +47,9 @@ class SolveConfig:
     scheme : starting-vector scheme (``"random"`` / ``"fibonacci"``).
     kernels : per-tensor kernel variant name or pair (single-start drivers).
     backend : batched kernel variant name (multistart drivers).
+    codegen_backend : codegen backend compiling the batched kernels
+        (``"numpy"`` / ``"numba"`` / ``"auto"``; see
+        :mod:`repro.kernels.codegen`).
     dtype : compute precision of the batched drivers.
     rng : seed or ``numpy.random.Generator``.
     guards : numerical-guard setting — ``True`` or a
@@ -65,6 +68,7 @@ class SolveConfig:
     scheme: str | None = None
     kernels: Any = None
     backend: str | None = None
+    codegen_backend: str | None = None
     dtype: Any = None
     rng: Any = None
     guards: Any = None

@@ -94,6 +94,7 @@ def fleet_solve(
     counter: FlopCounter | None = None,
     config: SolveConfig | None = None,
     *,
+    backend: str | None = None,
     adaptive: bool = False,
     compact_every: int = 8,
     plan: KernelPlan | None = None,
@@ -109,6 +110,12 @@ def fleet_solve(
         (``"vectorized"``, ``"unrolled"``, ``"unrolled_cse"``,
         ``"blocked"``, their ``batched*`` aliases, or ``"auto"``).
         Resolved through the ``backend`` config field when unset.
+    backend : codegen backend compiling the plan's kernels (``"numpy"``,
+        ``"numba"``, or ``"auto"`` to race them per shape; see
+        :mod:`repro.kernels.codegen`).  Resolved through the
+        ``codegen_backend`` config field when unset.  Degrades gracefully:
+        requesting ``"numba"`` without numba installed runs the numpy
+        path and records it on ``plan.effective_backend``.
     adaptive : give each lane its own shift and escalate it halfway
         toward the tensor's convergence-guaranteeing bound (see
         :func:`suggested_shifts`) whenever the lane's lambda sequence
@@ -137,6 +144,7 @@ def fleet_solve(
     max_iters = resolve_option("max_iters", max_iters, config, 500)
     scheme = resolve_option("scheme", scheme, config, "random")
     variant = resolve_option("backend", variant, config, "vectorized")
+    backend = resolve_option("codegen_backend", backend, config, "numpy")
     dtype = resolve_option("dtype", dtype, config, np.float64)
     rng = resolve_option("rng", rng, config, None)
     guard_cfg = resolve_guards(resolve_option("guards", guards, config, None))
@@ -156,7 +164,7 @@ def fleet_solve(
     L = T * V
 
     if plan is None:
-        plan = get_plan(m, n, variant)
+        plan = get_plan(m, n, variant, backend)
     elif (plan.m, plan.n) != (m, n):
         raise ValueError(
             f"plan is for shape {(plan.m, plan.n)} but batch is {(m, n)}"
@@ -165,6 +173,7 @@ def fleet_solve(
     _gauge("fleet.tensors", T)
     _gauge("fleet.starts", V)
     _gauge("fleet.variant", plan.variant)
+    _gauge("fleet.codegen_backend", plan.effective_backend)
     _gauge("fleet.shape", [m, n])
 
     tel = None

@@ -158,7 +158,12 @@ def solve(
         :func:`~repro.parallel.fleet.parallel_fleet_solve`.
     **options : forwarded verbatim to the routed solver (e.g.
         ``variant=``/``backend=``, ``telemetry=``, ``guards=``,
-        ``scheme=``, ``dtype=``, ``compact_every=``).
+        ``scheme=``, ``dtype=``, ``compact_every=``).  For batch
+        requests ``backend=`` accepts either a codegen backend name
+        (``"numpy"`` / ``"numba"`` / ``"cuda-src"``, selecting the
+        compiler — see :mod:`repro.kernels.codegen`) or, for backward
+        compatibility, a batched variant name; ``codegen_backend=``
+        names the compiler unambiguously.
 
     Routing
     -------
@@ -218,9 +223,22 @@ def solve(
     else:
         batch = problem
         fleet_opts = dict(options)
-        # accept backend= as an alias of variant= (the multistart spelling)
-        if "backend" in fleet_opts and "variant" not in fleet_opts:
-            fleet_opts["variant"] = fleet_opts.pop("backend")
+        # ``backend=`` is overloaded by history: codegen backend names
+        # ("numpy"/"numba"/"cuda-src") select the compiler; anything else
+        # is the multistart spelling of variant= ("auto" included — it
+        # predates the codegen axis and still means the variant race;
+        # spell codegen racing as codegen_backend="auto" or a direct
+        # fleet_solve(backend="auto") call).
+        if "backend" in fleet_opts:
+            from repro.kernels.codegen import available_backends
+
+            if fleet_opts["backend"] not in (*available_backends(), "cuda"):
+                if "variant" not in fleet_opts:
+                    fleet_opts["variant"] = fleet_opts.pop("backend")
+                else:
+                    fleet_opts.pop("backend")
+        if "codegen_backend" in fleet_opts:
+            fleet_opts["backend"] = fleet_opts.pop("codegen_backend")
         if solver == "parallel_fleet_solve":
             from repro.parallel.fleet import parallel_fleet_solve
 

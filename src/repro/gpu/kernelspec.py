@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.kernels.unrolled import make_unrolled
+from repro.kernels.codegen import emit
 from repro.util.combinatorics import num_unique_entries
 
 __all__ = ["KernelLaunch", "sshopm_launch", "FLOAT_BYTES"]
@@ -57,7 +57,7 @@ class KernelLaunch:
 def _iteration_flops(m: int, n: int) -> tuple[int, int]:
     """(scalar kernel flops, vector kernel flops) per thread-iteration from
     the unrolled code generator's static counts."""
-    gen = make_unrolled(m, n, cse=False, batched=False)
+    gen = emit(m, n, "unrolled", target="numpy")
     return gen.flops_scalar, gen.flops_vector
 
 

@@ -49,9 +49,11 @@ __all__ = [
     "default_buckets",
     "default_registry",
     "get_registry",
+    "observe_codegen_compile",
     "observe_fleet_compaction",
     "observe_fleet_retired",
     "observe_plan_cache",
+    "observe_plan_disk_cache",
     "observe_solver_run",
     "use_registry",
 ]
@@ -596,6 +598,26 @@ def observe_plan_cache(event: str) -> None:
         "repro_plan_cache_events_total",
         "Kernel-plan cache lookups by outcome", ("event",),
     ).labels(event=event).inc()
+
+
+def observe_plan_disk_cache(event: str) -> None:
+    """One persistent plan-cache event (``"hit"`` / ``"miss"`` /
+    ``"store"`` / ``"corrupt"`` / ``"schema_mismatch"``) on the active
+    registry (see :mod:`repro.kernels.diskcache`)."""
+    get_registry().counter(
+        "repro_plan_disk_cache_events_total",
+        "Persistent kernel-plan cache events by outcome", ("event",),
+    ).labels(event=event).inc()
+
+
+def observe_codegen_compile(backend: str, seconds: float) -> None:
+    """Wall seconds one codegen backend spent generating + compiling a
+    kernel (see :mod:`repro.kernels.codegen`); recorded only for fresh
+    builds, so warm cache loads keep the histogram honest."""
+    get_registry().histogram(
+        "repro_codegen_compile_seconds",
+        "Kernel generation + compilation seconds by backend", ("backend",),
+    ).labels(backend=backend).observe(seconds)
 
 
 def observe_fleet_compaction(active_lanes: int, total_lanes: int) -> None:

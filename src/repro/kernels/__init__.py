@@ -4,12 +4,17 @@ general ``A x^{m-p}`` extension.
 
 All per-tensor *and* batched access goes through
 :func:`~repro.kernels.dispatch.get_kernels` (``batched=True`` returns the
-broadcasting array suite).  The historical flat imports of the batched
-entry points (``ax_m_batched``, ``ax_m1_batched``, ``ax_m_blocked_batched``,
-``ax_m1_blocked_batched``) remain importable from this package as
-*deprecated aliases* that emit :class:`DeprecationWarning`; the underlying
-modules (:mod:`repro.kernels.batched`, :mod:`repro.kernels.blocked_batched`)
-are unchanged.
+broadcasting array suite); all *code generation* goes through the
+emitter registry of :mod:`repro.kernels.codegen`
+(``emit(m, n, variant, target=...)``).  Two generations of historical
+flat imports remain importable from this package as *deprecated aliases*
+that emit :class:`DeprecationWarning`:
+
+* the batched entry points (``ax_m_batched``, ``ax_m1_batched``,
+  ``ax_m_blocked_batched``, ``ax_m1_blocked_batched``) — use
+  ``get_kernels(..., batched=True)``;
+* the direct generators (``make_unrolled``, ``generate_source``,
+  ``generate_cuda_kernel``) — use the codegen emitter registry.
 """
 
 import warnings as _warnings
@@ -29,13 +34,25 @@ from repro.kernels.compressed import (
     symmetric_flops_vector,
     ttsv_compressed,
 )
-from repro.kernels.autotune import TuneReport, auto_kernels, autotune
-from repro.kernels.cuda_emulator import compiler_available, emulate_cuda_sshopm
-from repro.kernels.cudagen import (
-    generate_cuda_kernel,
-    generate_cuda_module,
-    generate_host_launcher,
+from repro.kernels.autotune import (
+    BackendTuneReport,
+    TuneReport,
+    auto_kernels,
+    autotune,
+    autotune_backend,
 )
+from repro.kernels.codegen import (
+    CODEGEN_VERSION,
+    EmittedKernel,
+    Emitter,
+    available_backends,
+    emit,
+    get_emitter,
+    numba_available,
+    register_emitter,
+)
+from repro.kernels.cuda_emulator import compiler_available, emulate_cuda_sshopm
+from repro.kernels.cudagen import generate_cuda_module, generate_host_launcher
 from repro.kernels.dispatch import (
     BatchedKernelPair,
     KernelPair,
@@ -43,6 +60,7 @@ from repro.kernels.dispatch import (
     available_variants,
     get_kernels,
 )
+from repro.kernels.errors import KernelLookupError, UnknownBackendError
 from repro.kernels.matricized import ax_m1_matricized, ax_m_matricized, fold, unfold
 from repro.kernels.precomputed import ax_m1_precomputed, ax_m_precomputed
 from repro.kernels.reference import (
@@ -54,14 +72,48 @@ from repro.kernels.reference import (
     ttsv_dense,
 )
 from repro.kernels.tables import KernelTables, kernel_tables
-from repro.kernels.unrolled import UnrolledKernels, generate_source, make_unrolled
+from repro.kernels.unrolled import UnrolledKernels
 
-# deprecated flat batched entry points -> (module, attribute)
+
+def _batched_instead(module_name: str) -> str:
+    return (
+        "use get_kernels(variant, m, n, batched=True) or import it from "
+        f"{module_name}"
+    )
+
+
+# deprecated flat entry points -> (module, attribute, what to use instead)
 _DEPRECATED_ALIASES = {
-    "ax_m_batched": ("repro.kernels.batched", "ax_m_batched"),
-    "ax_m1_batched": ("repro.kernels.batched", "ax_m1_batched"),
-    "ax_m_blocked_batched": ("repro.kernels.blocked_batched", "ax_m_blocked_batched"),
-    "ax_m1_blocked_batched": ("repro.kernels.blocked_batched", "ax_m1_blocked_batched"),
+    "ax_m_batched": (
+        "repro.kernels.batched", "ax_m_batched",
+        _batched_instead("repro.kernels.batched"),
+    ),
+    "ax_m1_batched": (
+        "repro.kernels.batched", "ax_m1_batched",
+        _batched_instead("repro.kernels.batched"),
+    ),
+    "ax_m_blocked_batched": (
+        "repro.kernels.blocked_batched", "ax_m_blocked_batched",
+        _batched_instead("repro.kernels.blocked_batched"),
+    ),
+    "ax_m1_blocked_batched": (
+        "repro.kernels.blocked_batched", "ax_m1_blocked_batched",
+        _batched_instead("repro.kernels.blocked_batched"),
+    ),
+    "make_unrolled": (
+        "repro.kernels.unrolled", "_make_unrolled",
+        "use repro.kernels.codegen.emit(m, n, variant, target='numpy') "
+        "(the emitter registry)",
+    ),
+    "generate_source": (
+        "repro.kernels.unrolled", "_generate_source",
+        "use repro.kernels.codegen.emit(...).source via the emitter registry",
+    ),
+    "generate_cuda_kernel": (
+        "repro.kernels.cudagen", "_generate_cuda_kernel",
+        "use repro.kernels.codegen.emit(m, n, variant, target='cuda-src', "
+        "num_starts=V).source (the emitter registry)",
+    ),
 }
 
 
@@ -93,11 +145,9 @@ def __getattr__(name):
     alias = _DEPRECATED_ALIASES.get(name)
     if alias is None:
         raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
-    module_name, attr = alias
+    module_name, attr, instead = alias
     _warnings.warn(
-        f"importing {name!r} from repro.kernels is deprecated; use "
-        f"get_kernels(variant, m, n, batched=True) or import it from "
-        f"{module_name}",
+        f"importing {name!r} from repro.kernels is deprecated; {instead}",
         DeprecationWarning,
         stacklevel=_alias_stacklevel(),
     )
@@ -122,9 +172,19 @@ __all__ = [
     "symmetric_flops_scalar",
     "symmetric_flops_vector",
     "ttsv_compressed",
+    "BackendTuneReport",
     "TuneReport",
     "auto_kernels",
     "autotune",
+    "autotune_backend",
+    "CODEGEN_VERSION",
+    "EmittedKernel",
+    "Emitter",
+    "available_backends",
+    "emit",
+    "get_emitter",
+    "numba_available",
+    "register_emitter",
     "compiler_available",
     "emulate_cuda_sshopm",
     "generate_cuda_kernel",
@@ -132,6 +192,8 @@ __all__ = [
     "generate_host_launcher",
     "BatchedKernelPair",
     "KernelPair",
+    "KernelLookupError",
+    "UnknownBackendError",
     "UnknownVariantError",
     "available_variants",
     "get_kernels",

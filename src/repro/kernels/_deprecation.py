@@ -1,0 +1,46 @@
+"""Shared helper for caller-blaming deprecation warnings.
+
+Module-level ``__getattr__`` shims (the mechanism behind every deprecated
+import path in :mod:`repro.kernels`) are invoked by the import machinery,
+so a fixed ``stacklevel`` would attribute the warning to frozen importlib
+instead of the user's ``from ... import ...`` line.
+:func:`warn_deprecated` walks outward past any importlib frames so the
+warning lands on the real import site — keeping ``-W error`` failures
+actionable downstream.
+"""
+
+from __future__ import annotations
+
+import sys
+import warnings
+
+__all__ = ["warn_deprecated"]
+
+
+def warn_deprecated(name: str, instead: str) -> None:
+    """Emit a caller-blaming :class:`DeprecationWarning` for ``name``.
+
+    Must be called directly from the deprecation shim (a module
+    ``__getattr__`` or a thin wrapper function): the first frame outside
+    the shim that is not import machinery gets the blame.
+    """
+    # stacklevel s attributes the warning to sys._getframe(s - 1) as seen
+    # from here: s=1 is this function, s=2 the shim, s=3 the shim's caller.
+    level = 3
+    while True:
+        try:
+            frame = sys._getframe(level - 1)
+        except ValueError:
+            level = 3  # stack exhausted; blame the immediate caller
+            break
+        modname = frame.f_globals.get("__name__", "")
+        filename = frame.f_code.co_filename
+        if not (modname.startswith("importlib")
+                or filename.startswith("<frozen importlib")):
+            break
+        level += 1
+    warnings.warn(
+        f"{name} is deprecated; {instead}",
+        DeprecationWarning,
+        stacklevel=level,
+    )

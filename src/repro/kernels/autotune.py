@@ -15,13 +15,20 @@ through :func:`autotune`.
 
 from __future__ import annotations
 
+import json
 import time
 from dataclasses import dataclass
 from functools import lru_cache
 
 import numpy as np
 
-__all__ = ["TuneReport", "autotune", "auto_kernels"]
+__all__ = [
+    "BackendTuneReport",
+    "TuneReport",
+    "autotune",
+    "autotune_backend",
+    "auto_kernels",
+]
 
 # variants eligible for selection (the spec-faithful loops are excluded on
 # purpose: they are reference implementations, never the fastest)
@@ -83,3 +90,102 @@ def auto_kernels(m: int, n: int):
     from repro.kernels.dispatch import get_kernels
 
     return get_kernels(autotune(m, n).best, m, n)
+
+
+# -- backend racing (the codegen axis) -------------------------------------
+
+BACKEND_TUNE_SCHEMA = "repro-backend-tune/1"
+
+
+@dataclass(frozen=True)
+class BackendTuneReport:
+    """Timing table and winner of one backend race for a shape/variant."""
+
+    m: int
+    n: int
+    variant: str
+    timings: dict[str, float]  # backend -> seconds per batched pair call
+    best: str
+    persisted: bool  # whether the winner came from / went to disk
+
+
+def _tune_doc_path(m: int, n: int, variant: str):
+    from repro.kernels import diskcache
+    from repro.kernels.codegen import CODEGEN_VERSION
+
+    root = diskcache.cache_dir()
+    if root is None:
+        return None
+    return root / f"tune-m{m}-n{n}-{variant}-v{CODEGEN_VERSION}.json"
+
+
+@lru_cache(maxsize=None)
+def autotune_backend(m: int, n: int, variant: str = "vectorized",
+                     reps: int = 10, seed: int = 0) -> BackendTuneReport:
+    """Race the executable codegen backends on a batched workload and pick
+    the fastest, persisting the winner next to the on-disk plan cache so
+    later processes skip the race (``backend="auto"`` routes here).
+
+    Backends whose optional dependency is missing are excluded (racing
+    numba's numpy fallback against numpy itself would be a coin flip).
+    """
+    from repro.kernels.codegen import available_backends, numba_available
+    from repro.kernels.plan import _build_plan, _canonical_variant
+
+    canonical = _canonical_variant(variant, m, n)
+    path = _tune_doc_path(m, n, canonical)
+    if path is not None and path.exists():
+        try:
+            doc = json.loads(path.read_text())
+            best = doc.get("best")
+            if (doc.get("schema") == BACKEND_TUNE_SCHEMA
+                    and best in available_backends(executable=True)
+                    and (best != "numba" or numba_available())):
+                return BackendTuneReport(
+                    m=m, n=n, variant=canonical,
+                    timings={k: float(v)
+                             for k, v in doc.get("timings", {}).items()},
+                    best=best, persisted=True,
+                )
+        except (OSError, ValueError):
+            pass  # unreadable race record: rerun the race below
+
+    candidates = ["numpy"]
+    if numba_available():
+        candidates.append("numba")
+
+    rng = np.random.default_rng(seed)
+    tab_n = n
+    from repro.util.combinatorics import num_unique_entries
+
+    U = num_unique_entries(m, n)
+    values = rng.normal(size=(16, 1, U))
+    x = rng.normal(size=(16, 8, tab_n))
+
+    timings: dict[str, float] = {}
+    for backend in candidates:
+        plan = _build_plan(m, n, canonical, backend)
+        plan.ax_m(values, x)  # warm (JIT specialization happens here)
+        plan.ax_m1(values, x)
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            plan.ax_m(values, x)
+            plan.ax_m1(values, x)
+        timings[backend] = (time.perf_counter() - t0) / reps
+    best = min(timings, key=lambda k: timings[k])
+
+    persisted = False
+    if path is not None:
+        from repro.kernels import diskcache
+
+        try:
+            diskcache.atomic_write_text(path, json.dumps({
+                "schema": BACKEND_TUNE_SCHEMA,
+                "m": m, "n": n, "variant": canonical,
+                "timings": timings, "best": best,
+            }, indent=1))
+            persisted = True
+        except OSError:
+            pass
+    return BackendTuneReport(m=m, n=n, variant=canonical, timings=timings,
+                             best=best, persisted=persisted)

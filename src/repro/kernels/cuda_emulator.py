@@ -28,7 +28,7 @@ from functools import lru_cache
 
 import numpy as np
 
-from repro.kernels.cudagen import generate_cuda_kernel
+from repro.kernels.codegen import emit as _codegen_emit
 from repro.symtensor.storage import SymmetricTensorBatch
 from repro.util.combinatorics import num_unique_entries
 
@@ -120,7 +120,11 @@ def _build_emulator(
     compiler = compiler_available()
     if compiler is None:
         raise RuntimeError("no C++ compiler available for CUDA emulation")
-    kernel_src = generate_cuda_kernel(m, n, num_starts, variant)
+    # resolve the device source through the emitter registry, like every
+    # other consumer of generated code
+    kernel_src = _codegen_emit(
+        m, n, variant, target="cuda-src", num_starts=num_starts
+    ).source
     kernel_name = "sshopm_unrolled" if variant == "unrolled" else "sshopm_general"
     source = (
         _SHIM

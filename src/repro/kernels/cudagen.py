@@ -19,9 +19,13 @@ from __future__ import annotations
 
 from functools import lru_cache
 
+from repro.kernels._deprecation import warn_deprecated
 from repro.kernels.tables import kernel_tables
 from repro.util.combinatorics import num_unique_entries
 
+# ``generate_cuda_kernel`` is a deprecated import path (use the
+# ``cuda-src`` emitter of :mod:`repro.kernels.codegen`); the module
+# ``__getattr__`` below keeps it working with a caller-blaming warning.
 __all__ = ["generate_cuda_kernel", "generate_host_launcher", "generate_cuda_module"]
 
 
@@ -62,7 +66,7 @@ def _unrolled_vector_exprs(m: int, n: int, avar: str = "a") -> list[str]:
 
 
 @lru_cache(maxsize=None)
-def generate_cuda_kernel(
+def _generate_cuda_kernel(
     m: int = 4, n: int = 3, num_starts: int = 128, variant: str = "unrolled"
 ) -> str:
     """CUDA C source of the SS-HOPM kernel for ``(m, n)`` with ``V``
@@ -240,10 +244,21 @@ def generate_cuda_module(m: int = 4, n: int = 3, num_starts: int = 128) -> str:
     """Both kernel variants plus the launcher in one translation unit."""
     return "\n".join(
         [
-            generate_cuda_kernel(m, n, num_starts, "unrolled"),
-            generate_cuda_kernel(m, n, num_starts, "general"),
+            _generate_cuda_kernel(m, n, num_starts, "unrolled"),
+            _generate_cuda_kernel(m, n, num_starts, "general"),
             "/*",
             generate_host_launcher(m, n, num_starts),
             "*/",
         ]
     )
+
+
+def __getattr__(name):
+    if name != "generate_cuda_kernel":
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    warn_deprecated(
+        "importing 'generate_cuda_kernel' from repro.kernels.cudagen",
+        "use repro.kernels.codegen.emit(m, n, variant, target='cuda-src', "
+        "num_starts=V).source (the emitter registry)",
+    )
+    return _generate_cuda_kernel

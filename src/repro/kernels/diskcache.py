@@ -1,0 +1,325 @@
+"""Persistent on-disk kernel-plan cache.
+
+The in-memory :class:`~repro.kernels.plan.PlanCache` amortizes plan
+construction within one process; this module amortizes it *across*
+processes — the host-side analog of shipping precompiled cubins instead
+of invoking ``nvcc`` per run.  Each entry stores everything a plan build
+would otherwise recompute for one ``(m, n, variant, backend)``:
+
+* the precomputed :class:`~repro.kernels.tables.KernelTables` arrays, as
+  an ``.npz`` sidecar (loaded tables are *primed* into
+  :func:`repro.kernels.tables.kernel_tables`, skipping the combinatorial
+  build);
+* the generated kernel source, in the ``.json`` metadata document
+  (schema :data:`PLAN_CACHE_SCHEMA`);
+* the ``marshal``-serialized CPython code object of that source, as a
+  ``.code`` sidecar tagged with the interpreter bytecode magic — a warm
+  load skips ``compile()`` entirely (the numba backend instead leans on
+  ``numba``'s own on-disk JIT cache, keyed off the real module file this
+  cache dir hosts under ``numba/``).
+
+Layout and invalidation
+-----------------------
+Entries live under ``$REPRO_PLAN_CACHE_DIR``, else
+``$XDG_CACHE_HOME/repro/plans``, else ``~/.cache/repro/plans``; set
+``REPRO_PLAN_CACHE=0`` to disable persistence entirely.  The filename key
+is ``m{m}-n{n}-{variant}-{backend}-v{codegen_version}`` — bumping
+:data:`~repro.kernels.codegen.CODEGEN_VERSION` strands old entries, and a
+schema or version mismatch *inside* a document (e.g. a cache dir shared
+with a newer checkout) invalidates it on read.  Corrupted or truncated
+files are deleted and rebuilt, never trusted and never fatal.
+
+Writes are atomic (temp file + ``os.replace``) so concurrent warming
+processes race benignly: last writer wins, readers see only whole files.
+Every event lands on the ``repro_plan_disk_cache_events_total`` metric.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import marshal
+import os
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.kernels.codegen import CODEGEN_VERSION
+from repro.kernels.tables import KernelTables, tables_from_arrays, tables_to_arrays
+
+__all__ = [
+    "PLAN_CACHE_SCHEMA",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "cache_dir",
+    "cache_info",
+    "clear_cache",
+    "entry_key",
+    "load_entry",
+    "numba_module_path",
+    "store_entry",
+]
+
+PLAN_CACHE_SCHEMA = "repro-plan-cache/1"
+
+#: Interpreter bytecode tag guarding the marshalled-code sidecars.
+_MAGIC = importlib.util.MAGIC_NUMBER.hex()
+
+
+def _observe(event: str) -> None:
+    from repro.instrument.metrics import observe_plan_disk_cache
+
+    observe_plan_disk_cache(event)
+
+
+def cache_dir() -> Path | None:
+    """The active cache directory (created on demand), or ``None`` when
+    persistence is disabled or the directory cannot be created."""
+    if os.environ.get("REPRO_PLAN_CACHE", "1") in ("0", "false", "no", "off"):
+        return None
+    override = os.environ.get("REPRO_PLAN_CACHE_DIR")
+    if override:
+        root = Path(override)
+    else:
+        xdg = os.environ.get("XDG_CACHE_HOME")
+        base = Path(xdg) if xdg else Path.home() / ".cache"
+        root = base / "repro" / "plans"
+    try:
+        root.mkdir(parents=True, exist_ok=True)
+    except OSError:
+        return None
+    return root
+
+
+def numba_module_path(m: int, n: int, variant: str) -> Path | None:
+    """Where the numba emitter materializes its generated module for one
+    shape (a real file, so ``@njit(cache=True)`` can persist machine
+    code next to it), or ``None`` when persistence is disabled."""
+    root = cache_dir()
+    if root is None:
+        return None
+    sub = root / "numba"
+    try:
+        sub.mkdir(parents=True, exist_ok=True)
+    except OSError:
+        return None
+    return sub / f"flat_m{m}_n{n}_{variant}_v{CODEGEN_VERSION}.py"
+
+
+def entry_key(m: int, n: int, variant: str, backend: str) -> str:
+    """Filename stem of one cache entry."""
+    return f"m{m}-n{n}-{variant}-{backend}-v{CODEGEN_VERSION}"
+
+
+def _entry_paths(root: Path, key: str) -> tuple[Path, Path, Path]:
+    return root / f"{key}.json", root / f"{key}.npz", root / f"{key}.code"
+
+
+def atomic_write_bytes(path: Path, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically (temp file + ``os.replace``),
+    so concurrent writers race benignly and readers never see a torn
+    file."""
+    fd, tmp = tempfile.mkstemp(dir=str(path.parent),
+                               prefix=f".{path.name}.", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+        os.replace(tmp, str(path))
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_text(path: Path, text: str) -> None:
+    atomic_write_bytes(path, text.encode("utf-8"))
+
+
+def _delete_entry(root: Path, key: str) -> None:
+    for path in _entry_paths(root, key):
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+
+def load_entry(m: int, n: int, variant: str, backend: str) -> dict | None:
+    """Load one cache entry, or ``None`` on miss.
+
+    Returns ``{"meta": dict, "tables": KernelTables, "code": code | None}``
+    — ``code`` is the compiled module code object when the sidecar exists
+    and was produced by this interpreter.  Unreadable, truncated, or
+    internally inconsistent entries are deleted (event ``corrupt``);
+    schema or codegen-version mismatches likewise invalidate the entry
+    (event ``schema_mismatch``).  Never raises for cache damage.
+    """
+    root = cache_dir()
+    if root is None:
+        return None
+    key = entry_key(m, n, variant, backend)
+    json_path, npz_path, code_path = _entry_paths(root, key)
+    if not json_path.exists():
+        _observe("miss")
+        return None
+    try:
+        meta = json.loads(json_path.read_text())
+    except (OSError, UnicodeDecodeError, json.JSONDecodeError):
+        _observe("corrupt")
+        _delete_entry(root, key)
+        return None
+    if not isinstance(meta, dict):
+        _observe("corrupt")
+        _delete_entry(root, key)
+        return None
+    if (meta.get("schema") != PLAN_CACHE_SCHEMA
+            or meta.get("codegen_version") != CODEGEN_VERSION):
+        _observe("schema_mismatch")
+        _delete_entry(root, key)
+        return None
+    try:
+        if (int(meta["m"]) != int(m) or int(meta["n"]) != int(n)
+                or meta["variant"] != variant or meta["backend"] != backend):
+            raise ValueError("entry key fields disagree with filename")
+        with np.load(npz_path) as npz:
+            tables = tables_from_arrays(m, n, npz)
+    except Exception:
+        _observe("corrupt")
+        _delete_entry(root, key)
+        return None
+    code = None
+    if meta.get("magic") == _MAGIC and code_path.exists():
+        try:
+            code = marshal.loads(code_path.read_bytes())
+        except (OSError, ValueError, EOFError, TypeError):
+            code = None  # stale or torn bytecode: recompile from source
+    _observe("hit")
+    return {"meta": meta, "tables": tables, "code": code}
+
+
+def store_entry(m: int, n: int, variant: str, backend: str, *,
+                tables: KernelTables, meta: dict,
+                code=None) -> bool:
+    """Persist one entry; returns whether it was written.
+
+    ``meta`` is merged over the schema/key envelope (so callers record
+    ``effective_backend``, ``source``, flop counts, build seconds, ...).
+    Failures to write are swallowed — a read-only cache dir degrades to
+    cold builds, never to errors.
+    """
+    root = cache_dir()
+    if root is None:
+        return False
+    key = entry_key(m, n, variant, backend)
+    json_path, npz_path, code_path = _entry_paths(root, key)
+    doc = {
+        "schema": PLAN_CACHE_SCHEMA,
+        "codegen_version": CODEGEN_VERSION,
+        "m": int(m),
+        "n": int(n),
+        "variant": variant,
+        "backend": backend,
+        "magic": _MAGIC if code is not None else None,
+        **meta,
+    }
+    try:
+        import io
+
+        buf = io.BytesIO()
+        np.savez(buf, **tables_to_arrays(tables))
+        atomic_write_bytes(npz_path, buf.getvalue())
+        if code is not None:
+            atomic_write_bytes(code_path, marshal.dumps(code))
+        # metadata last: readers treat its presence as "entry complete"
+        atomic_write_text(json_path, json.dumps(doc, indent=1))
+    except OSError:
+        return False
+    _observe("store")
+    return True
+
+
+def cache_info() -> dict:
+    """A JSON-able summary of the on-disk cache for ``repro plan-cache
+    info``: location, entry list, and total size."""
+    root = cache_dir()
+    if root is None:
+        return {"enabled": False, "dir": None, "entries": [], "bytes": 0}
+    entries = []
+    total = 0
+    for json_path in sorted(root.glob("*.json")):
+        if json_path.stem.startswith("tune-"):  # backend-tune docs, not plans
+            try:
+                total += json_path.stat().st_size
+            except OSError:
+                pass
+            continue
+        size = 0
+        for path in _entry_paths(root, json_path.stem):
+            try:
+                size += path.stat().st_size
+            except OSError:
+                pass
+        try:
+            meta = json.loads(json_path.read_text())
+            ok = (meta.get("schema") == PLAN_CACHE_SCHEMA
+                  and meta.get("codegen_version") == CODEGEN_VERSION)
+        except Exception:
+            meta, ok = {}, False
+        entries.append({
+            "key": json_path.stem,
+            "valid": bool(ok),
+            "backend": meta.get("backend"),
+            "effective_backend": meta.get("effective_backend"),
+            "variant": meta.get("variant"),
+            "m": meta.get("m"),
+            "n": meta.get("n"),
+            "bytes": size,
+        })
+        total += size
+    for extra in root.glob("numba/*"):
+        try:
+            total += extra.stat().st_size
+        except OSError:
+            pass
+    return {
+        "enabled": True,
+        "dir": str(root),
+        "schema": PLAN_CACHE_SCHEMA,
+        "codegen_version": CODEGEN_VERSION,
+        "entries": entries,
+        "bytes": total,
+    }
+
+
+def clear_cache() -> int:
+    """Delete every cache file (including the numba module/JIT cache);
+    returns the number of files removed."""
+    root = cache_dir()
+    if root is None:
+        return 0
+    removed = 0
+    stack = [root]
+    files: list[Path] = []
+    dirs: list[Path] = []
+    while stack:
+        d = stack.pop()
+        for child in d.iterdir():
+            if child.is_dir() and not child.is_symlink():
+                dirs.append(child)
+                stack.append(child)
+            else:
+                files.append(child)
+    for path in files:
+        try:
+            path.unlink()
+            removed += 1
+        except OSError:
+            pass
+    for d in sorted(dirs, key=lambda p: len(p.parts), reverse=True):
+        try:
+            d.rmdir()
+        except OSError:
+            pass
+    return removed

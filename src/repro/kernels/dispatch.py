@@ -55,7 +55,7 @@ from repro.kernels.compressed import ax_m1_compressed, ax_m_compressed
 from repro.kernels.precomputed import ax_m1_precomputed, ax_m_precomputed
 from repro.kernels.reference import ax_m1_reference, ax_m_reference
 from repro.kernels.tables import kernel_tables
-from repro.kernels.unrolled import make_unrolled
+from repro.kernels.unrolled import _make_unrolled
 from repro.symtensor.storage import SymmetricTensor
 
 __all__ = [
@@ -97,7 +97,7 @@ class BatchedKernelPair:
 
 def _unrolled_pair(name: str, cse: bool) -> Callable[[int, int], KernelPair]:
     def build(m: int, n: int) -> KernelPair:
-        kernels = make_unrolled(m, n, cse=cse, batched=False)
+        kernels = _make_unrolled(m, n, cse=cse, batched=False)
         return KernelPair(
             name,
             lambda tensor, x: float(kernels.ax_m(tensor.values, np.asarray(x))),
@@ -173,7 +173,7 @@ def _batched_suite(variant: str, m: int, n: int) -> BatchedKernelPair:
         return BatchedKernelPair("vectorized", ax_m, ax_m1)
 
     if canonical in ("unrolled", "unrolled_cse"):
-        gen = make_unrolled(m, n, cse=canonical == "unrolled_cse", batched=True)
+        gen = _make_unrolled(m, n, cse=canonical == "unrolled_cse", batched=True)
 
         def ax_m(values, x, counter=None):
             if counter is not None:

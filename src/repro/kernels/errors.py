@@ -9,7 +9,12 @@ on the call site — pre-existing handlers of both kinds keep working.
 
 from __future__ import annotations
 
-__all__ = ["KernelLookupError", "UnknownVariantError", "TableInferenceError"]
+__all__ = [
+    "KernelLookupError",
+    "UnknownVariantError",
+    "UnknownBackendError",
+    "TableInferenceError",
+]
 
 
 class KernelLookupError(KeyError, ValueError):
@@ -27,6 +32,17 @@ class UnknownVariantError(KernelLookupError):
         self.available = list(available)
         super().__init__(
             f"unknown kernel variant {variant!r}; available: {self.available}"
+        )
+
+
+class UnknownBackendError(KernelLookupError):
+    """An unrecognized code-generation backend (emitter) name."""
+
+    def __init__(self, backend: str, available: list[str]):
+        self.backend = backend
+        self.available = list(available)
+        super().__init__(
+            f"unknown codegen backend {backend!r}; available: {self.available}"
         )
 
 

@@ -34,7 +34,25 @@ from repro.symtensor.indexing import (
 )
 from repro.util.combinatorics import factorial, multinomial1_from_index
 
-__all__ = ["KernelTables", "kernel_tables"]
+__all__ = [
+    "KernelTables",
+    "kernel_tables",
+    "prime_tables",
+    "tables_from_arrays",
+    "tables_to_arrays",
+]
+
+#: Array fields of :class:`KernelTables`, in a fixed serialization order.
+_ARRAY_FIELDS = (
+    "index",
+    "mult",
+    "monomial",
+    "row_out",
+    "row_class",
+    "row_sigma",
+    "row_factors",
+    "out_starts",
+)
 
 
 @dataclass(frozen=True)
@@ -75,6 +93,56 @@ class KernelTables:
         )
 
 
+# Tables loaded from the persistent plan cache, registered before first
+# use so `kernel_tables` can skip the combinatorial build in this process.
+_PRIMED: dict[tuple[int, int], KernelTables] = {}
+
+
+def prime_tables(tables: KernelTables) -> None:
+    """Register pre-built ``tables`` so :func:`kernel_tables` returns them
+    instead of rebuilding — the warm path of the on-disk plan cache
+    (:mod:`repro.kernels.diskcache`).  No-op once the shape's tables have
+    already been built in this process (the lru cache wins)."""
+    _PRIMED[(tables.m, tables.n)] = tables
+
+
+def tables_to_arrays(tables: KernelTables) -> dict[str, np.ndarray]:
+    """The table arrays as a name-keyed dict (``np.savez`` ready)."""
+    return {name: getattr(tables, name) for name in _ARRAY_FIELDS}
+
+
+def tables_from_arrays(m: int, n: int, arrays) -> KernelTables:
+    """Rebuild :class:`KernelTables` from :func:`tables_to_arrays` output.
+
+    Validates the structural invariants so a corrupted archive surfaces as
+    ``ValueError`` (which the disk cache treats as a rebuild signal), not
+    as garbage kernels.
+    """
+    m, n = int(m), int(n)
+    kw = {}
+    for name in _ARRAY_FIELDS:
+        arr = np.ascontiguousarray(np.asarray(arrays[name], dtype=np.int64))
+        arr.setflags(write=False)
+        kw[name] = arr
+    U = kw["index"].shape[0]
+    R = kw["row_out"].shape[0]
+    if (
+        kw["index"].shape != (U, m)
+        or kw["mult"].shape != (U,)
+        or kw["monomial"].shape != (U, n)
+        or kw["row_class"].shape != (R,)
+        or kw["row_sigma"].shape != (R,)
+        or kw["row_factors"].shape != (R, m - 1)
+        or kw["out_starts"].shape != (n + 1,)
+        or int(kw["out_starts"][0]) != 0
+        or int(kw["out_starts"][-1]) != R
+    ):
+        raise ValueError(
+            f"kernel table arrays are inconsistent for m={m}, n={n}"
+        )
+    return KernelTables(m=m, n=n, **kw)
+
+
 @lru_cache(maxsize=None)
 def kernel_tables(m: int, n: int) -> KernelTables:
     """Build (and cache) the tables for ``R^[m,n]``."""
@@ -82,6 +150,9 @@ def kernel_tables(m: int, n: int) -> KernelTables:
         raise ValueError(f"kernels require tensor order m >= 2, got m={m}")
     if n < 1:
         raise ValueError(f"dimension must be >= 1, got n={n}")
+    primed = _PRIMED.get((m, n))
+    if primed is not None:
+        return primed
     classes = index_classes(m, n)  # 1-based tuples
     idx_tab = index_table(m, n)  # (U, m) 0-based
     mult_tab = multiplicity_table(m, n)

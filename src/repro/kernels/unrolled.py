@@ -32,8 +32,12 @@ from typing import Callable
 
 import numpy as np
 
+from repro.kernels._deprecation import warn_deprecated
 from repro.kernels.tables import kernel_tables
 
+# ``make_unrolled`` / ``generate_source`` are deprecated import paths (use
+# the :mod:`repro.kernels.codegen` emitter registry); the module
+# ``__getattr__`` below keeps them working with a caller-blaming warning.
 __all__ = ["UnrolledKernels", "make_unrolled", "generate_source"]
 
 
@@ -94,7 +98,7 @@ def _monomial_expr(
     return "*".join(parts)
 
 
-def generate_source(m: int, n: int, cse: bool = False, batched: bool = False) -> tuple[str, int, int]:
+def _generate_source(m: int, n: int, cse: bool = False, batched: bool = False) -> tuple[str, int, int]:
     """Generate the module source for the two unrolled kernels.
 
     Returns ``(source, flops_scalar, flops_vector)``.
@@ -209,7 +213,7 @@ def generate_source(m: int, n: int, cse: bool = False, batched: bool = False) ->
 
 
 @lru_cache(maxsize=None)
-def make_unrolled(m: int, n: int, cse: bool = False, batched: bool = False) -> UnrolledKernels:
+def _make_unrolled(m: int, n: int, cse: bool = False, batched: bool = False) -> UnrolledKernels:
     """Generate, compile, and cache the unrolled kernels for ``(m, n)``.
 
     Generation cost grows with ``C(m+n-1, m)`` terms; a guard refuses sizes
@@ -223,7 +227,7 @@ def make_unrolled(m: int, n: int, cse: bool = False, batched: bool = False) -> U
             f"refusing to unroll m={m}, n={n}: {tab.num_unique} unique entries "
             "(full unrolling only makes sense for small tensors; see Section V-D)"
         )
-    source, flops_scalar, flops_vector = generate_source(m, n, cse=cse, batched=batched)
+    source, flops_scalar, flops_vector = _generate_source(m, n, cse=cse, batched=batched)
     namespace: dict = {}
     code = compile(source, f"<unrolled m={m} n={n} cse={cse} batched={batched}>", "exec")
     exec(code, namespace)  # noqa: S102 - controlled, generated source
@@ -238,3 +242,26 @@ def make_unrolled(m: int, n: int, cse: bool = False, batched: bool = False) -> U
         flops_scalar=flops_scalar,
         flops_vector=flops_vector,
     )
+
+
+# deprecated public names -> (implementation, what to use instead)
+_DEPRECATED = {
+    "make_unrolled": (
+        _make_unrolled,
+        "use repro.kernels.codegen.emit(m, n, variant, target='numpy') "
+        "(the emitter registry)",
+    ),
+    "generate_source": (
+        _generate_source,
+        "use repro.kernels.codegen.emit(...).source via the emitter registry",
+    ),
+}
+
+
+def __getattr__(name):
+    entry = _DEPRECATED.get(name)
+    if entry is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    impl, instead = entry
+    warn_deprecated(f"importing {name!r} from repro.kernels.unrolled", instead)
+    return impl

@@ -61,6 +61,7 @@ def parallel_fleet_solve(
     rng=None,
     config: SolveConfig | None = None,
     *,
+    backend: str | None = None,
     adaptive: bool = False,
     compact_every: int = 8,
     guards=None,
@@ -98,6 +99,7 @@ def parallel_fleet_solve(
                     max_iters=max_iters,
                     starts=starts,
                     variant=variant,
+                    backend=backend,
                     dtype=dtype,
                     config=config,
                     adaptive=adaptive,
@@ -117,7 +119,8 @@ def parallel_fleet_solve(
             # degenerate single shard: skip the pool, keep caller's registry
             res = fleet_solve(
                 tensors, alpha=alpha, tol=tol, max_iters=max_iters,
-                starts=starts, variant=variant, dtype=dtype, config=config,
+                starts=starts, variant=variant, backend=backend, dtype=dtype,
+                config=config,
                 adaptive=adaptive, compact_every=compact_every, guards=guards,
             )
             return FleetRunReport(

@@ -19,6 +19,19 @@ settings.load_profile("repro")
 SMALL_SIZES = [(2, 2), (2, 5), (3, 2), (3, 3), (3, 4), (4, 3), (4, 5), (5, 2), (5, 3), (6, 2)]
 
 
+@pytest.fixture(scope="session")
+def _plan_cache_root(tmp_path_factory):
+    return tmp_path_factory.mktemp("plan-cache")
+
+
+@pytest.fixture(autouse=True)
+def _hermetic_plan_cache(_plan_cache_root, monkeypatch):
+    """Keep the persistent kernel-plan cache out of ``~/.cache`` during
+    tests: entries land in a session tmpdir (still exercising the disk
+    path), and tests needing full isolation override the env again."""
+    monkeypatch.setenv("REPRO_PLAN_CACHE_DIR", str(_plan_cache_root))
+
+
 @pytest.fixture
 def rng():
     return np.random.default_rng(20110516)  # IPDPS 2011 conference date

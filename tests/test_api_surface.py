@@ -34,12 +34,19 @@ SIGNATURES = [
     "repro.kernels.get_kernels",
     "repro.kernels.plan.get_plan",
     "repro.kernels.plan.contract_many",
+    "repro.kernels.codegen.emit",
+    "repro.kernels.codegen.get_emitter",
+    "repro.kernels.codegen.register_emitter",
+    "repro.kernels.codegen.available_backends",
+    "repro.kernels.autotune_backend",
 ]
 
 DATACLASSES = [
     "repro.SolveRequest",
     "repro.SolveReport",
     "repro.core.FleetResult",
+    "repro.kernels.codegen.EmittedKernel",
+    "repro.kernels.plan.KernelPlan",
 ]
 
 

@@ -5,7 +5,7 @@ import re
 import pytest
 
 from repro.kernels.cudagen import (
-    generate_cuda_kernel,
+    _generate_cuda_kernel as generate_cuda_kernel,
     generate_cuda_module,
     generate_host_launcher,
 )

@@ -76,6 +76,66 @@ class TestFlatKernelAliases:
             repro.kernels.no_such_kernel
 
 
+class TestGeneratorAliases:
+    """The direct code-generator entry points are deprecated in favour of
+    the repro.kernels.codegen emitter registry."""
+
+    @pytest.mark.parametrize("name", [
+        "make_unrolled", "generate_source", "generate_cuda_kernel",
+    ])
+    def test_package_alias_warns_and_points_at_registry(self, name):
+        with pytest.warns(DeprecationWarning, match="emit") as records:
+            fn = getattr(repro.kernels, name)
+        assert callable(fn)
+        assert name in str(records[0].message)
+
+    def test_submodule_alias_warns(self):
+        import repro.kernels.cudagen
+        import repro.kernels.unrolled
+
+        with pytest.warns(DeprecationWarning, match="make_unrolled"):
+            repro.kernels.unrolled.make_unrolled
+        with pytest.warns(DeprecationWarning, match="generate_source"):
+            repro.kernels.unrolled.generate_source
+        with pytest.warns(DeprecationWarning, match="generate_cuda_kernel"):
+            repro.kernels.cudagen.generate_cuda_kernel
+
+    def test_alias_warning_blames_this_file(self):
+        (record,) = catch(lambda: repro.kernels.make_unrolled)
+        assert record.filename == THIS_FILE
+
+    def test_alias_still_works(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            gen = repro.kernels.make_unrolled(3, 3)
+        assert gen.flops_scalar > 0
+
+    def test_registry_path_is_silent(self):
+        from repro.kernels.codegen import emit
+
+        assert catch(lambda: emit(3, 3, "unrolled")) == []
+
+    def test_package_import_is_warning_free(self):
+        """Merely importing repro.kernels must not trip the shims."""
+        import subprocess
+        import sys
+        import textwrap
+
+        script = textwrap.dedent("""
+            import warnings
+            with warnings.catch_warnings(record=True) as records:
+                warnings.simplefilter("always")
+                import repro.kernels
+            bad = [str(w.message) for w in records
+                   if issubclass(w.category, DeprecationWarning)
+                   and "repro" in str(w.message)]
+            assert not bad, bad
+        """)
+        proc = subprocess.run([sys.executable, "-c", script],
+                              capture_output=True, text=True)
+        assert proc.returncode == 0, proc.stderr
+
+
 class TestRenamedResultFields:
     def test_multistart_total_sweeps_property(self, tensor):
         res = multistart_sshopm(tensor, num_starts=2, alpha=5.0, rng=0,

@@ -12,7 +12,7 @@ from repro.kernels.compressed import ax_m1_compressed, ax_m_compressed
 from repro.kernels.dispatch import available_variants, get_kernels
 from repro.kernels.precomputed import ax_m1_precomputed, ax_m_precomputed
 from repro.kernels.reference import ax_m1_dense, ax_m_dense
-from repro.kernels.unrolled import make_unrolled
+from repro.kernels.unrolled import _make_unrolled as make_unrolled
 from repro.symtensor.random import random_symmetric_tensor
 from repro.util.rng import random_unit_vector
 

@@ -8,7 +8,7 @@ from hypothesis import strategies as st
 from repro.kernels.batched import ax_m1_batched, ax_m_batched
 from repro.kernels.compressed import ax_m1_compressed, ax_m_compressed
 from repro.kernels.reference import ax_m1_dense, ax_m_dense
-from repro.kernels.unrolled import make_unrolled
+from repro.kernels.unrolled import _make_unrolled as make_unrolled
 from repro.symtensor.indexing import (
     index_classes,
     monomial_from_index,

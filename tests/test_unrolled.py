@@ -6,7 +6,10 @@ import numpy as np
 import pytest
 
 from repro.kernels.tables import kernel_tables
-from repro.kernels.unrolled import generate_source, make_unrolled
+from repro.kernels.unrolled import (
+    _generate_source as generate_source,
+    _make_unrolled as make_unrolled,
+)
 from repro.symtensor.random import random_symmetric_tensor
 
 
