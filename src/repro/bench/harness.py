@@ -132,6 +132,19 @@ def _smoke_parallel_two_workers():
     return {"tensors": len(batch), "workers": 2}
 
 
+def _smoke_process_fleet():
+    """Mirror of bench_process_fleet.py (zero-copy shm worker processes)."""
+    from repro.parallel.fleet import parallel_fleet_solve
+    from repro.parallel.shm import SHM_AVAILABLE
+
+    batch = _batch(tensors=6, m=4, n=3, seed=6)
+    executor = "process" if SHM_AVAILABLE else "thread"
+    rep = parallel_fleet_solve(batch, workers=2, num_starts=6, alpha=2.0,
+                               max_iters=30, rng=np.random.default_rng(7),
+                               executor=executor)
+    return {"tensors": len(batch), "workers": 2, "executor": rep.executor}
+
+
 def _smoke_span_overhead():
     """Mirror of bench_instrument_overhead.py (recorder span hot loop)."""
     rec = Recorder()
@@ -149,6 +162,7 @@ SMOKE_WORKLOADS = [
     ("sshopm_single", "bench_convergence_theory.py", _smoke_sshopm_single),
     ("kernel_ax_m1", "bench_table2_costs.py", _smoke_kernel_ax_m1),
     ("parallel_two_workers", "bench_figure5_scaling.py", _smoke_parallel_two_workers),
+    ("process_fleet", "bench_process_fleet.py", _smoke_process_fleet),
     ("span_overhead", "bench_instrument_overhead.py", _smoke_span_overhead),
 ]
 

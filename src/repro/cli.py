@@ -286,6 +286,9 @@ def _cmd_fleet_solve(args) -> int:
                                        rng=args.seed)
         print(f"random batch: {batch!r} (seed {args.seed})")
     try:
+        options = {}
+        if args.executor is not None:
+            options["executor"] = args.executor
         report = repro.solve(
             batch,
             starts=args.starts,
@@ -298,6 +301,7 @@ def _cmd_fleet_solve(args) -> int:
             variant=args.variant,
             codegen_backend=args.backend,
             compact_every=args.compact_every,
+            **options,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -307,7 +311,9 @@ def _cmd_fleet_solve(args) -> int:
     print(result.summary())
     if report.extra is not None:
         sizes = "/".join(str(s) for s in report.extra.shard_sizes)
-        print(f"shards: {sizes} tensors over {report.extra.workers} workers")
+        print(f"shards: {sizes} tensors over {report.extra.workers} "
+              f"{report.extra.executor} workers "
+              f"(imbalance {report.extra.imbalance():.2f})")
     if args.spectra:
         for t, pairs in enumerate(result.eigenpairs()):
             lams = ", ".join(f"{p.eigenvalue:+.5f}x{p.occurrences}"
@@ -519,7 +525,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="codegen backend for the kernel plan (numpy, numba, "
                    "or auto to race them; default numpy)")
     p.add_argument("--workers", type=int, default=1,
-                   help="shard the tensor axis over this many threads")
+                   help="shard the tensor axis over this many workers")
+    p.add_argument("--executor", choices=("thread", "process", "auto"),
+                   default=None,
+                   help="worker tier for --workers > 1: thread (default), "
+                   "process (zero-copy shared-memory worker processes), "
+                   "or auto (communication cost model picks)")
     p.add_argument("--adaptive", action="store_true",
                    help="per-lane shift escalation on oscillation")
     p.add_argument("--compact-every", type=int, default=8, metavar="K",

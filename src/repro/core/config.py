@@ -59,6 +59,11 @@ class SolveConfig:
         of silently returning unconverged garbage (default: off).
     retry : a :class:`~repro.resilience.retry.RetryPolicy` for drivers
         that re-run failed starts (the resilient sweep runner).
+    executor : fleet sharding tier for
+        :func:`~repro.parallel.fleet.parallel_fleet_solve` —
+        ``"thread"``, ``"process"`` (zero-copy shared-memory worker
+        processes), or ``"auto"`` (communication-cost-model pick; see
+        :mod:`repro.parallel.comm`).
     """
 
     alpha: float | None = None
@@ -73,6 +78,7 @@ class SolveConfig:
     rng: Any = None
     guards: Any = None
     retry: Any = None
+    executor: str | None = None
 
     def replace(self, **changes) -> "SolveConfig":
         """A copy with the given fields changed (dataclass ``replace``)."""

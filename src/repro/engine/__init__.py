@@ -6,6 +6,6 @@ dead lanes and periodic active-set compaction.  See
 :func:`repro.engine.fleet.fleet_solve` and ``docs/api.md``.
 """
 
-from repro.engine.fleet import fleet_solve, suggested_shifts
+from repro.engine.fleet import FleetWorkspace, fleet_solve, suggested_shifts
 
-__all__ = ["fleet_solve", "suggested_shifts"]
+__all__ = ["FleetWorkspace", "fleet_solve", "suggested_shifts"]

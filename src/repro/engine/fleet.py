@@ -24,6 +24,7 @@ Lane ``l`` maps to pair ``(t, v) = divmod(l, V)``; results come back as
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -43,7 +44,7 @@ from repro.symtensor.indexing import multiplicity_table
 from repro.symtensor.storage import SymmetricTensor, SymmetricTensorBatch
 from repro.util.flopcount import FlopCounter, null_counter
 
-__all__ = ["fleet_solve", "suggested_shifts"]
+__all__ = ["FleetWorkspace", "fleet_solve", "suggested_shifts"]
 
 # escalate a lane's shift after this many consecutive sign-alternating
 # lambda deltas (the too-small-shift signature; cf. GuardConfig)
@@ -60,6 +61,75 @@ def suggested_shifts(tensors: SymmetricTensorBatch) -> np.ndarray:
     mult = multiplicity_table(m, n).astype(np.float64)
     norms = np.sqrt((mult * np.asarray(tensors.values, np.float64) ** 2).sum(-1))
     return m * (m - 1) * norms
+
+
+@dataclass
+class FleetWorkspace:
+    """Externally-owned fleet output buffers.
+
+    Passing one as ``fleet_solve(..., out=ws)`` makes the engine write
+    every result directly into these arrays instead of allocating its
+    own — the zero-copy hook the process fleet uses to land each shard's
+    results in a preallocated shared-memory block
+    (:class:`repro.parallel.shm.SharedResultBlock`), so only shard
+    *descriptors* ever cross a pipe.  The returned
+    :class:`~repro.core.results.FleetResult` arrays are views of these
+    buffers.
+
+    Shapes are the ``(T, V)`` lane grid (``eigenvectors`` is
+    ``(T, V, n)``); every buffer must be C-contiguous so the engine's
+    flat ``(L,)`` lane views alias it rather than copy.
+    """
+
+    eigenvalues: np.ndarray  # (T, V) float64
+    eigenvectors: np.ndarray  # (T, V, n) compute dtype
+    converged: np.ndarray  # (T, V) bool
+    iterations: np.ndarray  # (T, V) int64
+    failed: np.ndarray  # (T, V) bool
+    shifts: np.ndarray  # (T, V) float64
+
+    @classmethod
+    def allocate(cls, T: int, V: int, n: int, dtype=np.float64) -> "FleetWorkspace":
+        """Fresh C-contiguous buffers for a ``(T, V)`` lane grid."""
+        return cls(
+            eigenvalues=np.full((T, V), np.nan),
+            eigenvectors=np.full((T, V, n), np.nan, dtype=dtype),
+            converged=np.zeros((T, V), dtype=bool),
+            iterations=np.zeros((T, V), dtype=np.int64),
+            failed=np.zeros((T, V), dtype=bool),
+            shifts=np.full((T, V), np.nan),
+        )
+
+    def lane_views(self, T: int, V: int, n: int, dtype):
+        """Validated flat ``(L, ...)`` views over the ``(T, V, ...)``
+        buffers, in the engine's output order.  Raises ``ValueError`` on
+        any shape/dtype/contiguity mismatch — a reshape that silently
+        copied would drop results on the floor."""
+        L = T * V
+        specs = [
+            ("eigenvalues", self.eigenvalues, (T, V), np.float64, (L,)),
+            ("eigenvectors", self.eigenvectors, (T, V, n), np.dtype(dtype), (L, n)),
+            ("converged", self.converged, (T, V), np.bool_, (L,)),
+            ("iterations", self.iterations, (T, V), np.int64, (L,)),
+            ("failed", self.failed, (T, V), np.bool_, (L,)),
+            ("shifts", self.shifts, (T, V), np.float64, (L,)),
+        ]
+        views = []
+        for name, arr, shape, want_dtype, flat_shape in specs:
+            if arr.shape != shape:
+                raise ValueError(
+                    f"workspace {name} has shape {arr.shape}, need {shape}")
+            if arr.dtype != np.dtype(want_dtype):
+                raise ValueError(
+                    f"workspace {name} has dtype {arr.dtype}, need "
+                    f"{np.dtype(want_dtype)}")
+            if not arr.flags.c_contiguous:
+                raise ValueError(f"workspace {name} must be C-contiguous")
+            view = arr.reshape(flat_shape)
+            if not np.shares_memory(view, arr):  # pragma: no cover - guarded above
+                raise ValueError(f"workspace {name} reshape copied")
+            views.append(view)
+        return tuple(views)
 
 
 def _as_batch(tensors) -> SymmetricTensorBatch:
@@ -98,6 +168,7 @@ def fleet_solve(
     adaptive: bool = False,
     compact_every: int = 8,
     plan: KernelPlan | None = None,
+    out: FleetWorkspace | None = None,
     telemetry: bool | None = None,
     guards=None,
 ) -> FleetResult:
@@ -126,6 +197,11 @@ def fleet_solve(
         gathers the survivors so kernel work tracks the live population.
     plan : prebuilt :class:`KernelPlan` to use instead of a cache lookup
         (the parallel sharding path passes one per worker).
+    out : a :class:`FleetWorkspace` of caller-owned ``(T, V)`` buffers the
+        engine writes results into instead of allocating its own; the
+        returned result's arrays are views of it.  The process fleet
+        passes shard slices of a shared-memory result block here so
+        results never cross a pipe.
     guards : per-lane semantics — an individual dying lane (NaN/Inf or
         collapsed update) is always retired and reported via
         ``result.failed``; enabling guards only makes *total* collapse
@@ -208,13 +284,24 @@ def fleet_solve(
         prev_delta = np.zeros(L)
         osc = np.zeros(L, dtype=np.int64)
 
-    # full-workload outputs, written as lanes retire
-    out_lam = np.full(L, np.nan)
-    out_x = np.full((L, n), np.nan, dtype=dtype)
-    out_conv = np.zeros(L, dtype=bool)
-    out_iters = np.zeros(L, dtype=np.int64)
-    out_failed = np.zeros(L, dtype=bool)
-    out_alpha = np.full(L, alpha, dtype=np.float64)
+    # full-workload outputs, written as lanes retire; with ``out=`` these
+    # are flat views over the caller's buffers instead of fresh arrays
+    if out is None:
+        out_lam = np.full(L, np.nan)
+        out_x = np.full((L, n), np.nan, dtype=dtype)
+        out_conv = np.zeros(L, dtype=bool)
+        out_iters = np.zeros(L, dtype=np.int64)
+        out_failed = np.zeros(L, dtype=bool)
+        out_alpha = np.full(L, alpha, dtype=np.float64)
+    else:
+        (out_lam, out_x, out_conv, out_iters,
+         out_failed, out_alpha) = out.lane_views(T, V, n, dtype)
+        out_lam.fill(np.nan)
+        out_x.fill(np.nan)
+        out_conv.fill(False)
+        out_iters.fill(0)
+        out_failed.fill(False)
+        out_alpha.fill(alpha)
 
     sweeps = 0
     compactions = 0

@@ -154,8 +154,12 @@ def solve(
     adaptive : self-tuning shift.  Routes a single-start request to
         :func:`~repro.core.adaptive.adaptive_sshopm` and turns on the
         fleet engine's per-lane shift escalation for batch requests.
-    workers : shard a batch request over this many threads via
-        :func:`~repro.parallel.fleet.parallel_fleet_solve`.
+    workers : shard a batch request over this many workers via
+        :func:`~repro.parallel.fleet.parallel_fleet_solve`; pass
+        ``executor="process"`` (or ``"auto"``) in ``options`` to run them
+        as zero-copy shared-memory worker processes instead of threads
+        (see ``docs/parallel.md`` — results stay bit-for-bit identical
+        to a single-worker run).
     **options : forwarded verbatim to the routed solver (e.g.
         ``variant=``/``backend=``, ``telemetry=``, ``guards=``,
         ``scheme=``, ``dtype=``, ``compact_every=``).  For batch
@@ -254,6 +258,9 @@ def solve(
         else:
             from repro.engine.fleet import fleet_solve
 
+            # executor-tier options are meaningless without sharding
+            for key in ("executor", "steal", "start_method"):
+                fleet_opts.pop(key, None)
             kwargs = dict(
                 starts=explicit, rng=rng, adaptive=adaptive,
                 **common, **fleet_opts,

@@ -52,8 +52,13 @@ __all__ = [
     "observe_codegen_compile",
     "observe_fleet_compaction",
     "observe_fleet_retired",
+    "observe_ipc_payload",
     "observe_plan_cache",
     "observe_plan_disk_cache",
+    "observe_queue_wait",
+    "observe_shm_attach",
+    "observe_shm_publish",
+    "observe_shm_unlink",
     "observe_solver_run",
     "use_registry",
 ]
@@ -632,6 +637,60 @@ def observe_fleet_compaction(active_lanes: int, total_lanes: int) -> None:
         "repro_fleet_lane_occupancy",
         "Fraction of fleet lanes still active after the last compaction",
     ).set(active_lanes / total_lanes if total_lanes else 0.0)
+
+
+def observe_shm_publish(role: str, nbytes: int) -> None:
+    """One shared-memory segment published (created + filled) by the
+    zero-copy fleet store (see :mod:`repro.parallel.shm`).  The byte
+    counter is what the process-fleet benchmark checks against the
+    communication model: tensor payload shows up here exactly once, never
+    in the per-shard pipe traffic."""
+    reg = get_registry()
+    reg.counter(
+        "repro_shm_bytes_published_total",
+        "Bytes published into shared-memory segments", ("role",),
+    ).labels(role=role).inc(nbytes)
+    reg.counter(
+        "repro_shm_segments_total",
+        "Shared-memory segments created", ("role",),
+    ).labels(role=role).inc()
+
+
+def observe_shm_attach(role: str, nbytes: int) -> None:
+    """One shared-memory segment attached (mapped read-only or writable)
+    by a fleet worker; bytes count the mapped view, not copied data."""
+    get_registry().counter(
+        "repro_shm_bytes_attached_total",
+        "Bytes mapped from existing shared-memory segments", ("role",),
+    ).labels(role=role).inc(nbytes)
+
+
+def observe_shm_unlink(role: str) -> None:
+    """One shared-memory segment unlinked (its backing file removed)."""
+    get_registry().counter(
+        "repro_shm_segments_unlinked_total",
+        "Shared-memory segments unlinked", ("role",),
+    ).labels(role=role).inc()
+
+
+def observe_queue_wait(seconds: float) -> None:
+    """Seconds one fleet worker spent idle between finishing a shard and
+    receiving its next shard descriptor from the work queue."""
+    get_registry().histogram(
+        "repro_fleet_queue_wait_seconds",
+        "Worker idle seconds between shard descriptors",
+    ).observe(seconds)
+
+
+def observe_ipc_payload(direction: str, nbytes: int) -> None:
+    """Pickled bytes that actually crossed a pipe in the process-fleet
+    tier (``direction``: ``"descriptor"`` out, ``"meta"`` back).  Under
+    the zero-copy store this stays O(result metadata) per shard — the
+    benchmark asserts it never scales with the tensor payload."""
+    get_registry().counter(
+        "repro_fleet_ipc_payload_bytes_total",
+        "Bytes serialized across process-fleet pipes", ("direction",),
+    ).labels(direction=direction).inc(nbytes)
 
 
 def observe_fleet_retired(reason: str, count: int) -> None:

@@ -1,6 +1,14 @@
-"""CPU-parallel substrate: partitioning, a multi-worker driver, and the
-calibrated OpenMP-scaling performance model."""
+"""CPU-parallel substrate: partitioning, thread/process fleet drivers, a
+zero-copy shared-memory tensor store, the communication cost model behind
+``executor="auto"``, and the calibrated OpenMP-scaling performance model."""
 
+from repro.parallel.comm import (
+    EXECUTORS,
+    ExecutorChoice,
+    FleetCommEstimate,
+    choose_executor,
+    estimate_fleet_comm,
+)
 from repro.parallel.cpumodel import (
     DEFAULT_CPU_PARAMS,
     CpuPerfParams,
@@ -9,20 +17,46 @@ from repro.parallel.cpumodel import (
     speedup_curve,
 )
 from repro.parallel.executor import ParallelRunReport, parallel_multistart_sshopm
-from repro.parallel.fleet import FleetRunReport, parallel_fleet_solve
-from repro.parallel.partition import chunk_sizes, interleaved_partition, static_partition
+from repro.parallel.fleet import (
+    STEAL_IMBALANCE_THRESHOLD,
+    FleetRunReport,
+    parallel_fleet_solve,
+)
+from repro.parallel.partition import (
+    PartitionError,
+    chunk_sizes,
+    cost_weighted_partition,
+    interleaved_partition,
+    static_partition,
+)
+from repro.parallel.shm import (
+    SHM_AVAILABLE,
+    SharedResultBlock,
+    SharedTensorStore,
+)
 
 __all__ = [
     "DEFAULT_CPU_PARAMS",
+    "EXECUTORS",
+    "SHM_AVAILABLE",
+    "STEAL_IMBALANCE_THRESHOLD",
     "CpuPerfParams",
     "CpuPrediction",
-    "predict_cpu_sshopm",
-    "speedup_curve",
+    "ExecutorChoice",
+    "FleetCommEstimate",
     "FleetRunReport",
     "ParallelRunReport",
+    "PartitionError",
+    "SharedResultBlock",
+    "SharedTensorStore",
+    "choose_executor",
+    "chunk_sizes",
+    "cost_weighted_partition",
+    "estimate_fleet_comm",
+    "interleaved_partition",
     "parallel_fleet_solve",
     "parallel_multistart_sshopm",
-    "chunk_sizes",
-    "interleaved_partition",
+    "predict_cpu_sshopm",
+    "speedup_curve",
     "static_partition",
 ]

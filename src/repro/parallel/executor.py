@@ -138,7 +138,10 @@ def parallel_multistart_sshopm(
     if starts is None:
         starts = starting_vectors(num_starts, tensors.n, scheme=scheme, rng=rng, dtype=dtype)
 
-    ranges = [r for r in static_partition(T, workers) if len(r) > 0]
+    # more workers than tensors just means idle workers: clamp before
+    # partitioning (static_partition raises on empty shards)
+    workers = min(workers, T) if T >= 1 else workers
+    ranges = static_partition(T, workers)
     parent = current_recorder()
     t0 = time.perf_counter()
 

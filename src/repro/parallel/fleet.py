@@ -1,43 +1,82 @@
-"""T-axis sharding for the fleet engine.
+"""T-axis sharding for the fleet engine, over thread or process workers.
 
 The fleet scheduler (:func:`repro.engine.fleet.fleet_solve`) already
 vectorizes every (tensor, start) lane of its workload; this driver splits
-the *tensor* axis into contiguous shards and runs one fleet per worker
-thread, the same partition/merge discipline as
-:func:`repro.parallel.executor.parallel_multistart_sshopm`: shared
-starting-vector set, per-worker metrics registries merged into the
-caller's after the pool drains, per-worker recorder traces absorbed under
-``worker0``, ``worker1``, ... nodes.  All shards resolve their kernels
-from the same process-wide plan cache, so the plan is built once no
-matter how many workers run.
+the *tensor* axis into contiguous shards and runs one fleet per worker.
+Two executor tiers share the partition/merge discipline:
+
+``executor="thread"``
+    One fleet per worker thread (the historical behavior).  Cheap to
+    start and zero-copy by construction, but numpy dispatch serializes on
+    the GIL, so scaling is bounded by the fraction of each sweep spent
+    inside GIL-releasing kernels.
+``executor="process"``
+    Persistent worker processes over a zero-copy shared-memory tensor
+    store (:mod:`repro.parallel.shm`, :mod:`repro.parallel.procfleet`).
+    Tensor payload is published once; shard *descriptors* go through a
+    work queue (which doubles as work stealing when the batch is
+    oversplit — see ``steal=``), and results land in a preallocated
+    shared block, so pipe traffic is O(result metadata) per shard.
+``executor="auto"``
+    Picks a tier via the communication cost model in
+    :mod:`repro.parallel.comm` (bytes moved vs. flops computed, after the
+    block-partitioned Symv analysis of arXiv:2506.15488).
+
+Either way every shard shares one starting-vector set and all shards
+resolve kernels from the same plan cache, so the merged ``(T, V)`` result
+is bit-for-bit the single-worker fleet result.  Shards are cut by
+:func:`~repro.parallel.partition.cost_weighted_partition` fed with
+per-tensor kernel-plan flop estimates; worker counts exceeding the batch
+size are clamped with a warning (the partition itself refuses empty
+shards with a typed :class:`~repro.parallel.partition.PartitionError`).
 """
 
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.config import SolveConfig
+from repro.core.config import SolveConfig, resolve_option
 from repro.core.multistart import starting_vectors
 from repro.core.results import FleetResult
 from repro.instrument import Recorder, current_recorder
 from repro.instrument import span as _span
 from repro.instrument.metrics import MetricsRegistry, get_registry, use_registry
-from repro.parallel.partition import static_partition
+from repro.parallel.comm import EXECUTORS, choose_executor, estimate_fleet_comm
+from repro.parallel.partition import cost_weighted_partition
 from repro.symtensor.storage import SymmetricTensorBatch
 
-__all__ = ["FleetRunReport", "parallel_fleet_solve"]
+__all__ = [
+    "STEAL_IMBALANCE_THRESHOLD",
+    "STEAL_SPLIT_FACTOR",
+    "FleetRunReport",
+    "parallel_fleet_solve",
+]
+
+#: ``imbalance()`` (max/mean shard seconds) above which the auto stealing
+#: heuristic considers a static shard-per-worker split too lopsided and
+#: oversplits the batch into a stealable queue instead.
+STEAL_IMBALANCE_THRESHOLD = 1.25
+
+#: Sub-shards per worker when stealing is on: small enough to keep
+#: per-shard descriptor/metadata overhead negligible, large enough that a
+#: worker whose tensors converge early keeps pulling work.
+STEAL_SPLIT_FACTOR = 4
 
 
 @dataclass
 class FleetRunReport:
     """A merged fleet result plus execution metadata.
 
-    ``shard_sizes`` lists how many tensors each worker solved;
-    ``shard_seconds`` the per-shard wall times (their spread shows load
-    imbalance the static partition could not avoid).
+    ``shard_sizes`` lists how many tensors each shard covered;
+    ``shard_seconds`` the per-shard wall times (their spread is the load
+    imbalance the partition could not avoid — see :meth:`imbalance`).
+    ``executor`` is the tier that actually ran (``"auto"`` resolves
+    before execution); ``requeues``/``failed_shards`` mirror the hardened
+    thread executor's crash accounting for the process tier.
     """
 
     result: FleetResult
@@ -45,6 +84,34 @@ class FleetRunReport:
     seconds: float
     shard_sizes: list[int]
     shard_seconds: list[float] = field(default_factory=list)
+    executor: str = "thread"
+    requeues: int = 0
+    failed_shards: list[int] = field(default_factory=list)
+
+    def imbalance(self) -> float:
+        """Load imbalance of the run: max/mean of ``shard_seconds``.
+
+        1.0 is perfect balance; values above
+        :data:`STEAL_IMBALANCE_THRESHOLD` are what the auto stealing
+        heuristic exists to fix (rerun with ``steal=True`` or more
+        shards).  NaN when no shard timings were recorded.
+        """
+        if not self.shard_seconds:
+            return float("nan")
+        mean = sum(self.shard_seconds) / len(self.shard_seconds)
+        if mean <= 0:
+            return 1.0
+        return max(self.shard_seconds) / mean
+
+
+def _shard_weights(tensors: SymmetricTensorBatch, num_starts: int) -> np.ndarray:
+    """Per-tensor cost estimates feeding the cost-weighted partition:
+    the analytic kernel-plan flop count ``2 m U`` per lane application
+    times the tensor's ``V`` lanes.  Uniform for a homogeneous batch —
+    where the weighting earns its keep is oversplit stealing queues and
+    future mixed workloads."""
+    U = tensors.values.shape[1]
+    return np.full(len(tensors), 2.0 * tensors.m * U * num_starts)
 
 
 def parallel_fleet_solve(
@@ -65,24 +132,96 @@ def parallel_fleet_solve(
     adaptive: bool = False,
     compact_every: int = 8,
     guards=None,
+    executor: str | None = None,
+    steal: bool | None = None,
+    start_method: str | None = None,
+    max_requeues: int = 2,
+    faults: dict | None = None,
 ) -> FleetRunReport:
-    """Shard ``tensors`` over ``workers`` threads, one fleet per shard.
+    """Shard ``tensors`` over ``workers``, one fleet per shard.
 
     Parameters are those of :func:`repro.engine.fleet.fleet_solve`; every
     shard shares one starting-vector set, so the merged ``(T, V)`` result
-    equals a single-worker fleet run with the same starts (shard
-    boundaries change lane scheduling, not fixed points).
+    is bit-for-bit a single-worker fleet run with the same starts (shard
+    boundaries change lane scheduling, not arithmetic).  The tier-specific
+    ones:
+
+    executor : ``"thread"`` (default), ``"process"`` (zero-copy
+        shared-memory worker processes), or ``"auto"`` (cost-model pick);
+        also settable via ``SolveConfig.executor``.
+    steal : oversplit the batch into ``STEAL_SPLIT_FACTOR`` sub-shards
+        per worker so the process tier's work queue behaves as work
+        stealing.  ``None`` (auto) enables it when the cost-weighted
+        partition itself predicts imbalance above
+        :data:`STEAL_IMBALANCE_THRESHOLD`.
+    start_method : multiprocessing start method for the process tier
+        (default: ``fork`` where available).
+    max_requeues / faults : crash budget and chaos injection for the
+        process tier (``faults`` maps shard id → ``"crash"``/``"kill"``),
+        mirroring the hardened thread executor.
     """
     from repro.engine.fleet import fleet_solve
 
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
+    T = len(tensors)
+    if workers > T:
+        warnings.warn(
+            f"workers={workers} exceeds the batch size T={T}; clamping to "
+            f"{T} (extra workers would own empty shards)",
+            RuntimeWarning, stacklevel=2)
+        workers = max(1, T)
+    executor = resolve_option("executor", executor, config, "thread")
+    if executor not in EXECUTORS:
+        raise ValueError(
+            f"executor must be one of {EXECUTORS}, got {executor!r}")
     if starts is None:
         starts = starting_vectors(num_starts, tensors.n, scheme=scheme,
                                   rng=rng, dtype=dtype)
-    ranges = [r for r in static_partition(len(tensors), workers) if len(r) > 0]
+
+    weights = _shard_weights(tensors, starts.shape[0])
+    if executor == "auto":
+        estimate = estimate_fleet_comm(
+            T, tensors.values.shape[1], starts.shape[0], tensors.n,
+            workers, m=tensors.m, sweeps=max_iters // 4 or 1)
+        choice = choose_executor(estimate)
+        executor = choice.executor
+    if executor == "process":
+        from repro.parallel.shm import SHM_AVAILABLE
+
+        if not SHM_AVAILABLE:  # pragma: no cover - exotic builds only
+            warnings.warn(
+                "multiprocessing.shared_memory unavailable; falling back "
+                "to the thread executor", RuntimeWarning, stacklevel=2)
+            executor = "thread"
+
     parent = current_recorder()
     t0 = time.perf_counter()
+
+    if workers == 1 or T == 1:
+        # degenerate single shard: run inline, skip any pool
+        res = fleet_solve(
+            tensors, alpha=alpha, tol=tol, max_iters=max_iters,
+            starts=starts, variant=variant, backend=backend, dtype=dtype,
+            config=config,
+            adaptive=adaptive, compact_every=compact_every, guards=guards,
+        )
+        elapsed = time.perf_counter() - t0
+        return FleetRunReport(
+            result=res, workers=1, seconds=elapsed,
+            shard_sizes=[T], shard_seconds=[elapsed], executor=executor,
+        )
+
+    if executor == "process":
+        return _process_tier(
+            tensors, workers, starts, weights, alpha=alpha, tol=tol,
+            max_iters=max_iters, variant=variant, backend=backend,
+            dtype=dtype, config=config, adaptive=adaptive,
+            compact_every=compact_every, guards=guards, steal=steal,
+            start_method=start_method, max_requeues=max_requeues,
+            faults=faults, parent=parent, t0=t0)
+
+    ranges = cost_weighted_partition(weights, workers)
 
     def solve_shard(r: range):
         worker_reg = MetricsRegistry()
@@ -115,21 +254,6 @@ def parallel_fleet_solve(
         return res, worker_rec, worker_reg, time.perf_counter() - ts
 
     with _span("parallel_fleet_solve"):
-        if len(ranges) == 1:
-            # degenerate single shard: skip the pool, keep caller's registry
-            res = fleet_solve(
-                tensors, alpha=alpha, tol=tol, max_iters=max_iters,
-                starts=starts, variant=variant, backend=backend, dtype=dtype,
-                config=config,
-                adaptive=adaptive, compact_every=compact_every, guards=guards,
-            )
-            return FleetRunReport(
-                result=res, workers=1,
-                seconds=time.perf_counter() - t0,
-                shard_sizes=[len(ranges[0])],
-                shard_seconds=[time.perf_counter() - t0],
-            )
-
         from concurrent.futures import ThreadPoolExecutor
 
         with ThreadPoolExecutor(max_workers=len(ranges)) as pool:
@@ -138,6 +262,7 @@ def parallel_fleet_solve(
         caller_reg = get_registry()
         if parent is not None:
             parent.gauge("parallel.workers", len(ranges))
+            parent.gauge("parallel.executor", "thread")
             parent.gauge("parallel.shard_sizes", [len(r) for r in ranges])
             for wid, (_, worker_rec, _, _) in enumerate(outs):
                 if worker_rec is not None:
@@ -164,4 +289,65 @@ def parallel_fleet_solve(
         seconds=time.perf_counter() - t0,
         shard_sizes=[len(r) for r in ranges],
         shard_seconds=[o[3] for o in outs],
+        executor="thread",
+    )
+
+
+def _predicted_imbalance(weights: np.ndarray, ranges) -> float:
+    """Max/mean shard weight of a partition — the up-front analog of
+    :meth:`FleetRunReport.imbalance` the stealing heuristic checks."""
+    sums = [float(weights[r.start:r.stop].sum()) for r in ranges]
+    mean = sum(sums) / len(sums)
+    return max(sums) / mean if mean > 0 else 1.0
+
+
+def _process_tier(tensors, workers, starts, weights, *, alpha, tol,
+                  max_iters, variant, backend, dtype, config, adaptive,
+                  compact_every, guards, steal, start_method, max_requeues,
+                  faults, parent, t0) -> FleetRunReport:
+    """Resolve process-tier options and delegate to
+    :func:`repro.parallel.procfleet.process_fleet_solve`."""
+    from repro.parallel.procfleet import process_fleet_solve
+
+    T = len(tensors)
+    ranges = cost_weighted_partition(weights, workers)
+    if steal is None:
+        # auto: oversplit when even the *predicted* shard weights are
+        # lopsided past the threshold (e.g. T not divisible by workers)
+        steal = (_predicted_imbalance(weights, ranges)
+                 > STEAL_IMBALANCE_THRESHOLD)
+    if steal:
+        shards = cost_weighted_partition(
+            weights, min(T, workers * STEAL_SPLIT_FACTOR))
+    else:
+        shards = ranges
+
+    # workers receive primitives, not a config: resolve the config-backed
+    # options here exactly as fleet_solve would
+    variant_r = resolve_option("backend", variant, config, "vectorized")
+    backend_r = resolve_option("codegen_backend", backend, config, "numpy")
+    guards_r = resolve_option("guards", guards, config, None)
+
+    with _span("parallel_fleet_solve"):
+        result, info = process_fleet_solve(
+            tensors, shards, starts, workers=workers, alpha=alpha, tol=tol,
+            max_iters=max_iters, variant=variant_r, backend=backend_r,
+            dtype=dtype, adaptive=adaptive, compact_every=compact_every,
+            guards=guards_r, start_method=start_method,
+            max_requeues=max_requeues, faults=faults,
+        )
+        if parent is not None:
+            parent.gauge("parallel.workers", workers)
+            parent.gauge("parallel.executor", "process")
+            parent.gauge("parallel.shard_sizes", info["shard_sizes"])
+            parent.gauge("parallel.steal", bool(steal))
+    return FleetRunReport(
+        result=result,
+        workers=workers,
+        seconds=time.perf_counter() - t0,
+        shard_sizes=info["shard_sizes"],
+        shard_seconds=info["shard_seconds"],
+        executor="process",
+        requeues=info["requeues"],
+        failed_shards=info["failed_shards"],
     )

@@ -1,0 +1,417 @@
+"""Process tier of the parallel fleet: persistent workers over a
+zero-copy shared tensor store.
+
+The thread tier (:mod:`repro.parallel.fleet`) serializes numpy dispatch
+on the GIL; this tier runs one OS process per worker instead, and keeps
+every byte of tensor payload out of the pipes:
+
+* the parent publishes the batch + starts + kernel tables into a
+  :class:`~repro.parallel.shm.SharedTensorStore` and preallocates a
+  :class:`~repro.parallel.shm.SharedResultBlock` (both unlinked in a
+  ``finally``, whatever happens);
+* persistent workers attach by name, warm the kernel plan once (table
+  arrays from the store, codegen through the on-disk plan cache), then
+  pull shard *descriptors* — ``(shard_id, lo, hi)`` index ranges — from
+  a work queue until they drain it.  Oversplitting the batch into more
+  shards than workers turns the queue into work stealing: a worker whose
+  shards converge early simply pulls more;
+* each shard's results are written in place through
+  ``fleet_solve(out=block.workspace(lo, hi))``; the completion message is
+  a dict of floats.  Per-worker metrics come back as one registry
+  snapshot at exit and merge through the standard snapshot/merge path.
+
+Crash discipline matches the hardened thread executor: a worker that
+dies mid-shard (or raises, e.g. an injected
+:class:`~repro.resilience.faults.InjectedWorkerCrash`) gets its claimed
+shard requeued on the survivors up to ``max_requeues`` times — run
+inline in the parent if nobody survives — and a shard that exhausts its
+budget is written off as NaN/failed placeholder rows, never silently
+dropped.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import pickle
+import signal
+import time
+import warnings
+from queue import Empty
+
+import numpy as np
+
+from repro.core.results import FleetResult
+from repro.engine.fleet import fleet_solve
+from repro.instrument.metrics import (
+    MetricsRegistry,
+    get_registry,
+    observe_ipc_payload,
+    observe_queue_wait,
+    use_registry,
+)
+from repro.parallel.shm import SharedResultBlock, SharedTensorStore
+from repro.symtensor.storage import SymmetricTensorBatch
+
+__all__ = ["default_start_method", "process_fleet_solve"]
+
+#: Seconds a fault-injected worker sleeps between announcing its claim and
+#: killing itself — lets the queue feeder flush so the parent knows which
+#: shard died (real crashes happen mid-solve, long after the claim).
+_KILL_FLUSH_SECONDS = 0.1
+
+
+def default_start_method() -> str:
+    """``fork`` where available (workers inherit the warm plan cache and
+    imported numpy for free), else ``spawn``."""
+    methods = mp.get_all_start_methods()
+    return "fork" if "fork" in methods else methods[0]
+
+
+def _worker_main(worker_id: int, store_handle, block_handle,
+                 task_q, done_q, opts: dict) -> None:
+    """Persistent worker loop: attach, warm the plan, drain descriptors.
+
+    Module-level (not a closure) so spawn contexts can pickle it; every
+    argument is a handle or primitive — the tensor payload arrives by
+    attaching shared memory, never through this call.
+    """
+    # the parent coordinates shutdown (sentinels / terminate); a Ctrl-C
+    # storm hitting the whole process group shouldn't produce N tracebacks
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    from repro.resilience.faults import InjectedFault
+
+    reg = MetricsRegistry()
+    store = block = None
+    try:
+        with use_registry(reg):
+            store = store_handle.attach()
+            block = block_handle.attach()
+            m, n = store.m, store.n
+            from repro.kernels.plan import get_plan
+            from repro.kernels.tables import prime_tables
+
+            tables = store.kernel_tables()
+            if tables is not None:
+                prime_tables(tables)
+            # one plan warm per worker: tables came via the store, codegen
+            # via the on-disk plan cache the parent already populated
+            plan = get_plan(m, n, opts["variant"], opts["backend"])
+            dtype = np.dtype(opts["dtype"])
+            wait_start = time.perf_counter()
+            while True:
+                item = task_q.get()
+                if item is None:
+                    break
+                queue_wait = time.perf_counter() - wait_start
+                sid, lo, hi, fault = item
+                done_q.put(("claim", worker_id, sid))
+                if fault == "crash":
+                    from repro.resilience.faults import InjectedWorkerCrash
+
+                    raise InjectedWorkerCrash(
+                        f"injected crash in worker {worker_id}, shard {sid}")
+                if fault == "kill":
+                    time.sleep(_KILL_FLUSH_SECONDS)
+                    os.kill(os.getpid(), signal.SIGKILL)
+                t0 = time.perf_counter()
+                res = fleet_solve(
+                    store.batch(lo, hi),
+                    alpha=opts["alpha"], tol=opts["tol"],
+                    max_iters=opts["max_iters"], starts=store.starts,
+                    variant=opts["variant"], backend=opts["backend"],
+                    dtype=dtype, adaptive=opts["adaptive"],
+                    compact_every=opts["compact_every"],
+                    guards=opts["guards"], plan=plan,
+                    out=block.workspace(lo, hi), telemetry=False,
+                )
+                meta = {
+                    "seconds": time.perf_counter() - t0,
+                    "sweeps": res.sweeps,
+                    "compactions": res.compactions,
+                    "queue_wait": queue_wait,
+                }
+                del res  # drop the buffer views before dispose
+                done_q.put(("done", worker_id, sid, meta))
+                wait_start = time.perf_counter()
+    except InjectedFault:
+        # chaos-injected crash: die nonzero (the parent requeues the
+        # shard) without spraying a traceback into the test output
+        raise SystemExit(1)
+    finally:
+        try:
+            done_q.put(("exit", worker_id, reg.snapshot()))
+        except Exception:  # pragma: no cover - pipe already gone
+            pass
+        if block is not None:
+            block.dispose()
+        if store is not None:
+            store.dispose()
+
+
+def process_fleet_solve(
+    tensors: SymmetricTensorBatch,
+    shards: list[range],
+    starts: np.ndarray,
+    *,
+    workers: int,
+    alpha: float,
+    tol: float,
+    max_iters: int,
+    variant: str,
+    backend: str,
+    dtype,
+    adaptive: bool,
+    compact_every: int,
+    guards,
+    start_method: str | None = None,
+    max_requeues: int = 2,
+    faults: dict | None = None,
+):
+    """Run ``shards`` of ``tensors`` on a pool of worker processes.
+
+    ``variant``/``backend``/``guards`` must already be resolved (no
+    ``config`` fallback here — the parent resolves once so workers get
+    primitives).  ``faults`` maps shard id → ``"crash"`` | ``"kill"``,
+    injected on the shard's *first* attempt only (the chaos suite's
+    deterministic crash hook).  Returns ``(result, info)`` where ``info``
+    carries the per-shard metadata the caller folds into its
+    :class:`~repro.parallel.fleet.FleetRunReport`.
+    """
+    T = len(tensors)
+    V = starts.shape[0]
+    m, n = tensors.m, tensors.n
+    dtype = np.dtype(dtype)
+    ctx = mp.get_context(start_method or default_start_method())
+    faults = dict(faults or {})
+
+    # warm the process-wide + on-disk plan cache before forking/spawning,
+    # and grab the canonical variant name for the merged result
+    from repro.kernels.plan import get_plan
+
+    plan = get_plan(m, n, variant, backend)
+
+    opts = {
+        "alpha": alpha, "tol": tol, "max_iters": max_iters,
+        "variant": variant, "backend": backend, "dtype": dtype.str,
+        "adaptive": adaptive, "compact_every": compact_every,
+        "guards": guards,
+    }
+
+    store = SharedTensorStore.publish(tensors, starts, tables=plan.tables)
+    block = SharedResultBlock.allocate(T, V, n, dtype=dtype)
+    task_q = ctx.Queue()
+    done_q = ctx.Queue()
+
+    state = {
+        sid: {"range": (r.start, r.stop), "attempts": 0, "claimed_by": None,
+              "meta": None}
+        for sid, r in enumerate(shards)
+    }
+    done: set[int] = set()
+    failed: set[int] = set()
+    requeues = 0
+    warned_degraded = False
+    snapshots: list[dict] = []
+
+    def enqueue(sid: int, fault=None) -> None:
+        lo, hi = state[sid]["range"]
+        payload = (sid, lo, hi, fault)
+        observe_ipc_payload("descriptor", len(pickle.dumps(payload)))
+        task_q.put(payload)
+
+    def write_off(sid: int) -> None:
+        # placeholder rows, same contract as the thread executor's
+        # ChunkFailure path: NaN values, failed mask set, never dropped
+        lo, hi = state[sid]["range"]
+        a = block.arrays
+        a["eigenvalues"][lo:hi] = np.nan
+        a["eigenvectors"][lo:hi] = np.nan
+        a["converged"][lo:hi] = False
+        a["iterations"][lo:hi] = 0
+        a["failed"][lo:hi] = True
+        a["shifts"][lo:hi] = alpha
+        failed.add(sid)
+
+    def run_inline(sid: int) -> None:
+        # nobody left to delegate to: the parent solves the shard itself
+        lo, hi = state[sid]["range"]
+        t0 = time.perf_counter()
+        res = fleet_solve(
+            store.batch(lo, hi), alpha=alpha, tol=tol, max_iters=max_iters,
+            starts=store.starts, variant=variant, backend=backend,
+            dtype=dtype, adaptive=adaptive, compact_every=compact_every,
+            guards=guards, plan=plan, out=block.workspace(lo, hi),
+            telemetry=False,
+        )
+        state[sid]["meta"] = {
+            "seconds": time.perf_counter() - t0, "sweeps": res.sweeps,
+            "compactions": res.compactions, "queue_wait": 0.0,
+        }
+        del res
+        done.add(sid)
+
+    def handle_lost_shard(sid: int, error: str) -> None:
+        nonlocal requeues, warned_degraded
+        st = state[sid]
+        st["claimed_by"] = None
+        st["attempts"] += 1
+        budget_left = st["attempts"] <= max_requeues
+        if not warned_degraded:
+            warned_degraded = True
+            warnings.warn(
+                f"fleet worker died on shard {sid} ({error}); "
+                + ("requeueing — running in degraded mode" if budget_left
+                   else "requeue budget exhausted"),
+                RuntimeWarning, stacklevel=3)
+        if not budget_left:
+            write_off(sid)
+            return
+        requeues += 1
+        if alive:
+            enqueue(sid)  # fault injected on first attempt only
+        else:
+            run_inline(sid)
+
+    for sid in state:
+        enqueue(sid, faults.get(sid))
+
+    procs = {
+        wid: ctx.Process(
+            target=_worker_main,
+            args=(wid, store.handle(), block.handle(), task_q, done_q, opts),
+            daemon=True, name=f"repro-fleet-worker-{wid}")
+        for wid in range(workers)
+    }
+    alive = dict(procs)
+    clean_exited: set[int] = set()
+    t_start = time.perf_counter()
+
+    try:
+        for proc in procs.values():
+            proc.start()
+
+        def reap_dead() -> None:
+            for wid in list(alive):
+                proc = alive[wid]
+                if proc.is_alive():
+                    continue
+                proc.join()
+                del alive[wid]
+                if wid in clean_exited:
+                    # its exit message already credited metrics and
+                    # requeued any claimed shard
+                    continue
+                sid = next((s for s, st in state.items()
+                            if st["claimed_by"] == wid
+                            and s not in done and s not in failed), None)
+                if sid is not None:
+                    handle_lost_shard(
+                        sid, f"exitcode {proc.exitcode}")
+
+        while len(done) + len(failed) < len(state):
+            if not alive:
+                # total pool loss: drain unclaimed descriptors and finish
+                # inline — degraded, but no shard is ever dropped
+                try:
+                    while True:
+                        task_q.get_nowait()
+                except Empty:
+                    pass
+                for sid in list(state):
+                    if sid not in done and sid not in failed:
+                        run_inline(sid)
+                break
+            try:
+                msg = done_q.get(timeout=0.1)
+            except Empty:
+                reap_dead()
+                continue
+            kind = msg[0]
+            if kind == "claim":
+                _, wid, sid = msg
+                state[sid]["claimed_by"] = wid
+            elif kind == "done":
+                _, wid, sid, meta = msg
+                observe_ipc_payload("meta", len(pickle.dumps(msg)))
+                observe_queue_wait(meta["queue_wait"])
+                state[sid]["meta"] = meta
+                state[sid]["claimed_by"] = None
+                done.add(sid)
+            elif kind == "exit":
+                # a worker that raised sends its snapshot from `finally`
+                # then dies nonzero; credit its metrics, requeue its shard
+                _, wid, snap = msg
+                snapshots.append(snap)
+                clean_exited.add(wid)
+                sid = next((s for s, st in state.items()
+                            if st["claimed_by"] == wid
+                            and s not in done and s not in failed), None)
+                if sid is not None:
+                    handle_lost_shard(sid, "worker raised")
+
+        # drain the pool: one sentinel per survivor, collect exit snapshots
+        for _ in alive:
+            task_q.put(None)
+        deadline = time.monotonic() + 10.0
+        waiting = set(alive) - clean_exited
+        while waiting and time.monotonic() < deadline:
+            try:
+                msg = done_q.get(timeout=0.2)
+            except Empty:
+                for wid in list(waiting):
+                    if not alive[wid].is_alive():
+                        waiting.discard(wid)
+                continue
+            if msg[0] == "exit":
+                snapshots.append(msg[2])
+                clean_exited.add(msg[1])
+                waiting.discard(msg[1])
+        for proc in alive.values():
+            proc.join(timeout=2.0)
+        arrays = block.snapshot()
+    finally:
+        for proc in alive.values():
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=2.0)
+        store.dispose()
+        block.dispose()
+        task_q.close()
+        done_q.close()
+
+    reg = get_registry()
+    for snap in snapshots:
+        reg.merge(snap)
+    if requeues:
+        reg.counter(
+            "repro_requeues_total",
+            "Crashed sweep tasks rescheduled on a surviving worker",
+        ).inc(requeues)
+    if failed:
+        reg.counter(
+            "repro_chunk_failures_total",
+            "Parallel chunks that exhausted their requeue budget",
+        ).inc(len(failed))
+
+    metas = [state[sid]["meta"] for sid in sorted(state)]
+    result = FleetResult(
+        eigenvalues=arrays["eigenvalues"],
+        eigenvectors=arrays["eigenvectors"],
+        converged=arrays["converged"],
+        iterations=arrays["iterations"],
+        sweeps=max((m_["sweeps"] for m_ in metas if m_), default=0),
+        failed=arrays["failed"],
+        shifts=arrays["shifts"],
+        variant=plan.variant,
+        compactions=sum(m_["compactions"] for m_ in metas if m_),
+        tensors=tensors,
+    )
+    info = {
+        "seconds": time.perf_counter() - t_start,
+        "shard_sizes": [len(r) for r in shards],
+        "shard_seconds": [m_["seconds"] if m_ else 0.0 for m_ in metas],
+        "requeues": requeues,
+        "failed_shards": sorted(failed),
+    }
+    return result, info

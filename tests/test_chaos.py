@@ -13,6 +13,7 @@ resumed from its checkpoint — match the uninterrupted run bit-for-bit.
 
 import json
 import os
+import pathlib
 import warnings
 
 import numpy as np
@@ -29,6 +30,7 @@ from repro.resilience import (
 from repro.symtensor.random import random_symmetric_batch, random_symmetric_tensor
 
 CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "20110516"))
+ROOT = pathlib.Path(__file__).resolve().parents[1]
 
 
 @pytest.fixture
@@ -206,3 +208,124 @@ def test_executor_exhausted_chunk_becomes_placeholder():
 def test_injected_crash_is_distinguishable():
     exc = InjectedWorkerCrash("boom")
     assert isinstance(exc, RuntimeError)
+
+
+class TestProcessFleetChaos:
+    """Process-tier crash discipline: killed or crashing workers must
+    requeue their shard (same merged result) and never leak a
+    ``/dev/shm`` segment."""
+
+    @pytest.fixture
+    def fleet_batch(self):
+        return random_symmetric_batch(6, 4, 3,
+                                      rng=np.random.default_rng(CHAOS_SEED))
+
+    @pytest.fixture
+    def fleet_starts(self):
+        from repro.core.multistart import starting_vectors
+
+        return starting_vectors(6, 3, rng=CHAOS_SEED)
+
+    def _solve(self, batch, starts, **kw):
+        from repro.parallel.fleet import parallel_fleet_solve
+
+        return parallel_fleet_solve(batch, starts=starts, alpha=2.0,
+                                    max_iters=200, **kw)
+
+    def test_sigkilled_worker_requeues_no_leak(self, fleet_batch,
+                                               fleet_starts):
+        from repro.parallel.shm import SHM_AVAILABLE, active_segments
+
+        if not SHM_AVAILABLE:
+            pytest.skip("shared_memory unavailable")
+        base = self._solve(fleet_batch, fleet_starts, workers=1)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            rep = self._solve(fleet_batch, fleet_starts, workers=2,
+                              executor="process", faults={0: "kill"})
+        assert any("degraded" in str(w.message) for w in caught)
+        assert rep.requeues >= 1 and rep.failed_shards == []
+        np.testing.assert_array_equal(rep.result.eigenvalues,
+                                      base.result.eigenvalues)
+        np.testing.assert_array_equal(rep.result.converged,
+                                      base.result.converged)
+        assert active_segments() == []
+
+    def test_injected_crash_requeues_no_leak(self, fleet_batch,
+                                             fleet_starts):
+        from repro.parallel.shm import SHM_AVAILABLE, active_segments
+
+        if not SHM_AVAILABLE:
+            pytest.skip("shared_memory unavailable")
+        base = self._solve(fleet_batch, fleet_starts, workers=1)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            rep = self._solve(fleet_batch, fleet_starts, workers=2,
+                              executor="process", faults={1: "crash"})
+        assert any("degraded" in str(w.message) for w in caught)
+        assert rep.requeues >= 1
+        np.testing.assert_array_equal(rep.result.eigenvalues,
+                                      base.result.eigenvalues)
+        assert active_segments() == []
+
+    def test_total_pool_loss_finishes_inline(self, fleet_batch,
+                                             fleet_starts):
+        """Every worker dies: the parent drains the queue and solves the
+        remaining shards itself — degraded, but complete and leak-free."""
+        from repro.parallel.shm import SHM_AVAILABLE, active_segments
+
+        if not SHM_AVAILABLE:
+            pytest.skip("shared_memory unavailable")
+        base = self._solve(fleet_batch, fleet_starts, workers=1)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            rep = self._solve(fleet_batch, fleet_starts, workers=2,
+                              executor="process",
+                              faults={0: "kill", 1: "kill"})
+        assert rep.failed_shards == []
+        np.testing.assert_array_equal(rep.result.eigenvalues,
+                                      base.result.eigenvalues)
+        assert active_segments() == []
+
+    def test_sigint_mid_solve_leaves_no_segments(self, tmp_path):
+        """Ctrl-C during a process-tier solve must still unlink every
+        shared-memory segment (the ``finally`` dispose discipline)."""
+        import signal as _signal
+        import subprocess
+        import sys
+        import time as _time
+
+        from repro.parallel.shm import SHM_AVAILABLE, active_segments
+
+        if not SHM_AVAILABLE:
+            pytest.skip("shared_memory unavailable")
+        assert active_segments() == []
+        script = (
+            "import sys\n"
+            "import numpy as np\n"
+            "from repro.symtensor.random import random_symmetric_batch\n"
+            "from repro.parallel.fleet import parallel_fleet_solve\n"
+            "batch = random_symmetric_batch(32, 4, 6, rng=0)\n"
+            "print('READY', flush=True)\n"
+            "parallel_fleet_solve(batch, workers=2, num_starts=32, rng=1,\n"
+            "                     alpha=6.0, tol=0.0, max_iters=2000,\n"
+            "                     executor='process')\n"
+            "print('FINISHED', flush=True)\n"
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-c", script],
+            stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True,
+            env={**os.environ, "PYTHONPATH": str(ROOT / "src")},
+            cwd=str(ROOT),
+        )
+        try:
+            assert proc.stdout.readline().strip() == "READY"
+            _time.sleep(1.0)  # let publish + worker spawn happen
+            proc.send_signal(_signal.SIGINT)
+            out, _ = proc.communicate(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        # interrupted (no FINISHED) or finished early — either way, clean
+        assert active_segments() == []

@@ -10,16 +10,27 @@ from repro.core.multistart import starting_vectors
 from repro.gpu.device import NEHALEM_2S, CpuSpec
 from repro.parallel.cpumodel import CpuPerfParams, predict_cpu_sshopm, speedup_curve
 from repro.parallel.executor import parallel_multistart_sshopm
-from repro.parallel.partition import chunk_sizes, interleaved_partition, static_partition
+from repro.parallel.partition import (
+    PartitionError,
+    chunk_sizes,
+    cost_weighted_partition,
+    interleaved_partition,
+    static_partition,
+)
 from repro.symtensor.random import random_symmetric_batch
 
 
 class TestPartition:
     @given(st.integers(0, 500), st.integers(1, 16))
     def test_static_covers_everything_once(self, total, workers):
+        if workers > total:
+            with pytest.raises(PartitionError):
+                static_partition(total, workers)
+            return
         ranges = static_partition(total, workers)
         seen = [i for r in ranges for i in r]
         assert seen == list(range(total))
+        assert all(len(r) >= 1 for r in ranges)
 
     @given(st.integers(0, 500), st.integers(1, 16))
     def test_static_balance(self, total, workers):
@@ -40,6 +51,51 @@ class TestPartition:
             chunk_sizes(-1, 3)
         with pytest.raises(ValueError):
             interleaved_partition(5, 0)
+
+    def test_empty_shards_raise_typed_error(self):
+        with pytest.raises(PartitionError, match="clamp workers"):
+            static_partition(3, 5)
+        with pytest.raises(PartitionError):
+            cost_weighted_partition([1.0, 2.0], 3)
+        assert issubclass(PartitionError, ValueError)
+
+
+class TestCostWeightedPartition:
+    @given(
+        st.lists(st.floats(0.0, 1e9, allow_nan=False), min_size=1, max_size=80),
+        st.integers(1, 12),
+    )
+    def test_covers_everything_once_nonempty(self, weights, workers):
+        if workers > len(weights):
+            with pytest.raises(PartitionError):
+                cost_weighted_partition(weights, workers)
+            return
+        parts = cost_weighted_partition(weights, workers)
+        flat = [i for r in parts for i in r]
+        assert flat == list(range(len(weights)))
+        assert all(len(r) >= 1 for r in parts)
+
+    def test_uniform_weights_match_static(self):
+        assert cost_weighted_partition(np.ones(10), 3) == static_partition(10, 3)
+
+    def test_heavy_item_isolated(self):
+        """One dominant item gets its own shard; the rest split the tail."""
+        weights = [100.0, 1.0, 1.0, 1.0, 1.0, 1.0]
+        parts = cost_weighted_partition(weights, 3)
+        assert parts[0] == range(0, 1)
+
+    def test_zero_weights_fall_back_to_static(self):
+        assert cost_weighted_partition(np.zeros(6), 2) == static_partition(6, 2)
+
+    def test_invalid_weights(self):
+        with pytest.raises(ValueError):
+            cost_weighted_partition([[1.0]], 1)
+        with pytest.raises(ValueError):
+            cost_weighted_partition([1.0, -2.0], 1)
+        with pytest.raises(ValueError):
+            cost_weighted_partition([1.0, np.inf], 1)
+        with pytest.raises(ValueError):
+            cost_weighted_partition([1.0], 0)
 
 
 class TestExecutor:

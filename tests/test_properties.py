@@ -2,6 +2,7 @@
 invariants listed in DESIGN.md Section 6."""
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -137,10 +138,31 @@ def test_sshopm_fixed_point_invariant(seed):
 
 @given(st.integers(1, 200), st.integers(1, 12))
 def test_partition_properties(total, workers):
-    from repro.parallel.partition import static_partition
+    from repro.parallel.partition import PartitionError, static_partition
 
+    if workers > total:
+        with pytest.raises(PartitionError):
+            static_partition(total, workers)
+        return
     parts = static_partition(total, workers)
     flat = [i for r in parts for i in r]
     assert flat == list(range(total))
     sizes = [len(r) for r in parts]
     assert max(sizes) - min(sizes) <= 1
+
+
+@given(
+    st.lists(st.floats(0.0, 1e6, allow_nan=False), min_size=1, max_size=64),
+    st.integers(1, 12),
+)
+def test_cost_weighted_partition_properties(weights, workers):
+    from repro.parallel.partition import PartitionError, cost_weighted_partition
+
+    if workers > len(weights):
+        with pytest.raises(PartitionError):
+            cost_weighted_partition(weights, workers)
+        return
+    parts = cost_weighted_partition(weights, workers)
+    flat = [i for r in parts for i in r]
+    assert flat == list(range(len(weights)))
+    assert all(len(r) >= 1 for r in parts)
