@@ -12,11 +12,12 @@ OLD ?= BENCH_old.json
 NEW ?= BENCH_new.json
 THRESHOLD ?= 0.2
 
-.PHONY: test api-check codegen-check smoke-instrument smoke-report chaos bench bench-overhead bench-smoke bench-compare fleet-bench
+.PHONY: test api-check codegen-check smoke-instrument smoke-report chaos bench bench-overhead bench-smoke bench-compare fleet-bench events-check
 
 test: smoke-instrument api-check codegen-check  ## tier-1: instrumentation smoke, then the full suite
 	python -m pytest -x -q
 	$(MAKE) smoke-report
+	$(MAKE) events-check
 	$(MAKE) chaos
 
 api-check:  ## public API must match the checked-in snapshot
@@ -40,6 +41,9 @@ bench:  ## paper reproduction benchmarks (slow)
 
 bench-overhead:  ## assert the <5% disabled-instrumentation budget
 	python -m pytest -q benchmarks/bench_instrument_overhead.py
+
+events-check:  ## event stream: <5% disabled budget + every line schema-valid
+	python -m pytest -q benchmarks/bench_events_overhead.py
 
 fleet-bench:  ## process-vs-thread fleet executor gate (>=2x floor, O(result) IPC)
 	python -m pytest -q benchmarks/bench_process_fleet.py

@@ -1,0 +1,154 @@
+"""Event-stream overhead budget and schema gate (``make events-check``).
+
+The fleet emits events from its hot sites (retirements, compactions,
+plan-cache lookups) through :func:`repro.instrument.events.emit`, which
+with no spool active is one thread-local read returning ``False``.  Same
+budget discipline as ``bench_instrument_overhead.py``: the per-call cost
+of the disabled emit times the number of emit sites a run actually
+executes must stay under 5% of the run's wall time — robust against the
+run-to-run noise of naive A/B timing.
+
+The second half is the integration gate: a small fleet run (process tier
+when shared memory is available, thread tier otherwise) with events
+enabled must produce a spool where every line validates against the
+``repro-fleet-events/1`` schema, and the enabled stream must not blow up
+the runtime either.
+"""
+
+import time
+
+from benchmarks.conftest import format_table, report
+from repro.engine.fleet import fleet_solve
+from repro.instrument.events import (
+    EventSpool,
+    current_spool,
+    emit,
+    read_events,
+    use_spool,
+    validate_event,
+)
+from repro.symtensor.random import random_symmetric_batch
+
+OVERHEAD_BUDGET = 0.05  # disabled emit sites must stay under 5% of runtime
+
+
+def _disabled_emit_cost(reps: int = 200_000) -> float:
+    """Seconds per ``emit(...)`` call with no spool active."""
+    assert current_spool() is None
+    assert emit("retire", converged=0, failed=0, active=1) is False
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        emit("retire", converged=0, failed=0, active=1)
+    t_emit = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        pass
+    t_loop = time.perf_counter() - t0
+    return max(t_emit - t_loop, 0.0) / reps
+
+
+def _workload():
+    # the fleet engine is where the hot emit sites live (retirements,
+    # compactions, plan-cache lookups); compact often to exercise them
+    batch = random_symmetric_batch(64, 4, 3, rng=3)
+    return fleet_solve(batch, num_starts=32, alpha=0.0, tol=1e-8,
+                       max_iters=120, rng=4, compact_every=10)
+
+
+def _emit_sites(path) -> int:
+    """Emit calls an identical run with a spool actually executed."""
+    return len(read_events(path))
+
+
+def test_disabled_emit_overhead_under_budget(tmp_path):
+    _workload()  # warm numpy / kernel caches
+    t0 = time.perf_counter()
+    _workload()
+    t_plain = time.perf_counter() - t0
+
+    ev = tmp_path / "sites.jsonl"
+    with EventSpool.open(ev, rate_cap=None) as spool, use_spool(spool):
+        t0 = time.perf_counter()
+        _workload()
+        t_enabled = time.perf_counter() - t0
+
+    per_emit = _disabled_emit_cost()
+    sites = _emit_sites(ev)
+    est_overhead = per_emit * sites
+    frac = est_overhead / t_plain
+
+    report(
+        "events_overhead",
+        format_table(
+            "Event stream overhead (64 tensors x 32 starts, 120 sweeps)",
+            ["quantity", "value"],
+            [
+                ["plain runtime", f"{t_plain * 1e3:.2f} ms"],
+                ["runtime with spool active", f"{t_enabled * 1e3:.2f} ms"],
+                ["emit sites executed", sites],
+                ["disabled cost per emit", f"{per_emit * 1e9:.0f} ns"],
+                ["estimated disabled overhead", f"{est_overhead * 1e6:.1f} us"],
+                ["fraction of plain runtime", f"{frac:.4%}"],
+                ["budget", f"{OVERHEAD_BUDGET:.0%}"],
+            ],
+        ),
+    )
+    assert frac < OVERHEAD_BUDGET, (
+        f"disabled event-emit overhead {frac:.2%} exceeds "
+        f"{OVERHEAD_BUDGET:.0%} budget ({sites} sites x "
+        f"{per_emit * 1e9:.0f} ns vs {t_plain * 1e3:.1f} ms runtime)"
+    )
+
+
+def test_fleet_events_validate_and_stay_cheap(tmp_path):
+    """A real fleet run with events on: every line must validate, the
+    stream must carry the full lifecycle, and the enabled cost must be
+    bounded (loose 2x tripwire — the stream is a handful of lines per
+    shard against vectorized numpy kernels)."""
+    from repro.parallel.fleet import parallel_fleet_solve
+    from repro.parallel.shm import SHM_AVAILABLE
+
+    executor = "process" if SHM_AVAILABLE else "thread"
+    batch = random_symmetric_batch(8, 4, 3, rng=7)
+
+    def run(events=None):
+        return parallel_fleet_solve(batch, workers=2, num_starts=8, rng=1,
+                                    alpha=0.0, tol=1e-8, max_iters=120,
+                                    executor=executor, events=events)
+
+    run()  # warm workers / kernel caches
+    t0 = time.perf_counter()
+    run()
+    t_plain = time.perf_counter() - t0
+
+    ev = tmp_path / "fleet.jsonl"
+    t0 = time.perf_counter()
+    rep = run(events=str(ev))
+    t_events = time.perf_counter() - t0
+    assert rep.failed_shards == []
+
+    records = read_events(ev)
+    for rec in records:
+        validate_event(rec)
+    evs = {r["ev"] for r in records}
+    assert {"header", "run_start", "shard_start", "shard_finish",
+            "run_finish"} <= evs
+    assert len({r["run"] for r in records}) == 1, "one run id per stream"
+
+    report(
+        "events_fleet_gate",
+        format_table(
+            f"Fleet event stream ({executor} tier, 8 tensors x 8 starts)",
+            ["quantity", "value"],
+            [
+                ["event lines", len(records)],
+                ["event types", len(evs)],
+                ["runtime without events", f"{t_plain * 1e3:.2f} ms"],
+                ["runtime with events", f"{t_events * 1e3:.2f} ms"],
+            ],
+        ),
+    )
+    assert t_events < max(2.0 * t_plain, t_plain + 0.25), (
+        f"events-enabled fleet run took {t_events * 1e3:.1f} ms vs "
+        f"{t_plain * 1e3:.1f} ms without — stream is too expensive"
+    )

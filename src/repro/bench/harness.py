@@ -32,6 +32,7 @@ from repro.bench.schema import BENCH_SCHEMA, validate_bench
 from repro.core.multistart import multistart_sshopm, starting_vectors
 from repro.core.sshopm import sshopm
 from repro.instrument import Recorder, span
+from repro.instrument.events import current_spool, new_run_id, provenance
 from repro.instrument.metrics import use_registry
 from repro.kernels.dispatch import get_kernels
 from repro.parallel.executor import parallel_multistart_sshopm
@@ -225,10 +226,20 @@ def run_smoke(reps: int = 3, include: list[str] | None = None,
             "machine": platform.machine(),
             "reps": reps,
             "backend": backend,
+            # provenance: correlate this bench doc with the event stream /
+            # trace of the run that produced it (schema meta is free-form)
+            "run_id": _run_id(),
+            **provenance(),
         },
         "benchmarks": entries,
     }
     return validate_bench(doc)
+
+
+def _run_id() -> str:
+    """The ambient spool's run id if one is open, else a fresh one."""
+    spool = current_spool()
+    return spool.run_id if spool is not None else new_run_id()
 
 
 def write_bench_file(doc: dict, path: str | Path | None = None) -> Path:

@@ -331,6 +331,13 @@ def _cmd_fleet_solve(args) -> int:
     return 0 if result.converged.any() else 1
 
 
+def _cmd_top(args) -> int:
+    from repro.instrument.top import follow
+
+    return follow(args.events_file, interval=args.interval, once=args.once,
+                  color=False if args.no_color else None)
+
+
 def _cmd_bench_smoke(args) -> int:
     from repro.bench import BenchTimeout, run_smoke, write_bench_file
 
@@ -448,10 +455,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="record an instrumentation trace of the run (JSON; see "
         "repro.instrument) and print the span summary",
     )
-    # also accepted before the subcommand name; separate dest because the
-    # subparser's own --trace default would clobber this one
+    common.add_argument(
+        "--events", metavar="OUT.jsonl", default=None,
+        help="spool typed fleet events to a per-run JSONL file "
+        "(repro.instrument.events); watch it live with `repro top`",
+    )
+    common.add_argument(
+        "--log-level", default=None, metavar="LEVEL",
+        choices=("debug", "info", "warning", "error"),
+        help="enable structured logging at this level (stderr)",
+    )
+    common.add_argument(
+        "--log-json", action="store_true", default=False,
+        help="emit logs as JSON lines (one object per record) instead of "
+        "text; implies --log-level info unless set",
+    )
+    # also accepted before the subcommand name; separate dests because the
+    # subparser's own defaults would clobber these
     parser.add_argument("--trace", dest="trace_global", metavar="OUT.json",
                         default=None, help=argparse.SUPPRESS)
+    parser.add_argument("--events", dest="events_global",
+                        metavar="OUT.jsonl", default=None,
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--log-level", dest="log_level_global", default=None,
+                        choices=("debug", "info", "warning", "error"),
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--log-json", dest="log_json_global",
+                        action="store_true", default=False,
+                        help=argparse.SUPPRESS)
     from repro import __version__
 
     parser.add_argument("--version", action="version",
@@ -637,6 +668,21 @@ def build_parser() -> argparse.ArgumentParser:
                     help="output path (default: stdout)")
     pc.set_defaults(func=_cmd_trace_convert)
 
+    p = add_parser("top", help="live dashboard over a fleet event spool "
+                   "(lane occupancy, per-worker throughput, queue depth, "
+                   "steals, ETA)")
+    p.add_argument("events_file", metavar="EVENTS.jsonl",
+                   help="event spool written via --events / events= "
+                   "(live or completed; completed runs render their final "
+                   "state and exit)")
+    p.add_argument("--interval", type=float, default=1.0, metavar="SECONDS",
+                   help="refresh interval (default 1s)")
+    p.add_argument("--once", action="store_true",
+                   help="render one frame and exit (CI/snapshot mode)")
+    p.add_argument("--no-color", action="store_true",
+                   help="disable ANSI colors even on a tty")
+    p.set_defaults(func=_cmd_top)
+
     p = add_parser("bench-smoke", help="run the smoke benchmark subset, "
                    "write BENCH_<stamp>.json")
     p.add_argument("-o", "--output", default=None,
@@ -664,25 +710,67 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    log_level = (getattr(args, "log_level", None)
+                 or getattr(args, "log_level_global", None))
+    log_json = (getattr(args, "log_json", False)
+                or getattr(args, "log_json_global", False))
+    if log_level or log_json:
+        from repro.instrument.log import configure_logging
+
+        configure_logging(log_level or "info", json_lines=log_json)
     trace = getattr(args, "trace", None) or getattr(args, "trace_global", None)
-    if not trace:
+    events = (getattr(args, "events", None)
+              or getattr(args, "events_global", None))
+    if not trace and not events:
         return args.func(args)
 
+    import contextlib
+
     from repro.instrument import recording
+    from repro.instrument.events import (
+        EventSpool,
+        new_run_id,
+        provenance,
+        use_spool,
+    )
 
-    try:  # fail on an unwritable path now, not after the (long) run
-        with open(trace, "a"):
-            pass
-    except OSError as exc:
-        print(f"error: cannot write trace file {trace}: {exc}", file=sys.stderr)
-        return 2
+    for label, path in (("trace", trace), ("events", events)):
+        if not path:
+            continue
+        try:  # fail on an unwritable path now, not after the (long) run
+            with open(path, "a"):
+                pass
+        except OSError as exc:
+            print(f"error: cannot write {label} file {path}: {exc}",
+                  file=sys.stderr)
+            return 2
 
-    with recording(meta={"command": args.command, "argv": list(argv or sys.argv[1:])}) as rec:
-        with rec.span(f"repro {args.command}"):
+    # one run id joins the trace, the event spool, and the logs
+    run_id = new_run_id()
+    rec = None
+    with contextlib.ExitStack() as stack:
+        from repro.instrument.log import log_context
+
+        stack.enter_context(log_context(run=run_id))
+        if events:
+            spool = stack.enter_context(
+                EventSpool.open(events, run_id=run_id))
+            stack.enter_context(use_spool(spool))
+        if trace:
+            meta = {"command": args.command,
+                    "argv": list(argv or sys.argv[1:]),
+                    "run_id": run_id, **provenance()}
+            rec = stack.enter_context(recording(meta=meta))
+            with rec.span(f"repro {args.command}"):
+                status = args.func(args)
+        else:
             status = args.func(args)
-    rec.save_trace(trace)
-    print(f"\ntrace written to {trace}")
-    print(rec.report())
+    if rec is not None:
+        rec.save_trace(trace)
+        print(f"\ntrace written to {trace}")
+        print(rec.report())
+    if events:
+        print(f"events written to {events} (view: repro top {events} --once)")
     return status
 
 

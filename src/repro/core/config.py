@@ -64,6 +64,10 @@ class SolveConfig:
         ``"thread"``, ``"process"`` (zero-copy shared-memory worker
         processes), or ``"auto"`` (communication-cost-model pick; see
         :mod:`repro.parallel.comm`).
+    events : path of a per-run JSONL event spool the fleet drivers
+        append typed operational events to
+        (:mod:`repro.instrument.events`; rendered live by
+        ``repro top``).  ``None`` (default) disables event emission.
     """
 
     alpha: float | None = None
@@ -79,6 +83,7 @@ class SolveConfig:
     guards: Any = None
     retry: Any = None
     executor: str | None = None
+    events: str | None = None
 
     def replace(self, **changes) -> "SolveConfig":
         """A copy with the given fields changed (dataclass ``replace``)."""

@@ -33,6 +33,7 @@ from repro.core.multistart import starting_vectors
 from repro.core.results import FleetResult
 from repro.instrument import current_recorder, gauge as _gauge
 from repro.instrument import span as _span
+from repro.instrument.events import emit as _emit
 from repro.instrument.metrics import (
     observe_fleet_compaction,
     observe_solver_run,
@@ -395,8 +396,16 @@ def fleet_solve(
                 if retired.any():
                     guard.retire(sweeps, int(just_conv.sum()), int(dead.sum()))
                     live &= ~retired
-                    guard.check_collapse(sweeps, telemetry=tel,
-                                         details={"lanes": L, "sweep": sweeps})
+                    _emit("retire", converged=int(just_conv.sum()),
+                          failed=int(dead.sum()), active=int(live.sum()),
+                          sweep=sweeps)
+                    try:
+                        guard.check_collapse(
+                            sweeps, telemetry=tel,
+                            details={"lanes": L, "sweep": sweeps})
+                    except Exception:
+                        _emit("guard_trip", reason="collapse", sweep=sweeps)
+                        raise
 
                 if sweeps % compact_every == 0 and not live.all():
                     with _span("compact"):
@@ -413,6 +422,8 @@ def fleet_solve(
                         live = np.ones(idx.shape[0], dtype=bool)
                     compactions += 1
                     observe_fleet_compaction(idx.shape[0], L)
+                    _emit("compact", active=int(idx.shape[0]), total=L,
+                          sweep=sweeps)
 
         # lanes that ran out of iterations: record their current state
         if live.any():

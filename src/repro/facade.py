@@ -257,17 +257,44 @@ def solve(
             result, extra = report.result, report
         else:
             from repro.engine.fleet import fleet_solve
+            from repro.instrument.events import (
+                EventSpool,
+                current_spool,
+                use_spool,
+            )
 
             # executor-tier options are meaningless without sharding
             for key in ("executor", "steal", "start_method"):
                 fleet_opts.pop(key, None)
+            # the engine takes no events= keyword; the facade opens the
+            # spool so engine-level events (retirements, compactions,
+            # plan-cache traffic) still stream for single-shard runs
+            events_path = fleet_opts.pop("events", None)
+            if events_path is None and config is not None:
+                events_path = config.events
             kwargs = dict(
                 starts=explicit, rng=rng, adaptive=adaptive,
                 **common, **fleet_opts,
             )
             if count is not None and explicit is None:
                 kwargs["num_starts"] = count
-            result = fleet_solve(batch, **kwargs)
+            if events_path and current_spool() is None:
+                T = len(batch)
+                V = count if count is not None else (
+                    1 if explicit is None or explicit.ndim == 1
+                    else explicit.shape[0])
+                with EventSpool.open(events_path, src="parent") as spool, \
+                        use_spool(spool):
+                    spool.emit("run_start", tensors=T, lanes=T * V,
+                               workers=1, shards=1, executor="inline",
+                               ranges=[[0, T]], starts_per_tensor=V)
+                    t_run = time.perf_counter()
+                    result = fleet_solve(batch, **kwargs)
+                    spool.emit("run_finish",
+                               seconds=time.perf_counter() - t_run,
+                               requeues=0, failed=0)
+            else:
+                result = fleet_solve(batch, **kwargs)
     seconds = time.perf_counter() - t0
 
     return SolveReport(

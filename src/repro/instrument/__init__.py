@@ -16,11 +16,27 @@ The CLI exposes the same machinery as a global flag::
     repro detect phantom.npz --starts 128 --trace out.json
 """
 
+from repro.instrument.events import (
+    EVENTS_SCHEMA,
+    EventSpool,
+    current_spool,
+    emit,
+    new_run_id,
+    read_events,
+    use_spool,
+    validate_event,
+)
 from repro.instrument.export import (
     chrome_trace,
     convert_trace,
     jsonl_events,
     prometheus_text,
+)
+from repro.instrument.log import (
+    JSONLogFormatter,
+    configure_logging,
+    get_logger,
+    log_context,
 )
 from repro.instrument.kernels import instrumented_pair, kernel_cost_model
 from repro.instrument.metrics import (
@@ -47,28 +63,40 @@ from repro.instrument.recorder import (
 from repro.instrument.telemetry import ConvergenceTelemetry
 
 __all__ = [
+    "EVENTS_SCHEMA",
     "ConvergenceTelemetry",
     "Counter",
+    "EventSpool",
     "Gauge",
     "Histogram",
+    "JSONLogFormatter",
     "MetricsRegistry",
     "P2Quantile",
     "Recorder",
     "RecorderFlopCounter",
     "SpanNode",
     "chrome_trace",
+    "configure_logging",
     "convert_trace",
     "count",
     "current_recorder",
+    "current_spool",
     "default_registry",
+    "emit",
     "gauge",
+    "get_logger",
     "get_registry",
     "instrumented_pair",
     "jsonl_events",
     "kernel_cost_model",
     "load_trace",
+    "log_context",
+    "new_run_id",
     "prometheus_text",
+    "read_events",
     "recording",
     "span",
     "use_registry",
+    "use_spool",
+    "validate_event",
 ]

@@ -1,0 +1,151 @@
+"""Structured logging with run/shard/worker correlation fields.
+
+Everything here is stdlib ``logging`` — no new dependencies, no global
+side effects beyond a ``NullHandler`` on the ``"repro"`` root (so library
+use never prints or warns about unconfigured logging).  The additions
+over bare ``logging``:
+
+* :func:`get_logger` returns an adapter whose calls accept a ``fields=``
+  dict merged with the ambient :func:`log_context` — the correlation
+  fields (``run``, ``worker``, ``shard``) ride on the record instead of
+  being string-formatted into the message;
+* :class:`JSONLogFormatter` renders each record as one JSON object per
+  line, joinable with the event spool and trace on ``run``;
+* :func:`configure_logging` is the single idempotent entry point the CLI
+  maps ``--log-level`` / ``--log-json`` onto.
+
+The operational warning surface (``warnings.warn`` on degraded mode,
+clamping, fallbacks) is intentionally *kept*: warnings are the one-shot,
+caller-blamed API contract callers filter on.  Structured logs run
+alongside them as the machine-readable operational record.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import logging
+import threading
+
+__all__ = [
+    "JSONLogFormatter",
+    "TextLogFormatter",
+    "configure_logging",
+    "get_logger",
+    "log_context",
+]
+
+#: Root logger name every repro module logs beneath.
+ROOT_LOGGER = "repro"
+
+_TLS = threading.local()
+
+# library default: silent until the application configures a handler
+logging.getLogger(ROOT_LOGGER).addHandler(logging.NullHandler())
+
+
+def _context() -> dict:
+    stack = getattr(_TLS, "stack", None)
+    return stack[-1] if stack else {}
+
+
+@contextlib.contextmanager
+def log_context(**fields):
+    """Attach correlation fields to every log record in this thread.
+
+    Contexts nest — inner fields shadow outer ones::
+
+        with log_context(run=run_id, worker="w3"):
+            log.info("claimed", fields={"shard": sid})
+            # -> {"msg": "claimed", "run": ..., "worker": "w3", "shard": 4}
+    """
+    stack = getattr(_TLS, "stack", None)
+    if stack is None:
+        stack = _TLS.stack = []
+    merged = {**(stack[-1] if stack else {}), **fields}
+    stack.append(merged)
+    try:
+        yield
+    finally:
+        stack.pop()
+
+
+class _FieldsAdapter(logging.LoggerAdapter):
+    """Merge ambient :func:`log_context` with per-call ``fields=``."""
+
+    def process(self, msg, kwargs):
+        fields = {**_context(), **(kwargs.pop("fields", None) or {})}
+        extra = kwargs.setdefault("extra", {})
+        extra["repro_fields"] = fields
+        return msg, kwargs
+
+
+def get_logger(name: str) -> logging.LoggerAdapter:
+    """A structured logger under the ``repro`` hierarchy.
+
+    ``name`` is the module-ish suffix (``"parallel.procfleet"``); calls
+    accept an optional ``fields=`` dict of correlation values.
+    """
+    return _FieldsAdapter(logging.getLogger(f"{ROOT_LOGGER}.{name}"), {})
+
+
+class JSONLogFormatter(logging.Formatter):
+    """One JSON object per record: ``t``/``level``/``logger``/``msg``
+    plus the merged correlation fields."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        doc = {
+            "t": record.created,
+            "level": record.levelname,
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        doc.update(getattr(record, "repro_fields", None) or {})
+        if record.exc_info:
+            doc["exc"] = self.formatException(record.exc_info)
+        return json.dumps(doc, separators=(",", ":"), default=str)
+
+
+class TextLogFormatter(logging.Formatter):
+    """Human-readable line with correlation fields as ``key=value``."""
+
+    def __init__(self):
+        super().__init__("%(asctime)s %(levelname)-7s %(name)s %(message)s")
+
+    def format(self, record: logging.LogRecord) -> str:
+        base = super().format(record)
+        fields = getattr(record, "repro_fields", None)
+        if fields:
+            tail = " ".join(f"{k}={v}" for k, v in fields.items())
+            return f"{base} [{tail}]"
+        return base
+
+
+def configure_logging(level: str | int = "info", *,
+                      json_lines: bool = False,
+                      stream=None) -> logging.Logger:
+    """Configure the ``repro`` logger tree (idempotent).
+
+    Installs one stream handler (default ``sys.stderr``) with either the
+    JSON-lines or the text formatter, replacing any handler a previous
+    call installed — repeated CLI invocations in one process never stack
+    duplicate handlers.  Returns the configured root.
+    """
+    if isinstance(level, str):
+        resolved = logging.getLevelName(level.upper())
+        if not isinstance(resolved, int):
+            raise ValueError(f"unknown log level {level!r}")
+        level = resolved
+    root = logging.getLogger(ROOT_LOGGER)
+    root.setLevel(level)
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_configured", False):
+            root.removeHandler(handler)
+            handler.close()
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(JSONLogFormatter() if json_lines
+                         else TextLogFormatter())
+    handler._repro_configured = True
+    root.addHandler(handler)
+    root.propagate = False
+    return root

@@ -1,0 +1,313 @@
+"""``repro top`` — a live terminal dashboard over a fleet event spool.
+
+Pure stdlib + ANSI: :func:`aggregate` folds the typed event stream
+(:mod:`repro.instrument.events`) into a :class:`FleetTopView`,
+:func:`render` draws it as a fixed-layout text screen, and
+:func:`follow` re-reads + redraws on an interval until the run's
+``run_finish`` event lands (or forever, for a hung run, until ^C).
+
+The same code path serves three modes:
+
+* **live** — ``repro top events.jsonl`` while a fleet runs elsewhere;
+* **snapshot** — ``--once`` renders the current state and exits
+  (CI-friendly: no cursor tricks, plain text);
+* **replay** — pointing at a completed run's file renders its final
+  state and exits immediately (``run_finish`` is present).
+
+Everything shown is derived from the spool alone, so the dashboard works
+on any machine that can read the file — no IPC with the fleet.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass, field
+
+from repro.instrument.events import read_events, validate_event
+
+__all__ = ["FleetTopView", "WorkerRow", "aggregate", "follow", "render"]
+
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+@dataclass
+class WorkerRow:
+    """Per-source (``w0``/``t1``/``parent``) rollup of shard activity."""
+
+    src: str
+    pid: int | None = None
+    started: int = 0
+    finished: int = 0
+    steals: int = 0
+    seconds: float = 0.0
+    lanes: int = 0
+    sweeps: int = 0
+    exited: bool = False
+    current_shard: int | None = None
+
+    def lanes_per_second(self) -> float:
+        return self.lanes / self.seconds if self.seconds > 0 else 0.0
+
+
+@dataclass
+class FleetTopView:
+    """Everything :func:`render` needs, folded out of one event pass."""
+
+    run_id: str = "?"
+    host: str = "?"
+    version: str = "?"
+    executor: str = "?"
+    workers_expected: int = 0
+    tensors: int = 0
+    lanes_total: int = 0
+    shards_total: int = 0
+    t_first: float = 0.0
+    t_last: float = 0.0
+    started: int = 0           # shard_start events (claims, incl. retries)
+    finished: int = 0          # distinct shards finished
+    writeoffs: int = 0
+    requeues: int = 0
+    steals: int = 0
+    guard_trips: int = 0
+    lanes_converged: int = 0
+    lanes_failed: int = 0
+    plan_hits: int = 0
+    plan_misses: int = 0
+    dropped: int = 0           # decimation casualties
+    lines: int = 0
+    invalid: int = 0           # lines failing schema validation
+    run_finished: bool = False
+    run_seconds: float = 0.0
+    workers: dict = field(default_factory=dict)   # src -> WorkerRow
+    shard_state: dict = field(default_factory=dict)  # sid -> state str
+    shard_lanes: dict = field(default_factory=dict)  # sid -> lane count
+
+    def queue_depth(self) -> int:
+        """Shards currently waiting for a worker."""
+        queued = sum(1 for s in self.shard_state.values() if s == "queued")
+        return queued
+
+    def in_flight(self) -> int:
+        return sum(1 for s in self.shard_state.values() if s == "running")
+
+    def lanes_active(self) -> int:
+        retired = self.lanes_converged + self.lanes_failed
+        return max(0, self.lanes_total - retired)
+
+    def eta_seconds(self) -> float | None:
+        """Remaining shards x mean shard seconds / live workers."""
+        if self.run_finished or not self.shards_total:
+            return None
+        remaining = sum(1 for s in self.shard_state.values()
+                        if s in ("queued", "running"))
+        if remaining == 0 or self.finished == 0:
+            return None
+        done_seconds = sum(r.seconds for r in self.workers.values())
+        mean = done_seconds / self.finished
+        live = sum(1 for r in self.workers.values()
+                   if not r.exited and r.src != "parent") or 1
+        return remaining * mean / live
+
+
+def aggregate(records: list[dict]) -> FleetTopView:
+    """Fold an event list (file order) into a :class:`FleetTopView`.
+
+    Unknown event types and schema-invalid lines are counted in
+    ``invalid`` and skipped — a newer writer must not crash an older
+    dashboard.
+    """
+    view = FleetTopView()
+    starts_per_tensor = 0
+    for rec in records:
+        try:
+            validate_event(rec)
+        except ValueError:
+            view.invalid += 1
+            continue
+        view.lines += 1
+        t = float(rec["t"])
+        if not view.t_first:
+            view.t_first = t
+        view.t_last = max(view.t_last, t)
+        src = rec["src"]
+        ev = rec["ev"]
+        row = view.workers.get(src)
+        if row is None:
+            row = view.workers[src] = WorkerRow(src=src)
+        if ev == "header":
+            view.run_id = rec["run"]
+            view.host = rec["host"]
+            view.version = rec["version"]
+        elif ev == "run_start":
+            view.executor = rec["executor"]
+            view.workers_expected = rec["workers"]
+            view.tensors = rec["tensors"]
+            view.lanes_total = rec["lanes"]
+            view.shards_total = rec["shards"]
+            if view.tensors:
+                starts_per_tensor = view.lanes_total // view.tensors
+            for sid, (lo, hi) in enumerate(rec.get("ranges", [])):
+                view.shard_state[sid] = "queued"
+                view.shard_lanes[sid] = (hi - lo) * starts_per_tensor
+            for sid in range(view.shards_total):
+                view.shard_state.setdefault(sid, "queued")
+        elif ev == "run_finish":
+            view.run_finished = True
+            view.run_seconds = rec["seconds"]
+        elif ev == "worker_start":
+            row.pid = rec["pid"]
+        elif ev == "worker_exit":
+            row.exited = True
+            row.current_shard = None
+        elif ev == "shard_start":
+            sid = rec["shard"]
+            view.started += 1
+            row.started += 1
+            row.current_shard = sid
+            view.shard_state[sid] = "running"
+            view.shard_lanes.setdefault(
+                sid, (rec["hi"] - rec["lo"]) * starts_per_tensor)
+        elif ev == "shard_finish":
+            sid = rec["shard"]
+            if view.shard_state.get(sid) != "done":
+                view.finished += 1
+            view.shard_state[sid] = "done"
+            row.finished += 1
+            row.seconds += rec["seconds"]
+            row.sweeps += rec["sweeps"]
+            row.lanes += view.shard_lanes.get(sid, 0)
+            if row.current_shard == sid:
+                row.current_shard = None
+        elif ev == "steal":
+            view.steals += 1
+            row.steals += 1
+        elif ev == "requeue":
+            view.requeues += 1
+            view.shard_state[rec["shard"]] = "queued"
+        elif ev == "writeoff":
+            view.writeoffs += 1
+            view.shard_state[rec["shard"]] = "failed"
+        elif ev == "retire":
+            view.lanes_converged += rec["converged"]
+            view.lanes_failed += rec["failed"]
+        elif ev == "guard_trip":
+            view.guard_trips += 1
+        elif ev == "plan_cache":
+            if rec["outcome"] == "hit":
+                view.plan_hits += 1
+            else:
+                view.plan_misses += 1
+        elif ev == "decimated":
+            view.dropped += rec["dropped"]
+        # "compact" carries no dashboard state beyond retire's counters
+    return view
+
+
+def _bar(frac: float, width: int = 40) -> str:
+    frac = min(1.0, max(0.0, frac))
+    filled = round(frac * width)
+    return "#" * filled + "." * (width - filled)
+
+
+def _mmss(seconds: float) -> str:
+    seconds = max(0, int(seconds))
+    return f"{seconds // 60:02d}:{seconds % 60:02d}"
+
+
+def render(view: FleetTopView, *, color: bool = False) -> str:
+    """Draw one dashboard frame as plain text (ANSI color optional)."""
+
+    def c(code: str, s: str) -> str:
+        return f"\x1b[{code}m{s}\x1b[0m" if color else s
+
+    state = (c("32", "FINISHED") if view.run_finished
+             else c("33", "RUNNING"))
+    elapsed = (view.run_seconds if view.run_finished
+               else view.t_last - view.t_first)
+    lines = [
+        f"repro top — run {c('1', view.run_id)} on {view.host} "
+        f"(v{view.version})  [{state} {_mmss(elapsed)}]",
+        f"executor {view.executor} · {view.workers_expected} workers · "
+        f"{view.shards_total} shards · {view.tensors} tensors · "
+        f"{view.lanes_total} lanes",
+        "",
+    ]
+    if view.lanes_total:
+        active = view.lanes_active()
+        occupancy = active / view.lanes_total
+        lines.append(
+            f"lanes    [{_bar(occupancy)}] {active}/{view.lanes_total} "
+            f"active · {view.lanes_converged} converged · "
+            f"{view.lanes_failed} failed")
+    lines.append(
+        f"shards   done {view.finished}/{view.shards_total} · "
+        f"running {view.in_flight()} · queued {view.queue_depth()} · "
+        f"requeues {view.requeues} · writeoffs {view.writeoffs} · "
+        f"steals {view.steals}")
+    eta = view.eta_seconds()
+    if eta is not None:
+        lines.append(f"eta      ~{_mmss(eta)}")
+    lines.append("")
+    lines.append("  src      pid      shards  steals  lanes/s  busy-s  state")
+    workers = [r for src, r in sorted(view.workers.items())
+               if r.started or r.finished or r.pid is not None]
+    for row in workers:
+        if row.exited:
+            st = "exited"
+        elif row.current_shard is not None:
+            st = f"running shard {row.current_shard}"
+        else:
+            st = "idle"
+        lines.append(
+            f"  {row.src:<8} {row.pid or '-':<8} {row.finished:<7} "
+            f"{row.steals:<7} {row.lanes_per_second():<8.1f} "
+            f"{row.seconds:<7.2f} {st}")
+    if not workers:
+        lines.append("  (no worker activity yet)")
+    lines.append("")
+    tail = (f"events   {view.lines} lines · {view.dropped} dropped "
+            f"(decimation) · plan cache {view.plan_hits} hit / "
+            f"{view.plan_misses} miss")
+    if view.guard_trips:
+        tail += f" · {c('31', f'{view.guard_trips} guard trips')}"
+    if view.invalid:
+        tail += f" · {view.invalid} invalid lines"
+    lines.append(tail)
+    return "\n".join(lines)
+
+
+def follow(path, *, interval: float = 1.0, once: bool = False,
+           stream=None, color: bool | None = None,
+           max_frames: int | None = None) -> int:
+    """Tail ``path`` and redraw until the run finishes.
+
+    ``once`` renders a single frame (no screen clearing) — the CI /
+    snapshot mode; it exits 0 if the run finished and 1 if the file
+    shows a run still (or forever) in flight, so a pipeline can gate on
+    completion.  A completed run (``run_finish`` in the file) renders
+    its final state and returns immediately.  ``max_frames`` bounds the
+    loop for tests.  Returns a process exit code (2: unreadable file).
+    """
+    stream = stream or sys.stdout
+    if color is None:
+        color = bool(getattr(stream, "isatty", lambda: False)())
+    frames = 0
+    while True:
+        try:
+            records = read_events(path)
+        except OSError as exc:
+            print(f"repro top: cannot read {path}: {exc}", file=stream)
+            return 2
+        view = aggregate(records)
+        frame = render(view, color=color)
+        if once:
+            print(frame, file=stream)
+            return 0 if view.run_finished else 1
+        print(_CLEAR + frame, file=stream, flush=True)
+        frames += 1
+        if view.run_finished:
+            return 0
+        if max_frames is not None and frames >= max_frames:
+            return 0
+        time.sleep(interval)

@@ -334,6 +334,7 @@ class PlanCache:
             backend: str = "numpy") -> KernelPlan:
         """The cached plan for ``(m, n, variant, backend)``, building it
         (and consulting the persistent disk cache) on a miss."""
+        from repro.instrument.events import emit as _emit
         from repro.instrument.metrics import observe_plan_cache
 
         m, n = int(m), int(n)
@@ -346,6 +347,8 @@ class PlanCache:
                 self._plans.move_to_end(key)
                 self.hits += 1
                 observe_plan_cache("hit")
+                _emit("plan_cache", outcome="hit", m=m, n=n,
+                      variant=canonical, backend=canonical_backend)
                 return plan
         # build outside the lock: plans are immutable, so a racing double
         # build wastes a little work but is correct
@@ -353,6 +356,8 @@ class PlanCache:
         with self._lock:
             self.misses += 1
             observe_plan_cache("miss")
+            _emit("plan_cache", outcome="miss", m=m, n=n,
+                  variant=canonical, backend=canonical_backend)
             self._plans[key] = plan
             self._plans.move_to_end(key)
             while len(self._plans) > self.maxsize:

@@ -44,11 +44,14 @@ from repro.core.config import SolveConfig, reconcile_max_iters
 from repro.core.multistart import MultistartResult, multistart_sshopm, starting_vectors
 from repro.instrument import Recorder, current_recorder
 from repro.instrument import span as _span
+from repro.instrument.log import get_logger
 from repro.instrument.metrics import MetricsRegistry, get_registry, use_registry
 from repro.parallel.partition import static_partition
 from repro.symtensor.storage import SymmetricTensorBatch
 
 __all__ = ["ChunkFailure", "ParallelRunReport", "parallel_multistart_sshopm"]
+
+_log = get_logger("parallel.executor")
 
 
 @dataclass(frozen=True)
@@ -214,6 +217,11 @@ def parallel_multistart_sshopm(
                             RuntimeWarning,
                             stacklevel=2,
                         )
+                    _log.warning(
+                        "worker task crashed",
+                        fields={"chunk": chunk_index, "attempt": attempt,
+                                "error": f"{type(error).__name__}: {error}",
+                                "requeues_left": requeues_left})
                     if requeues_left > 0:
                         requeues += 1
                         fut = pool.submit(solve_chunk, chunk_index,

@@ -29,10 +29,19 @@ is bit-for-bit the single-worker fleet result.  Shards are cut by
 per-tensor kernel-plan flop estimates; worker counts exceeding the batch
 size are clamped with a warning (the partition itself refuses empty
 shards with a typed :class:`~repro.parallel.partition.PartitionError`).
+
+Observability: both tiers feed one coherent trace — thread workers'
+recorders are absorbed directly, process workers serialize their span
+trees through the result queue and the parent stitches them under
+``workerN`` (see ``FleetRunReport.workers_traced``) — and both tiers
+spool typed events (``events=`` or an ambient
+:func:`~repro.instrument.events.use_spool`) that ``repro top`` renders
+live.  See ``docs/events.md``.
 """
 
 from __future__ import annotations
 
+import contextlib
 import time
 import warnings
 from dataclasses import dataclass, field
@@ -44,6 +53,13 @@ from repro.core.multistart import starting_vectors
 from repro.core.results import FleetResult
 from repro.instrument import Recorder, current_recorder
 from repro.instrument import span as _span
+from repro.instrument.events import (
+    EventSpool,
+    current_spool,
+    emit as _emit,
+    use_spool,
+)
+from repro.instrument.log import get_logger
 from repro.instrument.metrics import MetricsRegistry, get_registry, use_registry
 from repro.parallel.comm import EXECUTORS, choose_executor, estimate_fleet_comm
 from repro.parallel.partition import cost_weighted_partition
@@ -66,6 +82,8 @@ STEAL_IMBALANCE_THRESHOLD = 1.25
 #: worker whose tensors converge early keeps pulling work.
 STEAL_SPLIT_FACTOR = 4
 
+_log = get_logger("parallel.fleet")
+
 
 @dataclass
 class FleetRunReport:
@@ -77,6 +95,10 @@ class FleetRunReport:
     ``executor`` is the tier that actually ran (``"auto"`` resolves
     before execution); ``requeues``/``failed_shards`` mirror the hardened
     thread executor's crash accounting for the process tier.
+    ``workers_traced`` counts the worker span subtrees stitched into the
+    caller's trace (0 when tracing was off or the run was a degenerate
+    single shard; for the process tier a worker SIGKILLed before sending
+    its exit message cannot be counted).
     """
 
     result: FleetResult
@@ -87,6 +109,7 @@ class FleetRunReport:
     executor: str = "thread"
     requeues: int = 0
     failed_shards: list[int] = field(default_factory=list)
+    workers_traced: int = 0
 
     def imbalance(self) -> float:
         """Load imbalance of the run: max/mean of ``shard_seconds``.
@@ -114,6 +137,40 @@ def _shard_weights(tensors: SymmetricTensorBatch, num_starts: int) -> np.ndarray
     return np.full(len(tensors), 2.0 * tensors.m * U * num_starts)
 
 
+def _stitch_worker_traces(parent: Recorder, traces: dict,
+                          *, stacklevel: int = 4) -> int:
+    """Absorb per-worker span payloads under ``workerN``; returns the
+    count stitched.
+
+    A payload that fails to deserialize is discarded with a single
+    caller-blamed :class:`RuntimeWarning` (never silently) — the other
+    workers' subtrees still land, so one corrupt pickle degrades the
+    trace instead of voiding it.
+    """
+    stitched = 0
+    warned = False
+    for wid in sorted(traces):
+        doc = traces[wid]
+        if doc is None:
+            continue
+        try:
+            rec = Recorder.from_dict(doc)
+        except Exception as exc:
+            if not warned:
+                warned = True
+                warnings.warn(
+                    f"discarding undecodable span payload from fleet "
+                    f"worker {wid} ({exc}); its subtree is missing from "
+                    f"the stitched trace",
+                    RuntimeWarning, stacklevel=stacklevel)
+            _log.warning("undecodable worker span payload",
+                         fields={"worker": wid, "error": str(exc)})
+            continue
+        parent.absorb(rec, under=f"worker{wid}")
+        stitched += 1
+    return stitched
+
+
 def parallel_fleet_solve(
     tensors: SymmetricTensorBatch,
     workers: int = 1,
@@ -137,6 +194,7 @@ def parallel_fleet_solve(
     start_method: str | None = None,
     max_requeues: int = 2,
     faults: dict | None = None,
+    events: str | None = None,
 ) -> FleetRunReport:
     """Shard ``tensors`` over ``workers``, one fleet per shard.
 
@@ -159,6 +217,12 @@ def parallel_fleet_solve(
     max_requeues / faults : crash budget and chaos injection for the
         process tier (``faults`` maps shard id → ``"crash"``/``"kill"``),
         mirroring the hardened thread executor.
+    events : path of a per-run JSONL event spool
+        (:mod:`repro.instrument.events`; also settable via
+        ``SolveConfig.events``).  Ignored when a spool is already active
+        via :func:`~repro.instrument.events.use_spool` — the ambient
+        spool wins, so one CLI-opened spool covers nested solves.
+        ``repro top <path>`` renders the stream live.
     """
     from repro.engine.fleet import fleet_solve
 
@@ -197,100 +261,131 @@ def parallel_fleet_solve(
 
     parent = current_recorder()
     t0 = time.perf_counter()
+    V = starts.shape[0]
 
-    if workers == 1 or T == 1:
-        # degenerate single shard: run inline, skip any pool
-        res = fleet_solve(
-            tensors, alpha=alpha, tol=tol, max_iters=max_iters,
-            starts=starts, variant=variant, backend=backend, dtype=dtype,
-            config=config,
-            adaptive=adaptive, compact_every=compact_every, guards=guards,
+    with contextlib.ExitStack() as _stack:
+        spool = current_spool()
+        if spool is None:
+            events_path = resolve_option("events", events, config, None)
+            if events_path:
+                spool = _stack.enter_context(
+                    EventSpool.open(events_path, src="parent"))
+                _stack.enter_context(use_spool(spool))
+
+        if workers == 1 or T == 1:
+            # degenerate single shard: run inline, skip any pool
+            _emit("run_start", tensors=T, lanes=T * V, workers=1, shards=1,
+                  executor="inline", ranges=[[0, T]])
+            _emit("shard_start", shard=0, lo=0, hi=T)
+            res = fleet_solve(
+                tensors, alpha=alpha, tol=tol, max_iters=max_iters,
+                starts=starts, variant=variant, backend=backend, dtype=dtype,
+                config=config,
+                adaptive=adaptive, compact_every=compact_every, guards=guards,
+            )
+            elapsed = time.perf_counter() - t0
+            _emit("shard_finish", shard=0, seconds=elapsed, sweeps=res.sweeps)
+            _emit("run_finish", seconds=elapsed, requeues=0, failed=0)
+            return FleetRunReport(
+                result=res, workers=1, seconds=elapsed,
+                shard_sizes=[T], shard_seconds=[elapsed], executor=executor,
+            )
+
+        if executor == "process":
+            return _process_tier(
+                tensors, workers, starts, weights, alpha=alpha, tol=tol,
+                max_iters=max_iters, variant=variant, backend=backend,
+                dtype=dtype, config=config, adaptive=adaptive,
+                compact_every=compact_every, guards=guards, steal=steal,
+                start_method=start_method, max_requeues=max_requeues,
+                faults=faults, parent=parent, t0=t0)
+
+        ranges = cost_weighted_partition(weights, workers)
+        _emit("run_start", tensors=T, lanes=T * V, workers=len(ranges),
+              shards=len(ranges), executor="thread",
+              ranges=[[r.start, r.stop] for r in ranges])
+
+        def solve_shard(item):
+            wid, r = item
+            worker_reg = MetricsRegistry()
+            worker_rec = Recorder() if parent is not None else None
+            worker_spool = spool.bound(f"t{wid}") if spool is not None else None
+            shard = tensors.subset(np.arange(r.start, r.stop))
+            ts = time.perf_counter()
+            with use_registry(worker_reg), use_spool(worker_spool):
+                _emit("shard_start", shard=wid, lo=r.start, hi=r.stop)
+
+                def run():
+                    return fleet_solve(
+                        shard,
+                        alpha=alpha,
+                        tol=tol,
+                        max_iters=max_iters,
+                        starts=starts,
+                        variant=variant,
+                        backend=backend,
+                        dtype=dtype,
+                        config=config,
+                        adaptive=adaptive,
+                        compact_every=compact_every,
+                        guards=guards,
+                    )
+
+                if worker_rec is not None:
+                    with worker_rec.activate():
+                        res = run()
+                else:
+                    res = run()
+                seconds = time.perf_counter() - ts
+                _emit("shard_finish", shard=wid, seconds=seconds,
+                      sweeps=res.sweeps)
+            return res, worker_rec, worker_reg, seconds
+
+        workers_traced = 0
+        with _span("parallel_fleet_solve"):
+            from concurrent.futures import ThreadPoolExecutor
+
+            with ThreadPoolExecutor(max_workers=len(ranges)) as pool:
+                outs = list(pool.map(solve_shard, enumerate(ranges)))
+
+            caller_reg = get_registry()
+            if parent is not None:
+                parent.gauge("parallel.workers", len(ranges))
+                parent.gauge("parallel.executor", "thread")
+                parent.gauge("parallel.shard_sizes", [len(r) for r in ranges])
+                for wid, (_, worker_rec, _, _) in enumerate(outs):
+                    if worker_rec is not None:
+                        parent.absorb(worker_rec, under=f"worker{wid}")
+                        workers_traced += 1
+            for _, _, worker_reg, _ in outs:
+                caller_reg.merge(worker_reg)
+
+        parts = [o[0] for o in outs]
+        merged = FleetResult(
+            eigenvalues=np.concatenate([p.eigenvalues for p in parts], axis=0),
+            eigenvectors=np.concatenate([p.eigenvectors for p in parts], axis=0),
+            converged=np.concatenate([p.converged for p in parts], axis=0),
+            iterations=np.concatenate([p.iterations for p in parts], axis=0),
+            sweeps=max(p.sweeps for p in parts),
+            failed=np.concatenate([p.failed for p in parts], axis=0),
+            shifts=np.concatenate([p.shifts for p in parts], axis=0),
+            variant=parts[0].variant,
+            compactions=sum(p.compactions for p in parts),
+            tensors=tensors,
         )
         elapsed = time.perf_counter() - t0
+        _emit("run_finish", seconds=elapsed, requeues=0, failed=0)
+        _log.info("thread fleet run finished",
+                  fields={"workers": len(ranges), "seconds": elapsed})
         return FleetRunReport(
-            result=res, workers=1, seconds=elapsed,
-            shard_sizes=[T], shard_seconds=[elapsed], executor=executor,
+            result=merged,
+            workers=len(ranges),
+            seconds=elapsed,
+            shard_sizes=[len(r) for r in ranges],
+            shard_seconds=[o[3] for o in outs],
+            executor="thread",
+            workers_traced=workers_traced,
         )
-
-    if executor == "process":
-        return _process_tier(
-            tensors, workers, starts, weights, alpha=alpha, tol=tol,
-            max_iters=max_iters, variant=variant, backend=backend,
-            dtype=dtype, config=config, adaptive=adaptive,
-            compact_every=compact_every, guards=guards, steal=steal,
-            start_method=start_method, max_requeues=max_requeues,
-            faults=faults, parent=parent, t0=t0)
-
-    ranges = cost_weighted_partition(weights, workers)
-
-    def solve_shard(r: range):
-        worker_reg = MetricsRegistry()
-        worker_rec = Recorder() if parent is not None else None
-        shard = tensors.subset(np.arange(r.start, r.stop))
-        ts = time.perf_counter()
-        with use_registry(worker_reg):
-
-            def run():
-                return fleet_solve(
-                    shard,
-                    alpha=alpha,
-                    tol=tol,
-                    max_iters=max_iters,
-                    starts=starts,
-                    variant=variant,
-                    backend=backend,
-                    dtype=dtype,
-                    config=config,
-                    adaptive=adaptive,
-                    compact_every=compact_every,
-                    guards=guards,
-                )
-
-            if worker_rec is not None:
-                with worker_rec.activate():
-                    res = run()
-            else:
-                res = run()
-        return res, worker_rec, worker_reg, time.perf_counter() - ts
-
-    with _span("parallel_fleet_solve"):
-        from concurrent.futures import ThreadPoolExecutor
-
-        with ThreadPoolExecutor(max_workers=len(ranges)) as pool:
-            outs = list(pool.map(solve_shard, ranges))
-
-        caller_reg = get_registry()
-        if parent is not None:
-            parent.gauge("parallel.workers", len(ranges))
-            parent.gauge("parallel.executor", "thread")
-            parent.gauge("parallel.shard_sizes", [len(r) for r in ranges])
-            for wid, (_, worker_rec, _, _) in enumerate(outs):
-                if worker_rec is not None:
-                    parent.absorb(worker_rec, under=f"worker{wid}")
-        for _, _, worker_reg, _ in outs:
-            caller_reg.merge(worker_reg)
-
-    parts = [o[0] for o in outs]
-    merged = FleetResult(
-        eigenvalues=np.concatenate([p.eigenvalues for p in parts], axis=0),
-        eigenvectors=np.concatenate([p.eigenvectors for p in parts], axis=0),
-        converged=np.concatenate([p.converged for p in parts], axis=0),
-        iterations=np.concatenate([p.iterations for p in parts], axis=0),
-        sweeps=max(p.sweeps for p in parts),
-        failed=np.concatenate([p.failed for p in parts], axis=0),
-        shifts=np.concatenate([p.shifts for p in parts], axis=0),
-        variant=parts[0].variant,
-        compactions=sum(p.compactions for p in parts),
-        tensors=tensors,
-    )
-    return FleetRunReport(
-        result=merged,
-        workers=len(ranges),
-        seconds=time.perf_counter() - t0,
-        shard_sizes=[len(r) for r in ranges],
-        shard_seconds=[o[3] for o in outs],
-        executor="thread",
-    )
 
 
 def _predicted_imbalance(weights: np.ndarray, ranges) -> float:
@@ -328,6 +423,7 @@ def _process_tier(tensors, workers, starts, weights, *, alpha, tol,
     backend_r = resolve_option("codegen_backend", backend, config, "numpy")
     guards_r = resolve_option("guards", guards, config, None)
 
+    workers_traced = 0
     with _span("parallel_fleet_solve"):
         result, info = process_fleet_solve(
             tensors, shards, starts, workers=workers, alpha=alpha, tol=tol,
@@ -341,6 +437,9 @@ def _process_tier(tensors, workers, starts, weights, *, alpha, tol,
             parent.gauge("parallel.executor", "process")
             parent.gauge("parallel.shard_sizes", info["shard_sizes"])
             parent.gauge("parallel.steal", bool(steal))
+            workers_traced = _stitch_worker_traces(
+                parent, info.get("worker_traces", {}))
+            parent.gauge("parallel.workers_traced", workers_traced)
     return FleetRunReport(
         result=result,
         workers=workers,
@@ -350,4 +449,5 @@ def _process_tier(tensors, workers, starts, weights, *, alpha, tol,
         executor="process",
         requeues=info["requeues"],
         failed_shards=info["failed_shards"],
+        workers_traced=workers_traced,
     )

@@ -31,6 +31,7 @@ dropped.
 
 from __future__ import annotations
 
+import contextlib
 import multiprocessing as mp
 import os
 import pickle
@@ -43,6 +44,15 @@ import numpy as np
 
 from repro.core.results import FleetResult
 from repro.engine.fleet import fleet_solve
+from repro.instrument import Recorder, current_recorder
+from repro.instrument import span as _wspan
+from repro.instrument.events import (
+    EventSpool,
+    current_spool,
+    emit as _emit,
+    use_spool,
+)
+from repro.instrument.log import get_logger, log_context
 from repro.instrument.metrics import (
     MetricsRegistry,
     get_registry,
@@ -54,6 +64,8 @@ from repro.parallel.shm import SharedResultBlock, SharedTensorStore
 from repro.symtensor.storage import SymmetricTensorBatch
 
 __all__ = ["default_start_method", "process_fleet_solve"]
+
+_log = get_logger("parallel.procfleet")
 
 #: Seconds a fault-injected worker sleeps between announcing its claim and
 #: killing itself — lets the queue feeder flush so the parent knows which
@@ -75,6 +87,12 @@ def _worker_main(worker_id: int, store_handle, block_handle,
     Module-level (not a closure) so spawn contexts can pickle it; every
     argument is a handle or primitive — the tensor payload arrives by
     attaching shared memory, never through this call.
+
+    Observability: when the parent is tracing (``opts["trace"]``) the
+    worker records its spans into its own :class:`Recorder` and ships the
+    serialized tree back in its exit message; when an event spool is
+    active (``opts["events"]``) the worker appends to the same JSONL file
+    under its own ``w<id>`` source tag and ``O_APPEND`` descriptor.
     """
     # the parent coordinates shutdown (sentinels / terminate); a Ctrl-C
     # storm hitting the whole process group shouldn't produce N tracebacks
@@ -82,21 +100,40 @@ def _worker_main(worker_id: int, store_handle, block_handle,
     from repro.resilience.faults import InjectedFault
 
     reg = MetricsRegistry()
+    rec = (Recorder(meta={"worker": worker_id, "run_id": opts.get("run_id")})
+           if opts.get("trace") else None)
+    spool = None
+    if opts.get("events"):
+        spool = EventSpool.open(opts["events"], run_id=opts.get("run_id"),
+                                src=f"w{worker_id}", header=False)
+    claims = 0
+    shards_done = 0
     store = block = None
     try:
-        with use_registry(reg):
+        with contextlib.ExitStack() as stack:
+            stack.enter_context(use_registry(reg))
+            stack.enter_context(log_context(run=opts.get("run_id"),
+                                            worker=f"w{worker_id}"))
+            if rec is not None:
+                stack.enter_context(rec.activate())
+                rec.gauge("worker.id", worker_id)
+                rec.gauge("worker.pid", os.getpid())
+            if spool is not None:
+                stack.enter_context(use_spool(spool))
+                spool.emit("worker_start", pid=os.getpid())
             store = store_handle.attach()
             block = block_handle.attach()
             m, n = store.m, store.n
             from repro.kernels.plan import get_plan
             from repro.kernels.tables import prime_tables
 
-            tables = store.kernel_tables()
-            if tables is not None:
-                prime_tables(tables)
-            # one plan warm per worker: tables came via the store, codegen
-            # via the on-disk plan cache the parent already populated
-            plan = get_plan(m, n, opts["variant"], opts["backend"])
+            with _wspan("plan_warm"):
+                tables = store.kernel_tables()
+                if tables is not None:
+                    prime_tables(tables)
+                # one plan warm per worker: tables came via the store,
+                # codegen via the on-disk plan cache the parent populated
+                plan = get_plan(m, n, opts["variant"], opts["backend"])
             dtype = np.dtype(opts["dtype"])
             wait_start = time.perf_counter()
             while True:
@@ -106,6 +143,15 @@ def _worker_main(worker_id: int, store_handle, block_handle,
                 queue_wait = time.perf_counter() - wait_start
                 sid, lo, hi, fault = item
                 done_q.put(("claim", worker_id, sid))
+                if spool is not None:
+                    if claims:
+                        # any pull past the first came out of the shared
+                        # queue instead of this worker's nominal share
+                        spool.emit("steal", shard=sid)
+                    spool.emit("shard_start", shard=sid, lo=lo, hi=hi)
+                claims += 1
+                _log.debug("claimed shard",
+                           fields={"shard": sid, "lo": lo, "hi": hi})
                 if fault == "crash":
                     from repro.resilience.faults import InjectedWorkerCrash
 
@@ -115,16 +161,17 @@ def _worker_main(worker_id: int, store_handle, block_handle,
                     time.sleep(_KILL_FLUSH_SECONDS)
                     os.kill(os.getpid(), signal.SIGKILL)
                 t0 = time.perf_counter()
-                res = fleet_solve(
-                    store.batch(lo, hi),
-                    alpha=opts["alpha"], tol=opts["tol"],
-                    max_iters=opts["max_iters"], starts=store.starts,
-                    variant=opts["variant"], backend=opts["backend"],
-                    dtype=dtype, adaptive=opts["adaptive"],
-                    compact_every=opts["compact_every"],
-                    guards=opts["guards"], plan=plan,
-                    out=block.workspace(lo, hi), telemetry=False,
-                )
+                with _wspan(f"shard{sid}"):
+                    res = fleet_solve(
+                        store.batch(lo, hi),
+                        alpha=opts["alpha"], tol=opts["tol"],
+                        max_iters=opts["max_iters"], starts=store.starts,
+                        variant=opts["variant"], backend=opts["backend"],
+                        dtype=dtype, adaptive=opts["adaptive"],
+                        compact_every=opts["compact_every"],
+                        guards=opts["guards"], plan=plan,
+                        out=block.workspace(lo, hi), telemetry=False,
+                    )
                 meta = {
                     "seconds": time.perf_counter() - t0,
                     "sweeps": res.sweeps,
@@ -132,6 +179,14 @@ def _worker_main(worker_id: int, store_handle, block_handle,
                     "queue_wait": queue_wait,
                 }
                 del res  # drop the buffer views before dispose
+                shards_done += 1
+                if spool is not None:
+                    spool.emit("shard_finish", shard=sid,
+                               seconds=meta["seconds"],
+                               sweeps=meta["sweeps"])
+                _log.info("shard finished",
+                          fields={"shard": sid,
+                                  "seconds": round(meta["seconds"], 6)})
                 done_q.put(("done", worker_id, sid, meta))
                 wait_start = time.perf_counter()
     except InjectedFault:
@@ -139,8 +194,12 @@ def _worker_main(worker_id: int, store_handle, block_handle,
         # shard) without spraying a traceback into the test output
         raise SystemExit(1)
     finally:
+        if spool is not None:
+            spool.emit("worker_exit", shards=shards_done)
+            spool.close()
         try:
-            done_q.put(("exit", worker_id, reg.snapshot()))
+            trace_doc = rec.to_dict() if rec is not None else None
+            done_q.put(("exit", worker_id, reg.snapshot(), trace_doc))
         except Exception:  # pragma: no cover - pipe already gone
             pass
         if block is not None:
@@ -176,7 +235,11 @@ def process_fleet_solve(
     injected on the shard's *first* attempt only (the chaos suite's
     deterministic crash hook).  Returns ``(result, info)`` where ``info``
     carries the per-shard metadata the caller folds into its
-    :class:`~repro.parallel.fleet.FleetRunReport`.
+    :class:`~repro.parallel.fleet.FleetRunReport` — including
+    ``worker_traces``, the serialized per-worker span trees collected
+    from exit messages when the calling thread has an active
+    :class:`~repro.instrument.recorder.Recorder` (workers are told to
+    trace whenever the parent is).
     """
     T = len(tensors)
     V = starts.shape[0]
@@ -191,11 +254,19 @@ def process_fleet_solve(
 
     plan = get_plan(m, n, variant, backend)
 
+    # observability propagation: workers trace iff the parent traces, and
+    # append to the parent's event spool (by path — each opens its own
+    # O_APPEND descriptor) under the parent's run id
+    spool = current_spool()
+    run_id = spool.run_id if spool is not None else None
     opts = {
         "alpha": alpha, "tol": tol, "max_iters": max_iters,
         "variant": variant, "backend": backend, "dtype": dtype.str,
         "adaptive": adaptive, "compact_every": compact_every,
         "guards": guards,
+        "trace": current_recorder() is not None,
+        "events": spool.path if spool is not None else None,
+        "run_id": run_id,
     }
 
     store = SharedTensorStore.publish(tensors, starts, tables=plan.tables)
@@ -213,6 +284,11 @@ def process_fleet_solve(
     requeues = 0
     warned_degraded = False
     snapshots: list[dict] = []
+    worker_traces: dict[int, dict] = {}
+
+    _emit("run_start", tensors=T, lanes=T * V, workers=workers,
+          shards=len(state), executor="process",
+          ranges=[list(state[sid]["range"]) for sid in sorted(state)])
 
     def enqueue(sid: int, fault=None) -> None:
         lo, hi = state[sid]["range"]
@@ -232,10 +308,14 @@ def process_fleet_solve(
         a["failed"][lo:hi] = True
         a["shifts"][lo:hi] = alpha
         failed.add(sid)
+        _emit("writeoff", shard=sid)
+        _log.error("shard written off (requeue budget exhausted)",
+                   fields={"run": run_id, "shard": sid})
 
     def run_inline(sid: int) -> None:
         # nobody left to delegate to: the parent solves the shard itself
         lo, hi = state[sid]["range"]
+        _emit("shard_start", shard=sid, lo=lo, hi=hi)
         t0 = time.perf_counter()
         res = fleet_solve(
             store.batch(lo, hi), alpha=alpha, tol=tol, max_iters=max_iters,
@@ -250,6 +330,11 @@ def process_fleet_solve(
         }
         del res
         done.add(sid)
+        meta = state[sid]["meta"]
+        _emit("shard_finish", shard=sid, seconds=meta["seconds"],
+              sweeps=meta["sweeps"])
+        _log.info("shard solved inline by the parent",
+                  fields={"run": run_id, "shard": sid})
 
     def handle_lost_shard(sid: int, error: str) -> None:
         nonlocal requeues, warned_degraded
@@ -268,6 +353,10 @@ def process_fleet_solve(
             write_off(sid)
             return
         requeues += 1
+        _emit("requeue", shard=sid, attempt=st["attempts"])
+        _log.warning("worker died on shard; requeueing",
+                     fields={"run": run_id, "shard": sid, "error": error,
+                             "attempt": st["attempts"]})
         if alive:
             enqueue(sid)  # fault injected on first attempt only
         else:
@@ -341,8 +430,11 @@ def process_fleet_solve(
             elif kind == "exit":
                 # a worker that raised sends its snapshot from `finally`
                 # then dies nonzero; credit its metrics, requeue its shard
-                _, wid, snap = msg
+                _, wid, snap, trace_doc = msg
                 snapshots.append(snap)
+                if trace_doc is not None:
+                    observe_ipc_payload("trace", len(pickle.dumps(trace_doc)))
+                    worker_traces[wid] = trace_doc
                 clean_exited.add(wid)
                 sid = next((s for s, st in state.items()
                             if st["claimed_by"] == wid
@@ -365,6 +457,9 @@ def process_fleet_solve(
                 continue
             if msg[0] == "exit":
                 snapshots.append(msg[2])
+                if msg[3] is not None:
+                    observe_ipc_payload("trace", len(pickle.dumps(msg[3])))
+                    worker_traces[msg[1]] = msg[3]
                 clean_exited.add(msg[1])
                 waiting.discard(msg[1])
         for proc in alive.values():
@@ -413,5 +508,13 @@ def process_fleet_solve(
         "shard_seconds": [m_["seconds"] if m_ else 0.0 for m_ in metas],
         "requeues": requeues,
         "failed_shards": sorted(failed),
+        "worker_traces": worker_traces,
     }
+    _emit("run_finish", seconds=info["seconds"], requeues=requeues,
+          failed=len(failed))
+    _log.info("process fleet run finished",
+              fields={"run": run_id, "workers": workers,
+                      "shards": len(state), "requeues": requeues,
+                      "failed": len(failed),
+                      "seconds": round(info["seconds"], 6)})
     return result, info

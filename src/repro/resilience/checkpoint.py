@@ -89,7 +89,15 @@ def new_checkpoint(
     ``source`` is free-form caller metadata describing how to rebuild the
     tensor (the CLI stores ``{"kind": "random", "m": ..., ...}`` or a
     file path) so ``--resume`` needs no other arguments.
+
+    The ``run`` section also carries provenance (``run_id``, ``host``,
+    ``version``) correlating the checkpoint with the event stream and
+    trace of the run that wrote it; :func:`check_resumable` compares only
+    the named solver parameters, so resuming on another host still works.
     """
+    from repro.instrument.events import current_spool, new_run_id, provenance
+
+    spool = current_spool()
     return {
         "schema": CKPT_SCHEMA,
         "run": {
@@ -101,6 +109,8 @@ def new_checkpoint(
             "max_iters": int(max_iters),
             "rng": {"scheme": "seedseq-spawn-key", "entropy": int(seed)},
             "source": source or {},
+            "run_id": spool.run_id if spool is not None else new_run_id(),
+            **provenance(),
         },
         "starts": {},  # str(start index) -> completed-start record
     }

@@ -33,6 +33,7 @@ from repro.core.config import SolveConfig, resolve_option
 from repro.core.eigenpairs import Eigenpair, dedupe_eigenpairs
 from repro.core.sshopm import sshopm, suggested_shift
 from repro.instrument import span as _span
+from repro.instrument.log import get_logger
 from repro.instrument.metrics import MetricsRegistry, get_registry, use_registry
 from repro.kernels.dispatch import KernelPair, get_kernels
 from repro.resilience.checkpoint import (
@@ -49,6 +50,8 @@ from repro.symtensor.storage import SymmetricTensor
 from repro.util.rng import random_unit_vector, spawn_rng
 
 __all__ = ["ResilientSweepResult", "StartReport", "resilient_multistart"]
+
+_log = get_logger("resilience.runner")
 
 # spawn-key namespace for the retry-backoff jitter stream, disjoint from
 # the attempt-index keys (which are < RetryPolicy.max_attempts)
@@ -390,6 +393,12 @@ def resilient_multistart(
                                     RuntimeWarning,
                                     stacklevel=2,
                                 )
+                            _log.warning(
+                                "sweep task crashed",
+                                fields={
+                                    "start": start, "attempt": count,
+                                    "error": f"{type(exc).__name__}: {exc}",
+                                })
                             if count <= max_requeues:
                                 total_requeues += 1
                                 caller_reg.counter(

@@ -39,6 +39,11 @@ SIGNATURES = [
     "repro.kernels.codegen.register_emitter",
     "repro.kernels.codegen.available_backends",
     "repro.kernels.autotune_backend",
+    "repro.instrument.emit",
+    "repro.instrument.read_events",
+    "repro.instrument.validate_event",
+    "repro.instrument.configure_logging",
+    "repro.instrument.get_logger",
 ]
 
 DATACLASSES = [
@@ -47,6 +52,7 @@ DATACLASSES = [
     "repro.core.FleetResult",
     "repro.kernels.codegen.EmittedKernel",
     "repro.kernels.plan.KernelPlan",
+    "repro.parallel.FleetRunReport",
 ]
 
 

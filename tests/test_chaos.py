@@ -329,3 +329,78 @@ class TestProcessFleetChaos:
                 proc.communicate()
         # interrupted (no FINISHED) or finished early — either way, clean
         assert active_segments() == []
+
+
+class TestObservabilityUnderChaos:
+    """The observability plane must survive the faults the fleet
+    survives: a SIGKILL'd worker leaves a parseable (truncation-safe)
+    events file, and the stitched trace still contains every surviving
+    worker's subtree."""
+
+    @pytest.fixture
+    def fleet_batch(self):
+        return random_symmetric_batch(6, 4, 3,
+                                      rng=np.random.default_rng(CHAOS_SEED))
+
+    @pytest.fixture
+    def fleet_starts(self):
+        from repro.core.multistart import starting_vectors
+
+        return starting_vectors(6, 3, rng=CHAOS_SEED)
+
+    def test_killed_worker_leaves_parseable_events(self, fleet_batch,
+                                                   fleet_starts, tmp_path):
+        from repro.instrument.events import read_events, validate_event
+        from repro.parallel.fleet import parallel_fleet_solve
+        from repro.parallel.shm import SHM_AVAILABLE
+
+        if not SHM_AVAILABLE:
+            pytest.skip("shared_memory unavailable")
+        ev = tmp_path / "chaos_events.jsonl"
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            rep = parallel_fleet_solve(
+                fleet_batch, starts=fleet_starts, alpha=2.0, max_iters=200,
+                workers=2, executor="process", faults={0: "kill"},
+                events=str(ev))
+        assert rep.requeues >= 1 and rep.failed_shards == []
+        records = read_events(ev)
+        for rec in records:
+            validate_event(rec)
+        evs = {r["ev"] for r in records}
+        # lifecycle events survive the kill: the run completed, the lost
+        # shard was requeued, and every record shares one run id
+        assert {"header", "run_start", "requeue", "run_finish"} <= evs
+        assert len({r["run"] for r in records}) == 1
+        # a SIGKILL mid-write can leave a truncated final line; the
+        # reader must skip it — simulate the worst case explicitly
+        with open(ev, "a") as fh:
+            fh.write('{"ev":"shard_start","t":1.0,"run":"xyz","src"')
+        truncated = read_events(ev)
+        assert len(truncated) == len(records)
+        with pytest.raises(ValueError):
+            read_events(ev, strict=True)
+
+    def test_killed_worker_trace_keeps_survivors(self, fleet_batch,
+                                                 fleet_starts):
+        from repro.instrument import recording
+        from repro.parallel.fleet import parallel_fleet_solve
+        from repro.parallel.shm import SHM_AVAILABLE
+
+        if not SHM_AVAILABLE:
+            pytest.skip("shared_memory unavailable")
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            with recording() as rec:
+                rep = parallel_fleet_solve(
+                    fleet_batch, starts=fleet_starts, alpha=2.0,
+                    max_iters=200, workers=2, executor="process",
+                    faults={0: "kill"})
+        # the killed worker's recorder dies with it; every surviving
+        # worker's subtree must still be stitched in
+        assert 1 <= rep.workers_traced <= rep.workers
+        root = rec.find("parallel_fleet_solve")
+        assert root is not None
+        survivors = [name for name in root.children
+                     if name.startswith("worker")]
+        assert len(survivors) == rep.workers_traced >= 1

@@ -4,6 +4,7 @@ externally-owned ``FleetWorkspace``, and the process executor's
 bit-for-bit / no-leak / O(result)-IPC guarantees."""
 
 import pickle
+import warnings
 
 import numpy as np
 import pytest
@@ -308,3 +309,65 @@ class TestFacadeIntegration:
         rep = repro.solve(batch, starts=starts, alpha=4.0, max_iters=100,
                           workers=1, executor="process")
         assert rep.solver == "fleet_solve"
+
+
+class TestCrossProcessTracing:
+    """Trace propagation through the process tier: each worker records
+    into its own recorder, the span tree rides the exit message, and the
+    parent stitches one tree under ``parallel_fleet_solve``."""
+
+    def test_process_trace_stitches_every_worker(self, batch, starts):
+        from repro.instrument import recording
+
+        with recording() as rec:
+            rep = parallel_fleet_solve(batch, starts=starts, alpha=4.0,
+                                       max_iters=200, workers=2,
+                                       executor="process")
+        assert rep.workers_traced == rep.workers == 2
+        root = rec.find("parallel_fleet_solve")
+        assert root is not None
+        subtrees = {name: c for name, c in root.children.items()
+                    if name.startswith("worker")}
+        assert set(subtrees) == {"worker0", "worker1"}
+        # every worker contributes at least one real span (plan_warm is
+        # recorded even by a worker that wins no shards)
+        for sub in subtrees.values():
+            assert len(sub.children) >= 1
+
+    def test_untraced_run_reports_zero_workers_traced(self, batch, starts):
+        rep = parallel_fleet_solve(batch, starts=starts, alpha=4.0,
+                                   max_iters=100, workers=2,
+                                   executor="process")
+        assert rep.workers_traced == 0
+
+    def test_thread_tier_also_counts_traced_workers(self, batch, starts):
+        from repro.instrument import recording
+
+        with recording() as rec:
+            rep = parallel_fleet_solve(batch, starts=starts, alpha=4.0,
+                                       max_iters=100, workers=2,
+                                       executor="thread")
+        assert rep.workers_traced == 2
+        assert rec.find("parallel_fleet_solve/worker0") is not None
+        assert rec.find("parallel_fleet_solve/worker1") is not None
+
+    def test_corrupt_span_payload_warns_once_and_skips(self):
+        from repro.instrument import Recorder
+        from repro.parallel.fleet import _stitch_worker_traces
+
+        donor = Recorder()
+        with donor.activate(), donor.span("work"):
+            pass
+        parent = Recorder()
+        traces = {0: donor.to_dict(), 1: {"schema": "bogus"}, 2: None,
+                  3: {"schema": "bogus"}}
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            stitched = _stitch_worker_traces(parent, traces, stacklevel=2)
+        assert stitched == 1
+        assert parent.find("worker0/work") is not None
+        # one warning total, however many workers sent garbage
+        runtime = [w for w in caught
+                   if issubclass(w.category, RuntimeWarning)]
+        assert len(runtime) == 1
+        assert "discarding" in str(runtime[0].message)
