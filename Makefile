@@ -12,13 +12,14 @@ OLD ?= BENCH_old.json
 NEW ?= BENCH_new.json
 THRESHOLD ?= 0.2
 
-.PHONY: test api-check codegen-check smoke-instrument smoke-report chaos bench bench-overhead bench-smoke bench-compare fleet-bench events-check
+.PHONY: test api-check codegen-check smoke-instrument smoke-report chaos bench bench-overhead bench-smoke bench-compare fleet-bench events-check serve-check
 
 test: smoke-instrument api-check codegen-check  ## tier-1: instrumentation smoke, then the full suite
 	python -m pytest -x -q
 	$(MAKE) smoke-report
 	$(MAKE) events-check
 	$(MAKE) chaos
+	$(MAKE) serve-check
 
 api-check:  ## public API must match the checked-in snapshot
 	python -m pytest -q tests/test_api_surface.py
@@ -47,6 +48,9 @@ events-check:  ## event stream: <5% disabled budget + every line schema-valid
 
 fleet-bench:  ## process-vs-thread fleet executor gate (>=2x floor, O(result) IPC)
 	python -m pytest -q benchmarks/bench_process_fleet.py
+
+serve-check:  ## serve control-plane latency budgets (admission, HTTP, drain)
+	python -m pytest -q benchmarks/bench_serve.py
 
 bench-smoke:  ## fast benchmark subset -> BENCH_<stamp>.json at repo root
 	python -m repro.bench.harness --timeout 120

@@ -1,0 +1,111 @@
+"""Serve-plane latency budgets (``make serve-check``).
+
+The daemon's control plane must stay cheap relative to the solves it
+fronts.  Three budgets, each generous enough to be robust on loaded CI
+hosts yet tight enough to catch an accidental sleep, lock convoy, or
+O(queue) scan on the hot path:
+
+* **admission** — an admit + a structured rejection are lock-bounded
+  bookkeeping, budgeted in microseconds (amortized);
+* **HTTP overhead** — a ``/solve?wait=1`` round trip over loopback vs
+  running the identical job directly must cost well under a second of
+  extra wall time (it is JSON + one queue handoff, not a solve);
+* **drain** — with no work in flight, SIGTERM-equivalent drain must
+  complete promptly (the runner threads park on a 0.2 s poll).
+"""
+
+import json
+import time
+import urllib.request
+
+from benchmarks.conftest import format_table, report
+from repro.serve import (
+    AdmissionError,
+    AdmissionQueue,
+    EigenServer,
+    ServeConfig,
+    run_job,
+)
+from repro.serve.jobs import Job, JobSpec
+
+SPEC = {"tensors": {"kind": "random", "count": 4, "m": 3, "n": 4, "seed": 5},
+        "num_starts": 4, "seed": 1, "max_iters": 100, "chunk": 4}
+
+ADMISSION_BUDGET = 200e-6   # seconds per admit/reject pair, amortized
+HTTP_OVERHEAD_BUDGET = 0.75  # seconds of non-solve wall time per request
+DRAIN_BUDGET = 3.0          # seconds for an idle drain
+
+
+def _bench_admission(reps: int = 2_000) -> float:
+    q = AdmissionQueue(1)
+    t0 = time.perf_counter()
+    for i in range(reps):
+        q.submit(i)
+        try:
+            q.submit(i)  # always rejected: the queue holds one item
+        except AdmissionError:
+            pass
+        q.take(timeout=0)
+    return (time.perf_counter() - t0) / reps
+
+
+def _bench_http_overhead(tmp_dir) -> tuple[float, float]:
+    spec = JobSpec.from_doc(json.loads(json.dumps(SPEC)))
+    run_job(Job("warm", spec))  # warm plan caches out of the measurement
+    t0 = time.perf_counter()
+    run_job(Job("direct", spec))
+    direct = time.perf_counter() - t0
+
+    srv = EigenServer(ServeConfig(port=0, runners=1,
+                                  checkpoint_dir=tmp_dir))
+    host, port = srv.start()
+    try:
+        req = urllib.request.Request(
+            f"http://{host}:{port}/solve?wait=1",
+            data=json.dumps(SPEC).encode(), method="POST",
+            headers={"Content-Type": "application/json"})
+        t0 = time.perf_counter()
+        with urllib.request.urlopen(req, timeout=60) as resp:
+            doc = json.load(resp)
+        served = time.perf_counter() - t0
+        assert doc["status"] == "done"
+    finally:
+        srv.drain()
+    return direct, served
+
+
+def _bench_idle_drain(tmp_dir) -> float:
+    srv = EigenServer(ServeConfig(port=0, runners=2,
+                                  checkpoint_dir=tmp_dir))
+    srv.start()
+    t0 = time.perf_counter()
+    srv.drain()
+    return time.perf_counter() - t0
+
+
+def test_serve_control_plane_budgets(tmp_path):
+    admit = _bench_admission()
+    direct, served = _bench_http_overhead(tmp_path / "a")
+    overhead = max(served - direct, 0.0)
+    drain = _bench_idle_drain(tmp_path / "b")
+
+    rows = [
+        ["admit+reject (amortized)", f"{admit * 1e6:8.1f} us",
+         f"{ADMISSION_BUDGET * 1e6:8.1f} us"],
+        ["HTTP /solve overhead", f"{overhead * 1e3:8.1f} ms",
+         f"{HTTP_OVERHEAD_BUDGET * 1e3:8.1f} ms"],
+        ["idle drain", f"{drain * 1e3:8.1f} ms",
+         f"{DRAIN_BUDGET * 1e3:8.1f} ms"],
+    ]
+    report("serve_overhead",
+           format_table("repro serve control-plane budgets",
+                        ["path", "measured", "budget"], rows))
+
+    assert admit < ADMISSION_BUDGET, (
+        f"admission path costs {admit * 1e6:.1f} us/pair "
+        f"(budget {ADMISSION_BUDGET * 1e6:.0f} us)")
+    assert overhead < HTTP_OVERHEAD_BUDGET, (
+        f"HTTP round trip adds {overhead:.3f} s over the direct solve "
+        f"(budget {HTTP_OVERHEAD_BUDGET} s)")
+    assert drain < DRAIN_BUDGET, (
+        f"idle drain took {drain:.2f} s (budget {DRAIN_BUDGET} s)")

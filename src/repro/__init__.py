@@ -28,6 +28,11 @@ Subpackages
 ``repro.instrument``
     Structured tracing and metrics: span recorder, flop/byte counters,
     JSON traces (``repro ... --trace out.json``).
+``repro.serve``
+    The crash-tolerant eigensolver daemon (``repro serve``): bounded
+    admission, per-request deadlines, a circuit breaker around the
+    process-fleet tier, and checkpointing SIGTERM drain with
+    bit-for-bit ``--resume-dir`` restart (see ``docs/serve.md``).
 
 Quick start
 -----------

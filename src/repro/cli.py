@@ -52,12 +52,21 @@ def _cmd_phantom(args) -> int:
     from repro.io import save_phantom
     from repro.mri import make_phantom
 
-    phantom = make_phantom(
-        rows=args.rows, cols=args.cols, order=args.order,
-        num_gradients=args.gradients, crossing_angle_deg=args.crossing_angle,
-        noise_sigma=args.noise, rng=args.seed,
-    )
-    save_phantom(args.output, phantom)
+    try:
+        phantom = make_phantom(
+            rows=args.rows, cols=args.cols, order=args.order,
+            num_gradients=args.gradients,
+            crossing_angle_deg=args.crossing_angle,
+            noise_sigma=args.noise, rng=args.seed,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        save_phantom(args.output, phantom)
+    except OSError as exc:
+        print(f"error: cannot write {args.output}: {exc}", file=sys.stderr)
+        return 2
     counts = phantom.num_fibers()
     print(f"wrote {args.output}: {phantom.num_voxels} voxels "
           f"({int((counts == 2).sum())} crossing), order {args.order}, "
@@ -69,7 +78,12 @@ def _cmd_detect(args) -> int:
     from repro.io import load_phantom
     from repro.mri import evaluate_detection, extract_fibers_batch
 
-    phantom = load_phantom(args.phantom)
+    try:
+        phantom = load_phantom(args.phantom)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: cannot load phantom {args.phantom}: {exc}",
+              file=sys.stderr)
+        return 2
     t0 = time.perf_counter()
     fibers = extract_fibers_batch(
         phantom.tensors, num_starts=args.starts, alpha=args.alpha, rng=args.seed,
@@ -168,6 +182,11 @@ def _cmd_report(args) -> int:
     except (OSError, ValueError, KeyError) as exc:
         print(f"error: cannot load trace {args.trace_file}: {exc}", file=sys.stderr)
         return 2
+    if args.json:
+        import json as _json
+
+        print(_json.dumps(rec.to_dict()))
+        return 0
     if rec.meta:
         print("meta: " + ", ".join(f"{k}={v}" for k, v in sorted(rec.meta.items())))
     print(rec.report())
@@ -280,11 +299,13 @@ def _cmd_fleet_solve(args) -> int:
         except (OSError, ValueError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
-        print(f"loaded {args.batch}: {batch!r}")
+        if not args.json:
+            print(f"loaded {args.batch}: {batch!r}")
     else:
         batch = random_symmetric_batch(args.tensors, args.m, args.n,
                                        rng=args.seed)
-        print(f"random batch: {batch!r} (seed {args.seed})")
+        if not args.json:
+            print(f"random batch: {batch!r} (seed {args.seed})")
     try:
         options = {}
         if args.executor is not None:
@@ -307,18 +328,45 @@ def _cmd_fleet_solve(args) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     result = report.result
-    print(f"solver: {report.solver} ({report.seconds:.2f}s)")
-    print(result.summary())
-    if report.extra is not None:
-        sizes = "/".join(str(s) for s in report.extra.shard_sizes)
-        print(f"shards: {sizes} tensors over {report.extra.workers} "
-              f"{report.extra.executor} workers "
-              f"(imbalance {report.extra.imbalance():.2f})")
-    if args.spectra:
-        for t, pairs in enumerate(result.eigenpairs()):
-            lams = ", ".join(f"{p.eigenvalue:+.5f}x{p.occurrences}"
-                             for p in pairs) or "(none converged)"
-            print(f"tensor {t}: {lams}")
+    if args.json:
+        import json as _json
+
+        doc = {
+            "solver": report.solver,
+            "seconds": report.seconds,
+            "tensors": int(result.num_tensors),
+            "starts": int(result.num_starts),
+            "sweeps": int(result.sweeps),
+            "converged": int(result.converged.sum()),
+            "failed": int(result.failed.sum()),
+            "stopped": bool(result.stopped),
+            "variant": result.variant,
+            "compactions": int(result.compactions),
+            "eigenvalues": result.eigenvalues.tolist(),
+            "converged_mask": result.converged.tolist(),
+        }
+        if report.extra is not None:
+            doc["shards"] = {
+                "sizes": list(report.extra.shard_sizes),
+                "workers": report.extra.workers,
+                "executor": report.extra.executor,
+                "requeues": report.extra.requeues,
+                "failed_shards": list(report.extra.failed_shards),
+            }
+        print(_json.dumps(doc))
+    else:
+        print(f"solver: {report.solver} ({report.seconds:.2f}s)")
+        print(result.summary())
+        if report.extra is not None:
+            sizes = "/".join(str(s) for s in report.extra.shard_sizes)
+            print(f"shards: {sizes} tensors over {report.extra.workers} "
+                  f"{report.extra.executor} workers "
+                  f"(imbalance {report.extra.imbalance():.2f})")
+        if args.spectra:
+            for t, pairs in enumerate(result.eigenpairs()):
+                lams = ", ".join(f"{p.eigenvalue:+.5f}x{p.occurrences}"
+                                 for p in pairs) or "(none converged)"
+                print(f"tensor {t}: {lams}")
     if args.output:
         from repro.io import save_results
 
@@ -327,7 +375,8 @@ def _cmd_fleet_solve(args) -> int:
         except OSError as exc:
             print(f"error: cannot write {args.output}: {exc}", file=sys.stderr)
             return 2
-        print(f"wrote {args.output}")
+        if not args.json:
+            print(f"wrote {args.output}")
     return 0 if result.converged.any() else 1
 
 
@@ -431,13 +480,91 @@ def _cmd_plan_cache(args) -> int:
 def _cmd_cudagen(args) -> int:
     from repro.kernels.cudagen import generate_cuda_module
 
-    src = generate_cuda_module(args.m, args.n, args.starts)
+    try:
+        src = generate_cuda_module(args.m, args.n, args.starts)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if args.output:
-        with open(args.output, "w") as fh:
-            fh.write(src)
+        try:
+            with open(args.output, "w") as fh:
+                fh.write(src)
+        except OSError as exc:
+            print(f"error: cannot write {args.output}: {exc}",
+                  file=sys.stderr)
+            return 2
         print(f"wrote {args.output} ({len(src.splitlines())} lines)")
     else:
         print(src)
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    import json as _json
+
+    from repro.serve import EigenServer, ServeConfig
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        queue_limit=args.queue_limit,
+        runners=args.runners,
+        checkpoint_dir=args.checkpoint_dir,
+        keep=args.keep,
+        breaker_threshold=args.breaker_threshold,
+        breaker_reset=args.breaker_reset,
+        default_deadline=args.deadline,
+        resume_dir=args.resume_dir,
+    )
+    try:
+        server = EigenServer(config)
+        host, port = server.start()
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot start server: {exc}", file=sys.stderr)
+        return 2
+    # machine-readable readiness line: supervisors (and the soak test)
+    # parse the bound port from it, which makes --port 0 usable
+    print(_json.dumps({"event": "ready", "host": host, "port": port,
+                       "checkpoint_dir": str(server.ckpt_dir)}), flush=True)
+    status = server.serve_forever()
+    print(_json.dumps({"event": "drained", "status": status}), flush=True)
+    return status
+
+
+def _cmd_ckpt(args) -> int:
+    import json as _json
+
+    from repro.resilience.retention import list_checkpoints, prune_checkpoints
+
+    if args.ckpt_command == "gc":
+        try:
+            pruned = prune_checkpoints(args.directory, keep=args.keep,
+                                       dry_run=args.dry_run)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        kept = list_checkpoints(args.directory)
+        if args.json:
+            print(_json.dumps({
+                "pruned": [str(p) for p in pruned],
+                "kept": [str(p) for p in kept],
+                "dry_run": args.dry_run,
+            }))
+        else:
+            verb = "would prune" if args.dry_run else "pruned"
+            print(f"{verb} {len(pruned)} checkpoint(s), keeping {len(kept)}")
+            for p in pruned:
+                print(f"  - {p}")
+        return 0
+    # list
+    found = list_checkpoints(args.directory)
+    if args.json:
+        print(_json.dumps({"checkpoints": [str(p) for p in found]}))
+    else:
+        if not found:
+            print("no checkpoints found")
+        for p in found:
+            print(p)
     return 0
 
 
@@ -570,6 +697,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print the deduplicated spectrum per tensor")
     p.add_argument("-o", "--output", metavar="RESULTS.npz", default=None,
                    help="save the (T, V) result bundle (repro.io format)")
+    p.add_argument("--json", action="store_true",
+                   help="emit one machine-readable JSON document instead "
+                   "of the human summary")
     p.set_defaults(func=_cmd_fleet_solve)
 
     p = add_parser("phantom", help="synthesize a DW-MRI phantom")
@@ -653,6 +783,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("trace_file", metavar="TRACE.json")
     p.add_argument("--width", type=int, default=64,
                    help="plot width in characters")
+    p.add_argument("--json", action="store_true",
+                   help="emit the trace document as JSON instead of the "
+                   "human report")
     p.set_defaults(func=_cmd_report)
 
     p = add_parser("trace", help="operate on saved trace files")
@@ -682,6 +815,61 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-color", action="store_true",
                    help="disable ANSI colors even on a tty")
     p.set_defaults(func=_cmd_top)
+
+    p = add_parser("serve", help="run the crash-tolerant eigensolver "
+                   "service (bounded admission, deadlines, circuit "
+                   "breaker, checkpointing SIGTERM drain; docs/serve.md)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8634,
+                   help="listen port (0 = pick a free port; the bound "
+                   "port is printed on the ready line)")
+    p.add_argument("--queue-limit", type=int, default=32, metavar="N",
+                   help="admission queue capacity; requests beyond it get "
+                   "a structured 429 with Retry-After (default 32)")
+    p.add_argument("--runners", type=int, default=2, metavar="N",
+                   help="concurrent job runner threads (default 2)")
+    p.add_argument("--checkpoint-dir", default="serve-ckpt", metavar="DIR",
+                   help="directory for per-job chunk checkpoints and the "
+                   "drain manifest (default serve-ckpt/)")
+    p.add_argument("--keep", type=int, default=0, metavar="N",
+                   help="retain only the N newest job checkpoints, pruning "
+                   "after each completed job (0 = keep all)")
+    p.add_argument("--breaker-threshold", type=int, default=3, metavar="N",
+                   help="consecutive process-tier failures that trip the "
+                   "circuit breaker open (default 3)")
+    p.add_argument("--breaker-reset", type=float, default=30.0,
+                   metavar="SECONDS",
+                   help="open-state cooldown before a half-open probe "
+                   "(default 30s)")
+    p.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                   help="default per-request deadline applied when a "
+                   "request doesn't set deadline_seconds")
+    p.add_argument("--resume-dir", default=None, metavar="DIR",
+                   help="finish the jobs recorded in DIR's drain manifest "
+                   "(written by a previous SIGTERM drain) before opening "
+                   "intake; completed work resumes bit-for-bit from the "
+                   "chunk checkpoints")
+    p.set_defaults(func=_cmd_serve)
+
+    p = add_parser("ckpt", help="inspect and garbage-collect checkpoint "
+                   "directories")
+    ckpt_sub = p.add_subparsers(dest="ckpt_command", required=True)
+    pc = ckpt_sub.add_parser("gc", parents=[common],
+                             help="prune old checkpoints, newest-first")
+    pc.add_argument("directory", metavar="DIR")
+    pc.add_argument("--keep", type=int, required=True, metavar="N",
+                    help="checkpoints to retain (newest by mtime)")
+    pc.add_argument("--dry-run", action="store_true",
+                    help="report what would be pruned without deleting")
+    pc.add_argument("--json", action="store_true",
+                    help="machine-readable output")
+    pc.set_defaults(func=_cmd_ckpt)
+    pc = ckpt_sub.add_parser("list", parents=[common],
+                             help="list checkpoint files, newest first")
+    pc.add_argument("directory", metavar="DIR")
+    pc.add_argument("--json", action="store_true",
+                    help="machine-readable output")
+    pc.set_defaults(func=_cmd_ckpt)
 
     p = add_parser("bench-smoke", help="run the smoke benchmark subset, "
                    "write BENCH_<stamp>.json")

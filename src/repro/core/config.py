@@ -68,6 +68,12 @@ class SolveConfig:
         append typed operational events to
         (:mod:`repro.instrument.events`; rendered live by
         ``repro top``).  ``None`` (default) disables event emission.
+    deadline : absolute wall-clock time (``time.time()`` scale) at which
+        an in-flight fleet run cancels itself cleanly through the
+        engine's lane-retirement path (result comes back complete, with
+        ``stopped=True``).  The serving layer sets this per request; for
+        ad-hoc runs prefer passing ``deadline=`` directly to
+        :func:`~repro.parallel.fleet.parallel_fleet_solve`.
     """
 
     alpha: float | None = None
@@ -84,6 +90,7 @@ class SolveConfig:
     retry: Any = None
     executor: str | None = None
     events: str | None = None
+    deadline: float | None = None
 
     def replace(self, **changes) -> "SolveConfig":
         """A copy with the given fields changed (dataclass ``replace``)."""

@@ -83,6 +83,12 @@ class FleetResult:
     telemetry : per-sweep aggregate convergence stream, or ``None``.
     variant : canonical kernel-plan variant the engine used.
     compactions : active-set compactions performed.
+    stopped : the run was cancelled early through the engine's ``stop=``
+        hook (a deadline, budget cap, or drain request) — still-active
+        lanes were retired cleanly with ``converged=False`` and their
+        last iterate, so the arrays are complete but the unfinished
+        lanes' rows are *partial* state, not the fixed point an
+        uninterrupted run would reach.
     tensors : the solved batch (kept so :meth:`eigenpairs` can classify
         and compute residuals without re-threading it), or ``None`` for
         results reloaded from disk.
@@ -98,6 +104,7 @@ class FleetResult:
     telemetry: Any = None
     variant: str = ""
     compactions: int = 0
+    stopped: bool = False
     tensors: Any = field(default=None, repr=False)
 
     @property

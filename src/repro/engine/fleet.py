@@ -172,6 +172,7 @@ def fleet_solve(
     out: FleetWorkspace | None = None,
     telemetry: bool | None = None,
     guards=None,
+    stop=None,
 ) -> FleetResult:
     """Solve the whole ``T``-tensor, ``V``-start workload in one fleet run.
 
@@ -208,6 +209,14 @@ def fleet_solve(
         ``result.failed``; enabling guards only makes *total* collapse
         (every lane dead) raise a structured
         :class:`~repro.resilience.guards.SolveFailure`.
+    stop : optional zero-argument callable polled once per sweep — the
+        cancellation hook deadlines, budget caps, and ``repro serve``
+        drain ride on.  When it returns truthy the engine stops cleanly
+        through the lane-retirement path: every still-active lane is
+        written back (``converged=False``, ``failed=False``, its last
+        iterate and current sweep count) and the result is returned with
+        ``stopped=True``.  Lanes that already retired are untouched, so
+        a stopped run never corrupts or drops completed work.
 
     Returns a :class:`~repro.core.results.FleetResult` whose ``(T, V)``
     lane grid matches what per-tensor ``multistart_sshopm`` calls would
@@ -306,6 +315,7 @@ def fleet_solve(
 
     sweeps = 0
     compactions = 0
+    was_stopped = False
 
     def write_back(sel: np.ndarray, converged: bool, failed: bool) -> None:
         # every live lane iterates every sweep, so a retiring lane has done
@@ -323,6 +333,13 @@ def fleet_solve(
                                            divide="ignore"):
         for _ in range(max_iters):
             if not live.any():
+                break
+            if stop is not None and stop():
+                # cancelled (deadline / budget / drain): retire the
+                # still-active lanes through the normal write-back path
+                # below, exactly like running out of iterations
+                was_stopped = True
+                _emit("stop", active=int(live.sum()), sweep=sweeps)
                 break
             sweeps += 1
             with _span("sweep"):
@@ -465,5 +482,6 @@ def fleet_solve(
         telemetry=tel,
         variant=plan.variant,
         compactions=compactions,
+        stopped=was_stopped,
         tensors=tensors,
     )

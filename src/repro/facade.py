@@ -266,6 +266,12 @@ def solve(
             # executor-tier options are meaningless without sharding
             for key in ("executor", "steal", "start_method"):
                 fleet_opts.pop(key, None)
+            # the engine speaks stop= only; fold a deadline into the hook
+            deadline = fleet_opts.pop("deadline", None)
+            if deadline is None and config is not None:
+                deadline = config.deadline
+            if deadline is not None and "stop" not in fleet_opts:
+                fleet_opts["stop"] = lambda: time.time() >= deadline
             # the engine takes no events= keyword; the facade opens the
             # spool so engine-level events (retirements, compactions,
             # plan-cache traffic) still stream for single-shard runs

@@ -89,6 +89,15 @@ EVENT_TYPES = {
     "guard_trip": ("reason",),
     "plan_cache": ("outcome",),
     "decimated": ("dropped",),
+    "stop": ("active",),
+    # ``repro serve`` request/daemon lifecycle (see docs/serve.md)
+    "job_submit": ("job",),
+    "job_start": ("job",),
+    "job_finish": ("job", "status", "seconds"),
+    "job_reject": ("reason",),
+    "drain_start": ("inflight", "queued"),
+    "drain_finish": ("seconds", "jobs"),
+    "breaker": ("state",),
 }
 
 #: Lifecycle events exempt from decimation: each is emitted O(shards) or
@@ -97,7 +106,9 @@ EVENT_TYPES = {
 NO_DECIMATE = frozenset({
     "header", "run_start", "run_finish", "worker_start", "worker_exit",
     "shard_start", "shard_finish", "steal", "requeue", "writeoff",
-    "guard_trip", "decimated",
+    "guard_trip", "decimated", "stop",
+    "job_submit", "job_start", "job_finish", "job_reject",
+    "drain_start", "drain_finish", "breaker",
 })
 
 

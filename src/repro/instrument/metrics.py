@@ -49,6 +49,7 @@ __all__ = [
     "default_buckets",
     "default_registry",
     "get_registry",
+    "observe_breaker_state",
     "observe_codegen_compile",
     "observe_fleet_compaction",
     "observe_fleet_retired",
@@ -56,6 +57,11 @@ __all__ = [
     "observe_plan_cache",
     "observe_plan_disk_cache",
     "observe_queue_wait",
+    "observe_serve_degraded",
+    "observe_serve_job",
+    "observe_serve_queue_depth",
+    "observe_serve_rejected",
+    "observe_serve_request",
     "observe_shm_attach",
     "observe_shm_publish",
     "observe_shm_unlink",
@@ -701,6 +707,64 @@ def observe_fleet_retired(reason: str, count: int) -> None:
             "repro_fleet_lanes_retired_total",
             "Fleet lanes retired from the active set", ("reason",),
         ).labels(reason=reason).inc(count)
+
+
+def observe_serve_request(endpoint: str) -> None:
+    """One HTTP request hitting a ``repro serve`` endpoint (labelled by
+    normalized endpoint — ``/jobs/<id>`` collapses to ``/jobs``)."""
+    get_registry().counter(
+        "repro_serve_requests_total",
+        "HTTP requests received by repro serve", ("endpoint",),
+    ).labels(endpoint=endpoint).inc()
+
+
+def observe_serve_rejected(reason: str) -> None:
+    """One solve request rejected at admission (``"queue_full"``,
+    ``"draining"``, ``"bad_request"``) — the overload-path counter the
+    healthz ready probe and the soak test key off."""
+    get_registry().counter(
+        "repro_serve_rejected_total",
+        "Solve requests rejected at admission", ("reason",),
+    ).labels(reason=reason).inc()
+
+
+def observe_serve_queue_depth(depth: int) -> None:
+    """Current admission-queue depth (queued, not yet running)."""
+    get_registry().gauge(
+        "repro_serve_queue_depth",
+        "Solve requests waiting in the admission queue",
+    ).set(depth)
+
+
+def observe_serve_job(status: str, seconds: float) -> None:
+    """One serve job leaving the runner (``status``: ``"done"`` /
+    ``"failed"`` / ``"interrupted"`` / ``"deadline"``)."""
+    reg = get_registry()
+    reg.counter(
+        "repro_serve_jobs_total",
+        "Serve jobs finished, by terminal status", ("status",),
+    ).labels(status=status).inc()
+    reg.histogram(
+        "repro_serve_request_seconds",
+        "End-to-end serve job latency (queue wait + solve)",
+    ).observe(seconds)
+
+
+def observe_serve_degraded() -> None:
+    """One job forced off the process tier by an open circuit breaker."""
+    get_registry().counter(
+        "repro_serve_degraded_total",
+        "Jobs degraded to the thread tier by the circuit breaker",
+    ).inc()
+
+
+def observe_breaker_state(state: str) -> None:
+    """Circuit-breaker state as a gauge (0 closed, 1 half-open, 2 open) —
+    a gauge, not a counter, so dashboards can alert on level."""
+    get_registry().gauge(
+        "repro_serve_breaker_state",
+        "Process-tier circuit breaker state (0=closed,1=half-open,2=open)",
+    ).set({"closed": 0, "half-open": 1, "open": 2}.get(state, 2))
 
 
 @contextmanager

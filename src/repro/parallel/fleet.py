@@ -195,6 +195,8 @@ def parallel_fleet_solve(
     max_requeues: int = 2,
     faults: dict | None = None,
     events: str | None = None,
+    stop=None,
+    deadline: float | None = None,
 ) -> FleetRunReport:
     """Shard ``tensors`` over ``workers``, one fleet per shard.
 
@@ -223,8 +225,29 @@ def parallel_fleet_solve(
         via :func:`~repro.instrument.events.use_spool` — the ambient
         spool wins, so one CLI-opened spool covers nested solves.
         ``repro top <path>`` renders the stream live.
+    stop : optional zero-argument callable forwarded to every shard's
+        :func:`~repro.engine.fleet.fleet_solve` — polled once per sweep;
+        when truthy the whole run cancels cleanly through the
+        lane-retirement path and the merged result has ``stopped=True``.
+        For the process tier the parent polls it and relays cancellation
+        to the workers through a shared event (callables don't pickle).
+    deadline : optional absolute epoch time (``time.time()`` scale); at
+        the deadline the run cancels exactly like ``stop`` firing.  Works
+        on every tier — process workers check it directly, so a deadline
+        holds even if the parent thread stalls.  Also settable via
+        ``SolveConfig.deadline``.
     """
     from repro.engine.fleet import fleet_solve
+
+    deadline = resolve_option("deadline", deadline, config, None)
+    if deadline is not None:
+        user_stop = stop
+
+        def stop(_user_stop=user_stop, _deadline=deadline):
+            if _user_stop is not None and _user_stop():
+                return True
+            return time.time() >= _deadline
+
 
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
@@ -282,6 +305,7 @@ def parallel_fleet_solve(
                 starts=starts, variant=variant, backend=backend, dtype=dtype,
                 config=config,
                 adaptive=adaptive, compact_every=compact_every, guards=guards,
+                stop=stop,
             )
             elapsed = time.perf_counter() - t0
             _emit("shard_finish", shard=0, seconds=elapsed, sweeps=res.sweeps)
@@ -298,7 +322,8 @@ def parallel_fleet_solve(
                 dtype=dtype, config=config, adaptive=adaptive,
                 compact_every=compact_every, guards=guards, steal=steal,
                 start_method=start_method, max_requeues=max_requeues,
-                faults=faults, parent=parent, t0=t0)
+                faults=faults, parent=parent, t0=t0,
+                stop=stop, deadline=deadline)
 
         ranges = cost_weighted_partition(weights, workers)
         _emit("run_start", tensors=T, lanes=T * V, workers=len(ranges),
@@ -329,6 +354,7 @@ def parallel_fleet_solve(
                         adaptive=adaptive,
                         compact_every=compact_every,
                         guards=guards,
+                        stop=stop,
                     )
 
                 if worker_rec is not None:
@@ -371,6 +397,7 @@ def parallel_fleet_solve(
             shifts=np.concatenate([p.shifts for p in parts], axis=0),
             variant=parts[0].variant,
             compactions=sum(p.compactions for p in parts),
+            stopped=any(p.stopped for p in parts),
             tensors=tensors,
         )
         elapsed = time.perf_counter() - t0
@@ -399,7 +426,8 @@ def _predicted_imbalance(weights: np.ndarray, ranges) -> float:
 def _process_tier(tensors, workers, starts, weights, *, alpha, tol,
                   max_iters, variant, backend, dtype, config, adaptive,
                   compact_every, guards, steal, start_method, max_requeues,
-                  faults, parent, t0) -> FleetRunReport:
+                  faults, parent, t0, stop=None,
+                  deadline=None) -> FleetRunReport:
     """Resolve process-tier options and delegate to
     :func:`repro.parallel.procfleet.process_fleet_solve`."""
     from repro.parallel.procfleet import process_fleet_solve
@@ -431,6 +459,7 @@ def _process_tier(tensors, workers, starts, weights, *, alpha, tol,
             dtype=dtype, adaptive=adaptive, compact_every=compact_every,
             guards=guards_r, start_method=start_method,
             max_requeues=max_requeues, faults=faults,
+            stop=stop, deadline=deadline,
         )
         if parent is not None:
             parent.gauge("parallel.workers", workers)

@@ -81,7 +81,7 @@ def default_start_method() -> str:
 
 
 def _worker_main(worker_id: int, store_handle, block_handle,
-                 task_q, done_q, opts: dict) -> None:
+                 task_q, done_q, opts: dict, cancel_ev=None) -> None:
     """Persistent worker loop: attach, warm the plan, drain descriptors.
 
     Module-level (not a closure) so spawn contexts can pickle it; every
@@ -135,6 +135,18 @@ def _worker_main(worker_id: int, store_handle, block_handle,
                 # codegen via the on-disk plan cache the parent populated
                 plan = get_plan(m, n, opts["variant"], opts["backend"])
             dtype = np.dtype(opts["dtype"])
+            # cancellation: callables don't pickle, so workers rebuild the
+            # stop hook from primitives — an absolute deadline (held even
+            # if the parent stalls) plus the parent-relayed cancel event
+            w_deadline = opts.get("deadline")
+            if w_deadline is not None or cancel_ev is not None:
+                def w_stop():
+                    if cancel_ev is not None and cancel_ev.is_set():
+                        return True
+                    return (w_deadline is not None
+                            and time.time() >= w_deadline)
+            else:
+                w_stop = None
             wait_start = time.perf_counter()
             while True:
                 item = task_q.get()
@@ -171,12 +183,14 @@ def _worker_main(worker_id: int, store_handle, block_handle,
                         compact_every=opts["compact_every"],
                         guards=opts["guards"], plan=plan,
                         out=block.workspace(lo, hi), telemetry=False,
+                        stop=w_stop,
                     )
                 meta = {
                     "seconds": time.perf_counter() - t0,
                     "sweeps": res.sweeps,
                     "compactions": res.compactions,
                     "queue_wait": queue_wait,
+                    "stopped": res.stopped,
                 }
                 del res  # drop the buffer views before dispose
                 shards_done += 1
@@ -226,6 +240,8 @@ def process_fleet_solve(
     start_method: str | None = None,
     max_requeues: int = 2,
     faults: dict | None = None,
+    stop=None,
+    deadline: float | None = None,
 ):
     """Run ``shards`` of ``tensors`` on a pool of worker processes.
 
@@ -240,6 +256,13 @@ def process_fleet_solve(
     from exit messages when the calling thread has an active
     :class:`~repro.instrument.recorder.Recorder` (workers are told to
     trace whenever the parent is).
+
+    Cancellation: ``deadline`` (absolute epoch seconds) ships to the
+    workers as a primitive, so they honor it autonomously; ``stop`` is a
+    parent-side callable polled in the result loop — when it fires the
+    parent sets a shared cancel event that every worker's per-sweep stop
+    hook observes.  Both cancel through the engine's lane-retirement
+    path, so the merged result is complete (``stopped=True``).
     """
     T = len(tensors)
     V = starts.shape[0]
@@ -267,12 +290,24 @@ def process_fleet_solve(
         "trace": current_recorder() is not None,
         "events": spool.path if spool is not None else None,
         "run_id": run_id,
+        "deadline": deadline,
     }
 
     store = SharedTensorStore.publish(tensors, starts, tables=plan.tables)
     block = SharedResultBlock.allocate(T, V, n, dtype=dtype)
     task_q = ctx.Queue()
     done_q = ctx.Queue()
+    cancel_ev = ctx.Event() if (stop is not None or deadline is not None) \
+        else None
+
+    def cancelled() -> bool:
+        """Parent-side view of the cancellation state (also the stop hook
+        for inline fallback solves)."""
+        if cancel_ev is not None and cancel_ev.is_set():
+            return True
+        if deadline is not None and time.time() >= deadline:
+            return True
+        return stop is not None and stop()
 
     state = {
         sid: {"range": (r.start, r.stop), "attempts": 0, "claimed_by": None,
@@ -323,10 +358,12 @@ def process_fleet_solve(
             dtype=dtype, adaptive=adaptive, compact_every=compact_every,
             guards=guards, plan=plan, out=block.workspace(lo, hi),
             telemetry=False,
+            stop=cancelled if cancel_ev is not None else None,
         )
         state[sid]["meta"] = {
             "seconds": time.perf_counter() - t0, "sweeps": res.sweeps,
             "compactions": res.compactions, "queue_wait": 0.0,
+            "stopped": res.stopped,
         }
         del res
         done.add(sid)
@@ -368,7 +405,8 @@ def process_fleet_solve(
     procs = {
         wid: ctx.Process(
             target=_worker_main,
-            args=(wid, store.handle(), block.handle(), task_q, done_q, opts),
+            args=(wid, store.handle(), block.handle(), task_q, done_q, opts,
+                  cancel_ev),
             daemon=True, name=f"repro-fleet-worker-{wid}")
         for wid in range(workers)
     }
@@ -411,6 +449,11 @@ def process_fleet_solve(
                     if sid not in done and sid not in failed:
                         run_inline(sid)
                 break
+            if cancel_ev is not None and not cancel_ev.is_set() and cancelled():
+                # relay the parent-side stop to every worker's sweep hook;
+                # remaining queued shards retire instantly through the
+                # same path, so the run drains rather than aborts
+                cancel_ev.set()
             try:
                 msg = done_q.get(timeout=0.1)
             except Empty:
@@ -445,9 +488,9 @@ def process_fleet_solve(
         # drain the pool: one sentinel per survivor, collect exit snapshots
         for _ in alive:
             task_q.put(None)
-        deadline = time.monotonic() + 10.0
+        drain_by = time.monotonic() + 10.0
         waiting = set(alive) - clean_exited
-        while waiting and time.monotonic() < deadline:
+        while waiting and time.monotonic() < drain_by:
             try:
                 msg = done_q.get(timeout=0.2)
             except Empty:
@@ -500,6 +543,7 @@ def process_fleet_solve(
         shifts=arrays["shifts"],
         variant=plan.variant,
         compactions=sum(m_["compactions"] for m_ in metas if m_),
+        stopped=any(m_.get("stopped", False) for m_ in metas if m_),
         tensors=tensors,
     )
     info = {

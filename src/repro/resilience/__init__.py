@@ -10,6 +10,9 @@ package turns each of those into a structured, recoverable event:
   escalation and seeded, jittered backoff;
 * :mod:`~repro.resilience.checkpoint` — schema-versioned atomic
   checkpoints of completed starts, for bit-for-bit resume;
+* :mod:`~repro.resilience.retention` — newest-first checkpoint pruning
+  (``repro ckpt gc``; ``repro serve --keep N``) so resume loops don't
+  grow the checkpoint directory unboundedly;
 * :mod:`~repro.resilience.runner` — :func:`resilient_multistart`, the
   durable sweep driver tying the above together;
 * :mod:`~repro.resilience.faults` — deterministic fault injection for
@@ -41,6 +44,7 @@ from repro.resilience.guards import (
     record_solve_failure,
     resolve_guards,
 )
+from repro.resilience.retention import list_checkpoints, prune_checkpoints
 from repro.resilience.retry import (
     RetryExhausted,
     RetryOutcome,
@@ -79,8 +83,10 @@ __all__ = [
     "check_resumable",
     "corrupt_tensor",
     "escalate_shift",
+    "list_checkpoints",
     "nan_injecting_pair",
     "new_checkpoint",
+    "prune_checkpoints",
     "read_checkpoint",
     "record_solve_failure",
     "resilient_multistart",

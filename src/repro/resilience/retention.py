@@ -1,0 +1,70 @@
+"""Checkpoint retention: newest-first pruning of ``repro-ckpt/1`` files.
+
+A long-running serve/resume loop writes one checkpoint per job; without
+retention the checkpoint directory grows forever.  ``prune_checkpoints``
+keeps the ``keep`` newest checkpoint files and deletes the rest — and
+*only* files it can positively identify as repro checkpoints (JSON whose
+``schema`` starts with ``repro-ckpt/``), so drain manifests, foreign
+files, and anything unreadable are never touched.  Deletion is
+best-effort per file: a race with another pruner (the file vanishing
+underneath us) is not an error.
+
+Exposed on the CLI as ``repro ckpt gc`` and wired into ``repro serve
+--keep N`` after every completed job.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = ["list_checkpoints", "prune_checkpoints"]
+
+
+def _is_checkpoint(path: Path) -> bool:
+    """Positively identify a repro checkpoint without fully validating it
+    (pruning must work on old schema revisions too)."""
+    try:
+        with path.open() as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+        return False
+    return (isinstance(doc, dict)
+            and str(doc.get("schema", "")).startswith("repro-ckpt/"))
+
+
+def list_checkpoints(directory) -> list[Path]:
+    """Checkpoint files in ``directory``, newest first (by mtime, path
+    as the deterministic tie-break)."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    found = [p for p in directory.glob("*.json")
+             if p.is_file() and _is_checkpoint(p)]
+    return sorted(found,
+                  key=lambda p: (p.stat().st_mtime, str(p)), reverse=True)
+
+
+def prune_checkpoints(directory, *, keep: int, exclude=(),
+                      dry_run: bool = False) -> list[Path]:
+    """Delete all but the ``keep`` newest checkpoints in ``directory``.
+
+    ``exclude`` paths (e.g. the checkpoint of a job still in flight) are
+    never deleted and do not count against ``keep``.  Returns the paths
+    pruned (or, with ``dry_run``, the paths that *would* be pruned).
+    """
+    if keep < 0:
+        raise ValueError(f"keep must be >= 0, got {keep}")
+    excluded = {Path(p).resolve() for p in exclude}
+    candidates = [p for p in list_checkpoints(directory)
+                  if p.resolve() not in excluded]
+    victims = candidates[keep:]
+    pruned = []
+    for path in victims:
+        if not dry_run:
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                continue  # another pruner won the race; same outcome
+        pruned.append(path)
+    return pruned

@@ -1,0 +1,35 @@
+"""``repro.serve`` — the crash-tolerant eigensolver service.
+
+The robustness layer between the fleet engine and real traffic:
+a bounded admission queue (:mod:`repro.serve.admission`), a circuit
+breaker quarantining a crashing process tier
+(:mod:`repro.serve.breaker`), chunk-checkpointing job execution
+(:mod:`repro.serve.jobs`), drain manifests
+(:mod:`repro.serve.drain`), and the stdlib HTTP daemon tying them
+together (:mod:`repro.serve.server`).  ``repro serve`` on the CLI;
+``docs/serve.md`` for the operator's view.
+"""
+
+from repro.serve.admission import AdmissionError, AdmissionQueue
+from repro.serve.breaker import CircuitBreaker
+from repro.serve.drain import (
+    DRAIN_SCHEMA,
+    read_drain_manifest,
+    write_drain_manifest,
+)
+from repro.serve.jobs import Job, JobSpec, run_job
+from repro.serve.server import EigenServer, ServeConfig
+
+__all__ = [
+    "DRAIN_SCHEMA",
+    "AdmissionError",
+    "AdmissionQueue",
+    "CircuitBreaker",
+    "EigenServer",
+    "Job",
+    "JobSpec",
+    "ServeConfig",
+    "read_drain_manifest",
+    "run_job",
+    "write_drain_manifest",
+]

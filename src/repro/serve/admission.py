@@ -1,0 +1,121 @@
+"""Bounded admission queue: explicit rejection instead of unbounded growth.
+
+A service that accepts every request eventually serves none of them — the
+queue grows without bound, every deadline is blown, and memory follows.
+``repro serve`` instead admits work through a fixed-capacity queue and
+rejects the overflow *at the front door* with a structured 429 payload
+carrying ``Retry-After``, so well-behaved clients back off and the jobs
+already admitted keep their latency.
+
+The queue is a thin, thread-safe FIFO (``deque`` + ``Condition``) rather
+than ``queue.Queue`` because admission needs operations Queue hides:
+an atomic admit-or-reject with the current depth, a drain that atomically
+closes intake and returns the unprocessed tail, and a depth gauge pushed
+to metrics on every transition.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+from repro.instrument.metrics import (
+    observe_serve_queue_depth,
+    observe_serve_rejected,
+)
+
+__all__ = ["AdmissionError", "AdmissionQueue"]
+
+
+class AdmissionError(Exception):
+    """A request was refused at admission.
+
+    ``reason`` is machine-readable (``"queue_full"`` / ``"draining"``);
+    ``retry_after`` is the server's backoff hint in seconds (the HTTP
+    layer surfaces it as the ``Retry-After`` header).
+    """
+
+    def __init__(self, reason: str, retry_after: float = 1.0):
+        self.reason = reason
+        self.retry_after = max(1.0, float(retry_after))
+        super().__init__(reason)
+
+
+class AdmissionQueue:
+    """Fixed-capacity FIFO with structured rejection and clean drain."""
+
+    def __init__(self, limit: int):
+        if limit < 1:
+            raise ValueError(f"queue limit must be >= 1, got {limit}")
+        self.limit = int(limit)
+        self._items: deque = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+        # EWMA of job service time, feeding the Retry-After estimate; the
+        # seed value only shapes the very first rejections
+        self._avg_seconds = 1.0
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    def record_service_time(self, seconds: float) -> None:
+        """Fold one completed job's wall time into the backoff estimate."""
+        with self._cond:
+            self._avg_seconds = 0.8 * self._avg_seconds + 0.2 * max(
+                0.001, float(seconds))
+
+    def retry_after(self) -> float:
+        """Backoff hint: roughly one queue-drain of the current backlog."""
+        with self._cond:
+            return max(1.0, len(self._items) * self._avg_seconds)
+
+    def submit(self, item) -> int:
+        """Admit ``item``; returns the queue depth after admission.
+
+        Raises :class:`AdmissionError` (``draining`` / ``queue_full``)
+        instead of blocking or growing past ``limit`` — rejection is the
+        contract, not an error path.
+        """
+        with self._cond:
+            if self._closed:
+                observe_serve_rejected("draining")
+                raise AdmissionError("draining", self._avg_seconds)
+            if len(self._items) >= self.limit:
+                observe_serve_rejected("queue_full")
+                raise AdmissionError(
+                    "queue_full", len(self._items) * self._avg_seconds)
+            self._items.append(item)
+            depth = len(self._items)
+            observe_serve_queue_depth(depth)
+            self._cond.notify()
+            return depth
+
+    def take(self, timeout: float | None = None):
+        """Pop the oldest item, waiting up to ``timeout``; ``None`` on
+        timeout or when the queue has been closed and emptied."""
+        with self._cond:
+            while not self._items:
+                if self._closed:
+                    return None
+                if not self._cond.wait(timeout=timeout):
+                    return None
+            item = self._items.popleft()
+            observe_serve_queue_depth(len(self._items))
+            return item
+
+    def close(self) -> list:
+        """Stop intake and return the unprocessed tail (for the drain
+        manifest).  Waiting ``take()`` callers wake and observe close."""
+        with self._cond:
+            self._closed = True
+            tail = list(self._items)
+            self._items.clear()
+            observe_serve_queue_depth(0)
+            self._cond.notify_all()
+            return tail

@@ -1,0 +1,135 @@
+"""Circuit breaker guarding the process-fleet tier.
+
+The process tier is the fast path and the fragile one: its workers are
+real OS processes that can be OOM-killed or die on corrupted state, and
+while the fleet driver requeues crashed shards, a *persistently* crashing
+tier turns every request into a slow-motion retry storm.  The breaker
+converts repeated failures into a fast, explicit degradation:
+
+``closed``
+    Normal operation — requests may use the process tier.  Consecutive
+    failures are counted; hitting ``threshold`` trips the breaker open.
+``open``
+    The process tier is quarantined; every request runs on the thread
+    tier with ``degraded: true`` until ``reset_after`` seconds pass.
+``half-open``
+    After the cooldown one probe request is allowed through to the
+    process tier.  Success closes the breaker; failure re-opens it and
+    restarts the cooldown.
+
+What counts as a failure is the *caller's* policy (``repro serve``
+records one for any run whose workers crashed — even if the fleet driver
+recovered by requeueing — because a recovered crash still burned a
+requeue budget and signals instability).  The breaker itself only does
+the state machine, thread-safely, against an injectable clock so tests
+never sleep.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.instrument.events import emit as _emit
+from repro.instrument.metrics import observe_breaker_state
+
+__all__ = ["CircuitBreaker"]
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with half-open probing.
+
+    Parameters
+    ----------
+    threshold : consecutive failures that trip the breaker open.
+    reset_after : seconds the breaker stays open before allowing one
+        half-open probe.
+    clock : injectable monotonic clock (tests pass a fake).
+    """
+
+    def __init__(self, threshold: int = 3, reset_after: float = 30.0,
+                 clock=time.monotonic):
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        self.threshold = int(threshold)
+        self.reset_after = float(reset_after)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._failures = 0
+        self._state = "closed"
+        self._opened_at: float | None = None
+        self._probing = False
+        observe_breaker_state("closed")
+
+    @property
+    def state(self) -> str:
+        """``"closed"`` / ``"open"`` / ``"half-open"`` (cooldown expiry
+        is folded in, so an open breaker past its reset window reads as
+        half-open without waiting for the next ``allow()`` call)."""
+        with self._lock:
+            return self._state_locked()
+
+    def _state_locked(self) -> str:
+        if self._state == "open" and self._opened_at is not None \
+                and self._clock() - self._opened_at >= self.reset_after:
+            return "half-open"
+        return self._state
+
+    def _transition(self, state: str) -> None:
+        if state != self._state:
+            self._state = state
+            observe_breaker_state(state)
+            _emit("breaker", state=state)
+
+    def allow(self) -> bool:
+        """May this request use the process tier?
+
+        Closed: yes.  Open: no, until ``reset_after`` has elapsed — then
+        exactly one caller gets a half-open probe (concurrent callers
+        keep degrading until the probe resolves).
+        """
+        with self._lock:
+            state = self._state_locked()
+            if state == "closed":
+                return True
+            if state == "half-open":
+                if self._probing:
+                    return False
+                self._probing = True
+                self._transition("half-open")
+                return True
+            return False
+
+    def record_success(self) -> None:
+        """A process-tier run finished with healthy workers."""
+        with self._lock:
+            self._failures = 0
+            self._probing = False
+            self._opened_at = None
+            self._transition("closed")
+
+    def record_failure(self) -> None:
+        """A process-tier run saw worker crashes (or failed outright)."""
+        with self._lock:
+            state = self._state_locked()
+            if state == "half-open":
+                # failed probe: back to a fresh cooldown
+                self._probing = False
+                self._opened_at = self._clock()
+                self._state = "closed"  # force the transition to re-emit
+                self._transition("open")
+                return
+            self._failures += 1
+            if self._failures >= self.threshold and state == "closed":
+                self._opened_at = self._clock()
+                self._transition("open")
+
+    def snapshot(self) -> dict:
+        """State for ``/healthz``: current state + failure count."""
+        with self._lock:
+            return {
+                "state": self._state_locked(),
+                "consecutive_failures": self._failures,
+                "threshold": self.threshold,
+                "reset_after": self.reset_after,
+            }

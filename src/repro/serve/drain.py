@@ -1,0 +1,82 @@
+"""Drain manifests: the handoff document between a stopping server and
+the ``--resume-dir`` restart that finishes its work.
+
+On SIGTERM/SIGINT the server stops intake, cancels in-flight fleets
+through the engine's lane-retirement path (their completed chunks are
+already checkpointed), and writes a single ``repro-drain/1`` manifest
+listing every job that still needs work: queued jobs verbatim, and
+interrupted jobs with the checkpoint that holds their completed chunks.
+The restart re-enqueues exactly these jobs — same ids, same run ids, same
+specs — then *removes* the manifest before opening intake, so a second
+restart can never duplicate them.
+
+The manifest rides on the same atomic-write + validated-read discipline
+as checkpoints: a crash mid-drain leaves either the previous manifest or
+none, never a torn one.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.instrument.events import provenance
+from repro.resilience.checkpoint import atomic_write_json
+
+__all__ = ["DRAIN_SCHEMA", "read_drain_manifest", "write_drain_manifest"]
+
+DRAIN_SCHEMA = "repro-drain/1"
+
+#: File name inside the checkpoint directory.
+MANIFEST_NAME = "drain.json"
+
+
+def write_drain_manifest(ckpt_dir, entries: list[dict]) -> Path:
+    """Atomically persist the drain manifest; ``entries`` are
+    ``{"job", "run_id", "state", "spec", "checkpoint"}`` records with
+    ``state`` in ``{"queued", "interrupted"}``."""
+    for e in entries:
+        for key in ("job", "run_id", "state", "spec"):
+            if key not in e:
+                raise ValueError(f"drain entry missing {key!r}: {e}")
+        if e["state"] not in ("queued", "interrupted"):
+            raise ValueError(f"bad drain entry state {e['state']!r}")
+    doc = {
+        "schema": DRAIN_SCHEMA,
+        "jobs": entries,
+        **provenance(),
+    }
+    return atomic_write_json(Path(ckpt_dir) / MANIFEST_NAME, doc)
+
+
+def read_drain_manifest(ckpt_dir) -> list[dict] | None:
+    """Load and validate the manifest; ``None`` when there is nothing to
+    resume.  Corrupt manifests raise :class:`ValueError` with a specific
+    message rather than a decode traceback."""
+    path = Path(ckpt_dir) / MANIFEST_NAME
+    if not path.exists():
+        return None
+    try:
+        doc = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ValueError(
+            f"{path} is not valid drain-manifest JSON: {exc}") from exc
+    if not isinstance(doc, dict) or doc.get("schema") != DRAIN_SCHEMA:
+        raise ValueError(
+            f"{path}: unknown drain manifest schema "
+            f"{doc.get('schema') if isinstance(doc, dict) else None!r} "
+            f"(this build reads {DRAIN_SCHEMA!r})")
+    jobs = doc.get("jobs")
+    if not isinstance(jobs, list):
+        raise ValueError(f"{path}: manifest 'jobs' must be a list")
+    return jobs
+
+
+def clear_drain_manifest(ckpt_dir) -> None:
+    """Remove the manifest (idempotent) — called after its jobs have been
+    re-enqueued, so a crash-restart loop cannot double-submit them."""
+    path = Path(ckpt_dir) / MANIFEST_NAME
+    try:
+        path.unlink()
+    except FileNotFoundError:
+        pass

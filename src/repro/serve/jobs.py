@@ -1,0 +1,413 @@
+"""Serve-side job model: specs, lifecycle, and the checkpointing runner.
+
+A *job* is one solve request flowing through the daemon: a declarative
+:class:`JobSpec` (everything needed to rebuild the exact problem — a
+tensor recipe, a starts seed, solver parameters), a mutable :class:`Job`
+tracking its lifecycle, and :func:`run_job`, which executes the spec in
+tensor *chunks* with a ``repro-ckpt/1`` checkpoint written after every
+chunk.
+
+Chunked checkpointing is what makes drain/resume bit-for-bit: per-tensor
+rows of a fleet result depend only on (tensor, starting vectors) — shard
+boundaries change scheduling, never arithmetic — so completed chunks
+recorded as JSON (Python's float repr round-trips ``float64`` exactly)
+can be merged with freshly solved chunks and match an uninterrupted run
+to the last bit.  A drain interrupts *between* chunks: the in-flight
+chunk cancels through the engine's lane-retirement ``stop=`` hook and is
+discarded; everything checkpointed stays.
+
+The runner is also where the circuit breaker meets the fleet: a chunk
+asking for the process tier consults the breaker first, a run whose
+workers crashed (even if recovered by requeueing) records a failure, and
+an open breaker reroutes chunks to the thread tier with the job marked
+``degraded``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.multistart import starting_vectors
+from repro.instrument.events import emit as _emit, new_run_id
+from repro.instrument.log import get_logger
+from repro.instrument.metrics import observe_serve_degraded, observe_serve_job
+from repro.resilience.checkpoint import (
+    check_resumable,
+    new_checkpoint,
+    read_checkpoint,
+    tensor_fingerprint,
+    write_checkpoint,
+)
+from repro.symtensor.random import random_symmetric_batch
+from repro.symtensor.storage import SymmetricTensorBatch
+
+__all__ = ["Job", "JobSpec", "run_job"]
+
+_log = get_logger("serve.jobs")
+
+#: Terminal job states (``done_event`` is set exactly when one is reached).
+TERMINAL = frozenset({"done", "failed", "interrupted", "deadline"})
+
+
+class BadSpec(ValueError):
+    """A request document that cannot be turned into a runnable spec."""
+
+
+@dataclass
+class JobSpec:
+    """Declarative description of one solve request.
+
+    ``tensors`` is a recipe, not a payload: ``{"kind": "random", "count",
+    "m", "n", "seed"}`` rebuilds the batch deterministically (the same
+    recipe the CLI's checkpoint ``source`` uses), and ``{"kind":
+    "values", "values", "m", "n"}`` carries the unique-value rows inline.
+    Both reconstruct the identical batch on resume, which the checkpoint
+    layer verifies by fingerprint.
+    """
+
+    tensors: dict
+    num_starts: int = 8
+    seed: int = 0
+    alpha: float = 0.0
+    tol: float = 1e-8
+    max_iters: int = 200
+    workers: int = 1
+    executor: str = "thread"
+    chunk: int = 16
+    deadline_seconds: float | None = None
+    faults: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_doc(cls, doc: dict) -> "JobSpec":
+        if not isinstance(doc, dict):
+            raise BadSpec("request body must be a JSON object")
+        tensors = doc.get("tensors")
+        if not isinstance(tensors, dict):
+            raise BadSpec("request needs a 'tensors' object")
+        kind = tensors.get("kind", "random")
+        if kind == "random":
+            for key in ("count", "m", "n"):
+                if not isinstance(tensors.get(key), int) or tensors[key] < 1:
+                    raise BadSpec(
+                        f"tensors.{key} must be a positive integer")
+            tensors.setdefault("seed", 0)
+        elif kind == "values":
+            if not isinstance(tensors.get("values"), list):
+                raise BadSpec("tensors.values must be a list of rows")
+            for key in ("m", "n"):
+                if not isinstance(tensors.get(key), int):
+                    raise BadSpec(f"tensors.{key} must be an integer")
+        else:
+            raise BadSpec(f"unknown tensors.kind {kind!r}")
+        executor = doc.get("executor", "thread")
+        if executor not in ("thread", "process", "auto"):
+            raise BadSpec(f"executor must be thread/process/auto, "
+                          f"got {executor!r}")
+        deadline = doc.get("deadline_seconds")
+        if deadline is not None and (not isinstance(deadline, (int, float))
+                                     or deadline <= 0):
+            raise BadSpec("deadline_seconds must be a positive number")
+        try:
+            spec = cls(
+                tensors=tensors,
+                num_starts=int(doc.get("num_starts", 8)),
+                seed=int(doc.get("seed", 0)),
+                alpha=float(doc.get("alpha", 0.0)),
+                tol=float(doc.get("tol", 1e-8)),
+                max_iters=int(doc.get("max_iters", 200)),
+                workers=int(doc.get("workers", 1)),
+                executor=executor,
+                chunk=int(doc.get("chunk", 16)),
+                deadline_seconds=(float(deadline) if deadline is not None
+                                  else None),
+                faults={int(k): v
+                        for k, v in (doc.get("faults") or {}).items()},
+            )
+        except (TypeError, ValueError) as exc:
+            raise BadSpec(f"invalid solver parameter: {exc}") from exc
+        if spec.num_starts < 1 or spec.max_iters < 1 or spec.chunk < 1 \
+                or spec.workers < 1:
+            raise BadSpec("num_starts/max_iters/chunk/workers must be >= 1")
+        return spec
+
+    def to_doc(self) -> dict:
+        return {
+            "tensors": self.tensors,
+            "num_starts": self.num_starts,
+            "seed": self.seed,
+            "alpha": self.alpha,
+            "tol": self.tol,
+            "max_iters": self.max_iters,
+            "workers": self.workers,
+            "executor": self.executor,
+            "chunk": self.chunk,
+            "deadline_seconds": self.deadline_seconds,
+            "faults": {str(k): v for k, v in self.faults.items()},
+        }
+
+    def build_batch(self) -> SymmetricTensorBatch:
+        """Rebuild the tensor batch the recipe describes (deterministic:
+        the resumed process gets the byte-identical batch)."""
+        t = self.tensors
+        if t.get("kind", "random") == "random":
+            return random_symmetric_batch(
+                t["count"], m=t["m"], n=t["n"], rng=int(t.get("seed", 0)))
+        values = np.asarray(t["values"], dtype=np.float64)
+        return SymmetricTensorBatch(values, t["m"], t["n"])
+
+    def build_starts(self, n: int) -> np.ndarray:
+        return starting_vectors(self.num_starts, n, scheme="random",
+                                rng=self.seed)
+
+
+class Job:
+    """One request's mutable lifecycle state (thread-safe via ``lock``)."""
+
+    def __init__(self, job_id: str, spec: JobSpec, run_id: str | None = None):
+        self.id = job_id
+        self.spec = spec
+        self.run_id = run_id or new_run_id()
+        self.status = "queued"
+        self.degraded = False
+        self.error: str | None = None
+        self.created = time.time()
+        self.seconds: float | None = None
+        self.result: dict | None = None
+        self.checkpoint: str | None = None
+        self.stop_event = threading.Event()
+        self.done_event = threading.Event()
+        self.lock = threading.Lock()
+
+    def finish(self, status: str, *, error: str | None = None) -> None:
+        assert status in TERMINAL, status
+        with self.lock:
+            self.status = status
+            self.error = error
+            self.seconds = time.time() - self.created
+        self.done_event.set()
+        observe_serve_job(status, self.seconds)
+        _emit("job_finish", job=self.id, status=status, seconds=self.seconds)
+
+    def to_doc(self) -> dict:
+        with self.lock:
+            doc = {
+                "job": self.id,
+                "run_id": self.run_id,
+                "status": self.status,
+                "degraded": self.degraded,
+                "seconds": self.seconds,
+                "checkpoint": self.checkpoint,
+            }
+            if self.error is not None:
+                doc["error"] = self.error
+            if self.result is not None:
+                doc["result"] = self.result
+        return doc
+
+
+def _row_record(result, t: int) -> dict:
+    """One tensor's rows of a fleet result as a JSON-exact record."""
+    return {
+        "eigenvalues": result.eigenvalues[t].tolist(),
+        "eigenvectors": result.eigenvectors[t].tolist(),
+        "converged": result.converged[t].tolist(),
+        "iterations": result.iterations[t].tolist(),
+        "failed": result.failed[t].tolist(),
+        "shifts": (result.shifts[t].tolist()
+                   if result.shifts is not None else None),
+    }
+
+
+def _merge_rows(rows: dict, T: int, V: int, n: int) -> dict:
+    """Assemble the per-tensor records into the job's result document.
+
+    Tensors with no record (a deadline fired before their chunk ran) get
+    NaN/failed placeholder rows — the same never-drop contract as the
+    fleet's write-off path.
+    """
+    lam = np.full((T, V), np.nan)
+    vec = np.full((T, V, n), np.nan)
+    conv = np.zeros((T, V), dtype=bool)
+    iters = np.zeros((T, V), dtype=np.int64)
+    failed = np.ones((T, V), dtype=bool)
+    shifts = np.full((T, V), np.nan)
+    for t, rec in rows.items():
+        lam[t] = rec["eigenvalues"]
+        vec[t] = rec["eigenvectors"]
+        conv[t] = rec["converged"]
+        iters[t] = rec["iterations"]
+        failed[t] = rec["failed"]
+        if rec.get("shifts") is not None:
+            shifts[t] = rec["shifts"]
+    return {
+        "eigenvalues": lam.tolist(),
+        "eigenvectors": vec.tolist(),
+        "converged": conv.tolist(),
+        "iterations": iters.tolist(),
+        "failed": failed.tolist(),
+        "shifts": shifts.tolist(),
+        "tensors_solved": sorted(rows),
+    }
+
+
+def run_job(job: Job, *, breaker=None, ckpt_dir=None, keep: int = 0) -> None:
+    """Execute ``job`` chunk by chunk; always leaves it in a terminal
+    state (the runner thread must survive any single job).
+
+    ``breaker`` gates the process tier; ``ckpt_dir`` enables chunk
+    checkpointing (without it a drain loses in-flight work — the server
+    always passes one); ``keep`` > 0 prunes old checkpoint files after a
+    successful job.
+    """
+    from repro.parallel.fleet import parallel_fleet_solve
+
+    spec = job.spec
+    _emit("job_start", job=job.id)
+    with job.lock:
+        job.status = "running"
+    try:
+        batch = spec.build_batch()
+        starts = spec.build_starts(batch.n)
+    except Exception as exc:
+        job.finish("failed", error=f"bad problem spec: {exc}")
+        return
+    T, V = len(batch), starts.shape[0]
+
+    deadline = (job.created + spec.deadline_seconds
+                if spec.deadline_seconds is not None else None)
+
+    ckpt_path = None
+    ckpt = None
+    rows: dict[int, dict] = {}
+    if ckpt_dir is not None:
+        ckpt_path = Path(ckpt_dir) / f"job-{job.id}.json"
+        job.checkpoint = str(ckpt_path)
+        fingerprint = tensor_fingerprint(batch)
+        if ckpt_path.exists():
+            try:
+                ckpt = read_checkpoint(ckpt_path)
+                check_resumable(
+                    ckpt, fingerprint=fingerprint,
+                    num_starts=spec.num_starts, seed=spec.seed,
+                    alpha=spec.alpha, tol=spec.tol,
+                    max_iters=spec.max_iters)
+                rows = {int(k): v for k, v in ckpt["starts"].items()}
+                _log.info("resuming job from checkpoint",
+                          fields={"job": job.id,
+                                  "tensors_done": len(rows)})
+            except ValueError as exc:
+                _log.warning("ignoring stale checkpoint",
+                             fields={"job": job.id, "error": str(exc)})
+                ckpt = None
+                rows = {}
+        if ckpt is None:
+            ckpt = new_checkpoint(
+                fingerprint=fingerprint, num_starts=spec.num_starts,
+                seed=spec.seed, alpha=spec.alpha, tol=spec.tol,
+                max_iters=spec.max_iters,
+                source={"kind": "serve-job", "job": job.id,
+                        "spec": spec.to_doc()})
+            ckpt["run"]["run_id"] = job.run_id
+
+    hit_deadline = False
+    for lo in range(0, T, spec.chunk):
+        hi = min(lo + spec.chunk, T)
+        if all(t in rows for t in range(lo, hi)):
+            continue  # chunk fully checkpointed by a previous life
+        if job.stop_event.is_set():
+            job.finish("interrupted")
+            return
+        if deadline is not None and time.time() >= deadline:
+            hit_deadline = True
+            break
+
+        executor = spec.executor
+        degraded_chunk = False
+        if executor in ("process", "auto") and breaker is not None \
+                and not breaker.allow():
+            executor = "thread"
+            degraded_chunk = True
+        if degraded_chunk and not job.degraded:
+            with job.lock:
+                job.degraded = True
+            observe_serve_degraded()
+
+        sub = batch.subset(np.arange(lo, hi))
+        # chaos faults are shard-relative within one chunk run; inject
+        # only on the chunk that covers the faulted shard ids, once
+        faults = spec.faults if (lo == 0 and spec.faults) else None
+        attempt_process = executor in ("process", "auto")
+        try:
+            report = parallel_fleet_solve(
+                sub, workers=min(spec.workers, len(sub)),
+                starts=starts, alpha=spec.alpha, tol=spec.tol,
+                max_iters=spec.max_iters, executor=executor,
+                stop=job.stop_event.is_set, deadline=deadline,
+                faults=faults,
+            )
+        except Exception as exc:
+            if attempt_process and breaker is not None:
+                breaker.record_failure()
+                # degrade this chunk to the thread tier and carry on
+                with job.lock:
+                    job.degraded = True
+                observe_serve_degraded()
+                _log.warning("process tier failed; retrying on threads",
+                             fields={"job": job.id, "chunk": lo,
+                                     "error": str(exc)})
+                try:
+                    report = parallel_fleet_solve(
+                        sub, workers=min(spec.workers, len(sub)),
+                        starts=starts, alpha=spec.alpha, tol=spec.tol,
+                        max_iters=spec.max_iters, executor="thread",
+                        stop=job.stop_event.is_set, deadline=deadline,
+                    )
+                except Exception as exc2:
+                    job.finish("failed", error=str(exc2))
+                    return
+            else:
+                job.finish("failed", error=str(exc))
+                return
+        else:
+            if attempt_process and breaker is not None:
+                # a recovered crash (requeues) still signals instability
+                if report.requeues or report.failed_shards:
+                    breaker.record_failure()
+                elif report.executor == "process":
+                    breaker.record_success()
+
+        result = report.result
+        if result.stopped and job.stop_event.is_set():
+            # drain: the cancelled chunk is partial — discard it; the
+            # checkpoint already holds every completed chunk
+            job.finish("interrupted")
+            return
+        for t in range(lo, hi):
+            rows[t] = _row_record(result, t - lo)
+        if ckpt is not None:
+            ckpt["starts"] = {str(t): rows[t] for t in sorted(rows)}
+            write_checkpoint(ckpt_path, ckpt)
+        if result.stopped:
+            hit_deadline = True
+            break
+
+    with job.lock:
+        job.result = _merge_rows(rows, T, V, batch.n)
+    if hit_deadline:
+        job.finish("deadline")
+    else:
+        job.finish("done")
+        if keep and ckpt_dir is not None:
+            from repro.resilience.retention import prune_checkpoints
+
+            try:
+                prune_checkpoints(ckpt_dir, keep=keep,
+                                  exclude={Path(ckpt_path)})
+            except OSError as exc:  # pragma: no cover - fs races
+                _log.warning("checkpoint pruning failed",
+                             fields={"error": str(exc)})

@@ -44,6 +44,11 @@ SIGNATURES = [
     "repro.instrument.validate_event",
     "repro.instrument.configure_logging",
     "repro.instrument.get_logger",
+    "repro.serve.run_job",
+    "repro.serve.CircuitBreaker",
+    "repro.serve.AdmissionQueue",
+    "repro.resilience.prune_checkpoints",
+    "repro.resilience.list_checkpoints",
 ]
 
 DATACLASSES = [
@@ -53,16 +58,22 @@ DATACLASSES = [
     "repro.kernels.codegen.EmittedKernel",
     "repro.kernels.plan.KernelPlan",
     "repro.parallel.FleetRunReport",
+    "repro.serve.JobSpec",
+    "repro.serve.ServeConfig",
 ]
 
 
 def _resolve(dotted: str):
-    import repro  # noqa: F401 — root of every dotted path
+    import importlib
 
     parts = dotted.split(".")
-    obj = __import__(parts[0])
-    for p in parts[1:]:
-        obj = getattr(obj, p)
+    obj = importlib.import_module(parts[0])
+    for i, p in enumerate(parts[1:], start=2):
+        try:
+            obj = getattr(obj, p)
+        except AttributeError:
+            # lazily-loaded subpackage (e.g. repro.serve): import it
+            obj = importlib.import_module(".".join(parts[:i]))
     return obj
 
 

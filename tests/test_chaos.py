@@ -331,6 +331,75 @@ class TestProcessFleetChaos:
         assert active_segments() == []
 
 
+class TestServeDrainChaos:
+    """SIGTERM against a live ``repro serve`` running a *process-tier*
+    fleet: the daemon must drain gracefully (exit 0), checkpoint the
+    interrupted job into a ``repro-drain/1`` manifest, and leave no
+    ``/dev/shm`` segment behind."""
+
+    def test_sigterm_drains_checkpoints_no_shm_leak(self, tmp_path):
+        import json as _json
+        import signal as _signal
+        import subprocess
+        import sys
+        import time as _time
+        import urllib.request
+
+        from repro.parallel.shm import SHM_AVAILABLE, active_segments
+        from repro.serve.drain import read_drain_manifest
+
+        if not SHM_AVAILABLE:
+            pytest.skip("shared_memory unavailable")
+        ckpt = tmp_path / "ckpt"
+        spec = {"tensors": {"kind": "random", "count": 12, "m": 4, "n": 8,
+                            "seed": CHAOS_SEED % 1000},
+                "num_starts": 12, "seed": 7, "max_iters": 2000,
+                "tol": 1e-14, "chunk": 2, "executor": "process",
+                "workers": 2}
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+             "--runners", "1", "--checkpoint-dir", str(ckpt)],
+            stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True,
+            env={**os.environ, "PYTHONPATH": str(ROOT / "src")},
+            cwd=str(tmp_path),
+        )
+        try:
+            ready = _json.loads(proc.stdout.readline())
+            assert ready["event"] == "ready"
+            base = f"http://{ready['host']}:{ready['port']}"
+            req = urllib.request.Request(
+                base + "/solve", data=_json.dumps(spec).encode(),
+                method="POST",
+                headers={"Content-Type": "application/json"})
+            with urllib.request.urlopen(req, timeout=30) as resp:
+                assert resp.status == 202
+                job = _json.load(resp)["job"]
+            deadline = _time.time() + 15
+            while _time.time() < deadline:
+                with urllib.request.urlopen(f"{base}/jobs/{job}",
+                                            timeout=10) as resp:
+                    if _json.load(resp)["status"] == "running":
+                        break
+                _time.sleep(0.02)
+            _time.sleep(0.6)  # let the process fleet get mid-flight
+            proc.send_signal(_signal.SIGTERM)
+            out, _ = proc.communicate(timeout=120)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 0
+        drained = _json.loads(out.strip().splitlines()[-1])
+        assert drained["event"] == "drained" and drained["status"] == 0
+        entries = read_drain_manifest(ckpt)
+        assert entries and entries[0]["state"] == "interrupted"
+        assert entries[0]["job"] == job
+        # the interrupted job checkpointed its completed chunks
+        ck = _json.loads((ckpt / f"job-{job}.json").read_text())
+        assert ck["schema"].startswith("repro-ckpt/") and ck["starts"]
+        assert active_segments() == []
+
+
 class TestObservabilityUnderChaos:
     """The observability plane must survive the faults the fleet
     survives: a SIGKILL'd worker leaves a parseable (truncation-safe)

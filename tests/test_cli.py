@@ -97,6 +97,124 @@ class TestParser:
             main(["frobnicate"])
 
 
+class TestExitCodes:
+    """Spec-12 contract: bad input and unreadable files exit 2 (not a
+    traceback, not exit 1 — that's reserved for 'ran but found nothing')."""
+
+    def test_detect_unreadable_file_exits_2(self, capsys):
+        assert main(["detect", "/nonexistent/phantom.npz"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_phantom_unwritable_output_exits_2(self, capsys):
+        assert main(["phantom", "--rows", "2", "--cols", "2",
+                     "--gradients", "16",
+                     "-o", "/nonexistent/dir/p.npz"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_phantom_bad_parameters_exit_2(self, capsys):
+        assert main(["phantom", "--rows", "2", "--cols", "2",
+                     "--gradients", "1", "-o", "p.npz"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_report_unreadable_trace_exits_2(self, capsys):
+        assert main(["report", "/nonexistent/trace.json"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_fleet_solve_unreadable_batch_exits_2(self, capsys):
+        assert main(["fleet-solve", "--batch", "/nonexistent/b.npz"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_cudagen_unwritable_output_exits_2(self, capsys):
+        assert main(["cudagen", "-o", "/nonexistent/dir/k.cu"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_ckpt_gc_negative_keep_exits_2(self, tmp_path, capsys):
+        assert main(["ckpt", "gc", str(tmp_path), "--keep", "-1"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestJsonOutput:
+    """The --json contract: exactly one parseable document on stdout."""
+
+    def test_fleet_solve_json(self, capsys):
+        import json
+
+        assert main(["fleet-solve", "--tensors", "4", "--m", "3", "--n", "4",
+                     "--starts", "4", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["tensors"] == 4 and doc["starts"] == 4
+        assert doc["converged"] >= 1 and doc["stopped"] is False
+        assert len(doc["eigenvalues"]) == 4
+        assert doc["solver"].startswith("fleet")
+
+    def test_fleet_solve_json_includes_shards(self, capsys):
+        import json
+
+        assert main(["fleet-solve", "--tensors", "6", "--m", "3", "--n", "4",
+                     "--starts", "4", "--workers", "2", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["shards"]["workers"] == 2
+        assert sum(doc["shards"]["sizes"]) == 6
+        assert doc["shards"]["executor"] in ("thread", "process")
+
+    def test_report_json(self, capsys):
+        import json
+        from pathlib import Path
+
+        trace = (Path(__file__).resolve().parents[1] / "benchmarks"
+                 / "results" / "mri_pipeline_trace.trace.json")
+        assert main(["report", str(trace), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc.get("schema", "").startswith("repro-trace/")
+
+
+class TestCkptCli:
+    def _seed_dir(self, tmp_path):
+        import json
+        import os as _os
+
+        for i in range(3):
+            p = tmp_path / f"c{i}.json"
+            p.write_text(json.dumps({"schema": "repro-ckpt/1",
+                                     "starts": {}}))
+            _os.utime(p, (1000 + i, 1000 + i))
+        (tmp_path / "drain.json").write_text(
+            json.dumps({"schema": "repro-drain/1", "jobs": []}))
+
+    def test_gc_prunes_and_reports_json(self, tmp_path, capsys):
+        import json
+
+        self._seed_dir(tmp_path)
+        assert main(["ckpt", "gc", str(tmp_path), "--keep", "1",
+                     "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert sorted(p.rsplit("/", 1)[-1] for p in doc["pruned"]) == [
+            "c0.json", "c1.json"]
+        assert [p.rsplit("/", 1)[-1] for p in doc["kept"]] == ["c2.json"]
+        # the drain manifest is not a checkpoint; gc must not touch it
+        assert (tmp_path / "drain.json").exists()
+        assert not (tmp_path / "c0.json").exists()
+
+    def test_gc_dry_run_deletes_nothing(self, tmp_path, capsys):
+        import json
+
+        self._seed_dir(tmp_path)
+        assert main(["ckpt", "gc", str(tmp_path), "--keep", "0",
+                     "--dry-run", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["dry_run"] and len(doc["pruned"]) == 3
+        assert len(list(tmp_path.glob("c*.json"))) == 3
+
+    def test_list_newest_first(self, tmp_path, capsys):
+        import json
+
+        self._seed_dir(tmp_path)
+        assert main(["ckpt", "list", str(tmp_path), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        names = [p.rsplit("/", 1)[-1] for p in doc["checkpoints"]]
+        assert names == ["c2.json", "c1.json", "c0.json"]
+
+
 class TestVersionFlag:
     def test_version_prints_and_exits(self, capsys):
         with pytest.raises(SystemExit) as exc:
