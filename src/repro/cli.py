@@ -502,7 +502,7 @@ def _cmd_cudagen(args) -> int:
 def _cmd_serve(args) -> int:
     import json as _json
 
-    from repro.serve import EigenServer, ServeConfig
+    from repro.serve import AdmissionError, EigenServer, ServeConfig
 
     config = ServeConfig(
         host=args.host,
@@ -519,7 +519,7 @@ def _cmd_serve(args) -> int:
     try:
         server = EigenServer(config)
         host, port = server.start()
-    except (OSError, ValueError) as exc:
+    except (OSError, ValueError, AdmissionError) as exc:
         print(f"error: cannot start server: {exc}", file=sys.stderr)
         return 2
     # machine-readable readiness line: supervisors (and the soak test)

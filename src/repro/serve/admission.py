@@ -75,18 +75,24 @@ class AdmissionQueue:
         with self._cond:
             return max(1.0, len(self._items) * self._avg_seconds)
 
-    def submit(self, item) -> int:
+    def submit(self, item, *, force: bool = False) -> int:
         """Admit ``item``; returns the queue depth after admission.
 
         Raises :class:`AdmissionError` (``draining`` / ``queue_full``)
         instead of blocking or growing past ``limit`` — rejection is the
-        contract, not an error path.
+        contract, not an error path.  ``force=True`` skips the capacity
+        check (still refuses a closed queue): drain-manifest resume must
+        re-admit every drained job even when the manifest outnumbers
+        ``limit`` — a drain taken under load holds up to ``limit`` queued
+        entries *plus* the interrupted in-flight ones.  The overfull
+        queue reads as not-ready in ``/healthz`` until it drains below
+        ``limit``, which is the correct backpressure signal.
         """
         with self._cond:
             if self._closed:
                 observe_serve_rejected("draining")
                 raise AdmissionError("draining", self._avg_seconds)
-            if len(self._items) >= self.limit:
+            if not force and len(self._items) >= self.limit:
                 observe_serve_rejected("queue_full")
                 raise AdmissionError(
                     "queue_full", len(self._items) * self._avg_seconds)
@@ -96,9 +102,18 @@ class AdmissionQueue:
             self._cond.notify()
             return depth
 
-    def take(self, timeout: float | None = None):
+    def take(self, timeout: float | None = None, register=None):
         """Pop the oldest item, waiting up to ``timeout``; ``None`` on
-        timeout or when the queue has been closed and emptied."""
+        timeout or when the queue has been closed and emptied.
+
+        ``register(item)``, when given, runs under the queue lock before
+        the item is returned, making pop + mark-in-flight one atomic
+        step.  Without it there is a lost-job window: a consumer that
+        popped but has not yet recorded the item sees it in neither the
+        ``close()`` tail nor its own in-flight set.  ``close()`` takes
+        the same lock, so once it returns every popped item has already
+        been registered.
+        """
         with self._cond:
             while not self._items:
                 if self._closed:
@@ -106,6 +121,8 @@ class AdmissionQueue:
                 if not self._cond.wait(timeout=timeout):
                     return None
             item = self._items.popleft()
+            if register is not None:
+                register(item)
             observe_serve_queue_depth(len(self._items))
             return item
 

@@ -59,6 +59,7 @@ class CircuitBreaker:
         self._state = "closed"
         self._opened_at: float | None = None
         self._probing = False
+        self._probe_started: float | None = None
         observe_breaker_state("closed")
 
     @property
@@ -87,24 +88,50 @@ class CircuitBreaker:
         Closed: yes.  Open: no, until ``reset_after`` has elapsed — then
         exactly one caller gets a half-open probe (concurrent callers
         keep degrading until the probe resolves).
+
+        The probe is a *lease*, not a permanent claim: a holder that
+        never reports an outcome (crashed caller, or a run that resolved
+        to the thread tier so the process tier was never exercised)
+        would otherwise wedge the breaker half-open forever.  After
+        ``reset_after`` seconds without a verdict the lease expires and
+        the next caller gets a fresh probe.  Callers that *know* they
+        did not exercise the process tier should call
+        :meth:`abandon_probe` to hand the lease back immediately.
         """
         with self._lock:
             state = self._state_locked()
             if state == "closed":
                 return True
             if state == "half-open":
-                if self._probing:
+                if self._probing and self._probe_started is not None \
+                        and self._clock() - self._probe_started \
+                        < self.reset_after:
                     return False
                 self._probing = True
+                self._probe_started = self._clock()
                 self._transition("half-open")
                 return True
             return False
+
+    def abandon_probe(self) -> None:
+        """Hand back an unresolved half-open probe lease.
+
+        For the caller whose ``allow()``-granted run never touched the
+        process tier (e.g. ``executor="auto"`` resolved to threads and
+        finished cleanly): no verdict either way, so the breaker stays
+        half-open and the *next* request probes instead of waiting out
+        the lease timeout.  No-op when no probe is outstanding.
+        """
+        with self._lock:
+            self._probing = False
+            self._probe_started = None
 
     def record_success(self) -> None:
         """A process-tier run finished with healthy workers."""
         with self._lock:
             self._failures = 0
             self._probing = False
+            self._probe_started = None
             self._opened_at = None
             self._transition("closed")
 
@@ -115,6 +142,7 @@ class CircuitBreaker:
             if state == "half-open":
                 # failed probe: back to a fresh cooldown
                 self._probing = False
+                self._probe_started = None
                 self._opened_at = self._clock()
                 self._state = "closed"  # force the transition to re-emit
                 self._transition("open")

@@ -255,14 +255,18 @@ def _merge_rows(rows: dict, T: int, V: int, n: int) -> dict:
     }
 
 
-def run_job(job: Job, *, breaker=None, ckpt_dir=None, keep: int = 0) -> None:
+def run_job(job: Job, *, breaker=None, ckpt_dir=None, keep: int = 0,
+            protect=None) -> None:
     """Execute ``job`` chunk by chunk; always leaves it in a terminal
     state (the runner thread must survive any single job).
 
     ``breaker`` gates the process tier; ``ckpt_dir`` enables chunk
     checkpointing (without it a drain loses in-flight work — the server
     always passes one); ``keep`` > 0 prunes old checkpoint files after a
-    successful job.
+    successful job.  ``protect`` is a zero-argument callable returning
+    checkpoint paths that pruning must never touch — the server passes
+    its live in-flight set, so one job finishing cannot delete the
+    checkpoint another running job would need at the next drain.
     """
     from repro.parallel.fleet import parallel_fleet_solve
 
@@ -315,6 +319,14 @@ def run_job(job: Job, *, breaker=None, ckpt_dir=None, keep: int = 0) -> None:
             ckpt["run"]["run_id"] = job.run_id
 
     hit_deadline = False
+    # Chaos fault keys live in a job-global shard-id space: the shard ids
+    # of each chunk's fleet run, concatenated in chunk order.  Each run's
+    # report tells us how many shards it actually used, so keys are
+    # rebased as chunks complete and a fault lands on whichever chunk run
+    # contains its shard.  (After a resume the skipped chunks' shard
+    # counts are unknown, so fault placement is exact only within one
+    # process life — fine for chaos injection.)
+    shards_seen = 0
     for lo in range(0, T, spec.chunk):
         hi = min(lo + spec.chunk, T)
         if all(t in rows for t in range(lo, hi)):
@@ -338,9 +350,10 @@ def run_job(job: Job, *, breaker=None, ckpt_dir=None, keep: int = 0) -> None:
             observe_serve_degraded()
 
         sub = batch.subset(np.arange(lo, hi))
-        # chaos faults are shard-relative within one chunk run; inject
-        # only on the chunk that covers the faulted shard ids, once
-        faults = spec.faults if (lo == 0 and spec.faults) else None
+        faults = None
+        if spec.faults:
+            faults = {k - shards_seen: v for k, v in spec.faults.items()
+                      if k >= shards_seen} or None
         attempt_process = executor in ("process", "auto")
         try:
             report = parallel_fleet_solve(
@@ -380,6 +393,14 @@ def run_job(job: Job, *, breaker=None, ckpt_dir=None, keep: int = 0) -> None:
                     breaker.record_failure()
                 elif report.executor == "process":
                     breaker.record_success()
+                else:
+                    # clean run that resolved to the thread tier (e.g.
+                    # executor="auto"): the process tier was never
+                    # exercised, so a held half-open probe must be
+                    # handed back — neither verdict applies, and keeping
+                    # the lease would block every later probe
+                    breaker.abandon_probe()
+            shards_seen += len(report.shard_sizes)
 
         result = report.result
         if result.stopped and job.stop_event.is_set():
@@ -405,9 +426,11 @@ def run_job(job: Job, *, breaker=None, ckpt_dir=None, keep: int = 0) -> None:
         if keep and ckpt_dir is not None:
             from repro.resilience.retention import prune_checkpoints
 
+            exclude = {Path(ckpt_path)}
+            if protect is not None:
+                exclude.update(Path(p) for p in protect() if p)
             try:
-                prune_checkpoints(ckpt_dir, keep=keep,
-                                  exclude={Path(ckpt_path)})
+                prune_checkpoints(ckpt_dir, keep=keep, exclude=exclude)
             except OSError as exc:  # pragma: no cover - fs races
                 _log.warning("checkpoint pruning failed",
                              fields={"error": str(exc)})

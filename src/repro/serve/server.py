@@ -161,6 +161,10 @@ class EigenServer:
             return {"queued": 0, "interrupted": 0, "manifest": None}
         self.draining = True
         queued_jobs = self.queue.close()
+        # close() and take(register=...) serialize on the queue lock, so
+        # every job popped before close is already in _running here —
+        # between the tail above and this snapshot, no job can fall
+        # through the crack and be silently lost by the drain
         with self._jobs_lock:
             running = [self.jobs[j] for j in self._running if j in self.jobs]
         _emit("drain_start", inflight=len(running), queued=len(queued_jobs))
@@ -212,7 +216,13 @@ class EigenServer:
             job = Job(entry["job"], spec, run_id=entry["run_id"])
             with self._jobs_lock:
                 self.jobs[job.id] = job
-            self.queue.submit(job)
+            # force: a drain taken under load writes up to queue_limit
+            # queued entries plus the interrupted in-flight ones, so the
+            # manifest can legitimately exceed the queue limit — resumed
+            # jobs were already admitted in a previous life and must
+            # never be bounced by the capacity check (/healthz simply
+            # reads not-ready until the backlog drains below the limit)
+            self.queue.submit(job, force=True)
             _emit("job_submit", job=job.id, resumed=True)
         clear_drain_manifest(resume_dir)
         _log.info("resumed drained jobs", fields={"count": len(entries)})
@@ -265,17 +275,34 @@ class EigenServer:
     # ------------------------------------------------------------------
     # runners
 
+    def _register_running(self, job: Job) -> None:
+        """Mark ``job`` in-flight; runs under the queue lock via
+        ``take(register=...)`` so pop + register is atomic with respect
+        to ``queue.close()`` — after close returns, every popped job is
+        visible in ``_running`` and the drain can never miss one in the
+        window between pop and registration."""
+        with self._jobs_lock:
+            self._running.add(job.id)
+
+    def _live_checkpoints(self) -> list[str]:
+        """Checkpoint paths of every in-flight job — the prune-protect
+        set, so one job's retention pass cannot delete a checkpoint a
+        concurrently running job still needs at the next drain."""
+        with self._jobs_lock:
+            return [self.jobs[j].checkpoint for j in self._running
+                    if j in self.jobs and self.jobs[j].checkpoint]
+
     def _runner_loop(self) -> None:
         while not self.draining:
-            job = self.queue.take(timeout=0.2)
+            job = self.queue.take(timeout=0.2,
+                                  register=self._register_running)
             if job is None:
                 continue
-            with self._jobs_lock:
-                self._running.add(job.id)
             t0 = time.time()
             try:
                 run_job(job, breaker=self.breaker, ckpt_dir=self.ckpt_dir,
-                        keep=self.config.keep)
+                        keep=self.config.keep,
+                        protect=self._live_checkpoints)
             except Exception as exc:  # pragma: no cover - defensive
                 _log.error("runner crashed on job",
                            fields={"job": job.id, "error": str(exc)})

@@ -122,6 +122,31 @@ class TestCircuitBreaker:
         clock.advance(0.1)
         assert br.state == "half-open"
 
+    def test_abandon_probe_releases_lease(self):
+        clock = FakeClock()
+        br = CircuitBreaker(threshold=1, reset_after=5.0, clock=clock)
+        br.record_failure()
+        clock.advance(5.0)
+        assert br.allow()       # probe granted
+        assert not br.allow()   # held
+        br.abandon_probe()      # holder never exercised the process tier
+        assert br.state == "half-open"
+        assert br.allow()       # next caller probes immediately
+
+    def test_probe_lease_expires_instead_of_wedging(self):
+        # a probe holder that never reports (crashed caller) must not
+        # leave the breaker half-open-but-unprobable forever
+        clock = FakeClock()
+        br = CircuitBreaker(threshold=1, reset_after=5.0, clock=clock)
+        br.record_failure()
+        clock.advance(5.0)
+        assert br.allow()
+        assert not br.allow()
+        clock.advance(5.0)      # lease expires after reset_after
+        assert br.allow()       # fresh probe granted
+        br.record_success()
+        assert br.state == "closed"
+
     def test_snapshot_shape(self):
         br = CircuitBreaker(threshold=4, reset_after=7.0, clock=FakeClock())
         br.record_failure()
@@ -176,6 +201,30 @@ class TestAdmissionQueue:
         for i in range(4):
             q.submit(i)
         assert q.retry_after() > 4 * 10.0 * 0.5  # ~ depth * avg
+
+    def test_force_submit_bypasses_capacity(self):
+        # drain-manifest resume: a manifest can hold more jobs than the
+        # queue limit (queued tail + interrupted in-flight) and every
+        # one must be re-admitted
+        q = AdmissionQueue(1)
+        q.submit("a")
+        q.submit("b", force=True)
+        q.submit("c", force=True)
+        assert len(q) == 3
+        assert [q.take(timeout=0.1) for _ in range(3)] == ["a", "b", "c"]
+        q.close()
+        with pytest.raises(AdmissionError):
+            q.submit("d", force=True)  # force never overrides close
+
+    def test_take_registers_under_the_lock(self):
+        # pop + mark-in-flight must be one atomic step, or a drain can
+        # miss the job in both the close() tail and the running set
+        q = AdmissionQueue(2)
+        q.submit("a")
+        seen = []
+        assert q.take(timeout=0.1, register=seen.append) == "a"
+        assert seen == ["a"]
+        assert q.close() == []  # already popped and registered
 
     def test_limit_validated(self):
         with pytest.raises(ValueError):
@@ -322,6 +371,48 @@ class TestRunJob:
 
         assert active_segments() == []
 
+    def test_half_open_probe_resolves_on_thread_tier_run(self, tmp_path):
+        # regression: a half-open probe granted to a run that resolves
+        # to the thread tier (executor "auto" on a small problem) used
+        # to be held forever — every later allow() returned False and
+        # the breaker wedged with all requests degraded
+        clock = FakeClock()
+        br = CircuitBreaker(threshold=1, reset_after=5.0, clock=clock)
+        br.record_failure()
+        clock.advance(5.0)
+        assert br.state == "half-open"
+        job = _job({**SPEC, "executor": "auto"}, "probe")
+        run_job(job, breaker=br, ckpt_dir=tmp_path)
+        assert job.status == "done"
+        assert not job.degraded   # every chunk got the probe, none hid
+        assert br.allow()         # the probe lease was handed back
+
+    @pytest.mark.filterwarnings("ignore::RuntimeWarning")
+    def test_faults_reach_later_chunks(self, tmp_path):
+        # fault keys live in a job-global shard-id space spanning chunk
+        # runs; a key past the first chunk's shard count must still be
+        # injected (on the chunk run that contains it), not dropped
+        if not _shm_available():
+            pytest.skip("shared_memory unavailable")
+        ref = _job(SPEC, "lref")
+        run_job(ref, ckpt_dir=tmp_path)
+
+        br = CircuitBreaker(threshold=1, reset_after=3600.0,
+                            clock=FakeClock())
+        # chunk=2 over 4 tensors with 2 workers: two chunk runs of two
+        # shards each, so shard id 2 is the second run's first shard
+        chaos = {**SPEC, "executor": "process", "workers": 2, "chunk": 2,
+                 "faults": {"2": "kill"}}
+        job = _job(chaos, "ljob")
+        run_job(job, breaker=br, ckpt_dir=tmp_path)
+        assert job.status == "done"  # requeue recovered the killed shard
+        assert job.result["eigenvalues"] == ref.result["eigenvalues"]
+        assert br.state == "open"    # proof the fault was injected
+
+        from repro.parallel.shm import active_segments
+
+        assert active_segments() == []
+
     def test_keep_prunes_old_checkpoints(self, tmp_path):
         for i in range(3):
             job = _job(SPEC, f"gc{i}")
@@ -330,6 +421,23 @@ class TestRunJob:
         left = sorted(p.name for p in tmp_path.glob("job-*.json"))
         # each completed job kept its own checkpoint + the 1 newest other
         assert left == ["job-gc1.json", "job-gc2.json"]
+
+    def test_keep_protects_inflight_checkpoints(self, tmp_path):
+        # the server passes its live in-flight set as `protect`; a job
+        # finishing must not prune a checkpoint another running job
+        # would need at the next drain, however old its mtime
+        inflight = _job(SPEC, "live")
+        run_job(inflight, ckpt_dir=tmp_path)
+        live_path = tmp_path / "job-live.json"
+        os.utime(live_path, (1000, 1000))  # oldest by far
+
+        for i in range(2):
+            job = _job(SPEC, f"new{i}")
+            run_job(job, ckpt_dir=tmp_path, keep=1,
+                    protect=lambda: [str(live_path)])
+            time.sleep(0.02)
+        left = sorted(p.name for p in tmp_path.glob("job-*.json"))
+        assert "job-live.json" in left
 
 
 # ----------------------------------------------------------------------
@@ -553,6 +661,35 @@ class TestOverloadPath:
             entries = read_drain_manifest(tmp_path / "ckpt")
             states = {e["job"]: e["state"] for e in entries}
             assert states == {a["job"]: "interrupted", b["job"]: "queued"}
+        finally:
+            srv.drain()
+
+
+class TestResumeOverfullManifest:
+    """Regression: a drain taken under load writes up to queue_limit
+    queued entries plus the interrupted in-flight ones, so the manifest
+    can exceed the queue limit — ``--resume-dir`` startup must re-admit
+    every entry, not crash on AdmissionError and strand the manifest."""
+
+    def test_resume_manifest_exceeding_queue_limit(self, tmp_path):
+        ckpt = tmp_path / "ckpt"
+        ckpt.mkdir()
+        spec_doc = JobSpec.from_doc(json.loads(json.dumps(SPEC))).to_doc()
+        write_drain_manifest(ckpt, [
+            {"job": f"r{i}", "run_id": f"rid{i}", "state": "queued",
+             "spec": spec_doc, "checkpoint": None}
+            for i in range(3)])
+
+        srv = EigenServer(ServeConfig(port=0, runners=1, queue_limit=1,
+                                      checkpoint_dir=ckpt, resume_dir=ckpt))
+        srv.start()  # three resumed jobs through a limit-1 queue
+        try:
+            assert read_drain_manifest(ckpt) is None  # cleared on load
+            for i in range(3):
+                job = srv.get_job(f"r{i}")
+                assert job is not None
+                assert job.done_event.wait(timeout=60)
+                assert job.status == "done"
         finally:
             srv.drain()
 
