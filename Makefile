@@ -12,7 +12,7 @@ OLD ?= BENCH_old.json
 NEW ?= BENCH_new.json
 THRESHOLD ?= 0.2
 
-.PHONY: test api-check codegen-check smoke-instrument smoke-report chaos bench bench-overhead bench-smoke bench-compare fleet-bench events-check serve-check
+.PHONY: test api-check codegen-check smoke-instrument smoke-report chaos bench bench-overhead bench-smoke bench-compare fleet-bench events-check serve-check solver-check
 
 test: smoke-instrument api-check codegen-check  ## tier-1: instrumentation smoke, then the full suite
 	python -m pytest -x -q
@@ -20,6 +20,7 @@ test: smoke-instrument api-check codegen-check  ## tier-1: instrumentation smoke
 	$(MAKE) events-check
 	$(MAKE) chaos
 	$(MAKE) serve-check
+	$(MAKE) solver-check
 
 api-check:  ## public API must match the checked-in snapshot
 	python -m pytest -q tests/test_api_surface.py
@@ -51,6 +52,9 @@ fleet-bench:  ## process-vs-thread fleet executor gate (>=2x floor, O(result) IP
 
 serve-check:  ## serve control-plane latency budgets (admission, HTTP, drain)
 	python -m pytest -q benchmarks/bench_serve.py
+
+solver-check:  ## solver zoo: cross-method agreement + chaos faults on geap/qrst
+	python -m pytest -q tests/test_solver_zoo.py
 
 bench-smoke:  ## fast benchmark subset -> BENCH_<stamp>.json at repo root
 	python -m repro.bench.harness --timeout 120

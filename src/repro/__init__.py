@@ -11,8 +11,13 @@ Subpackages
     dense reference, spec-faithful compressed loops, precomputed tables,
     code-generated unrolled, and batched vectorized.
 ``repro.core``
-    SS-HOPM (fixed and adaptive shift), batched multistart, eigenpair
-    deduplication and stability classification.
+    Batched multistart, eigenpair deduplication and stability
+    classification (the solver iterations themselves live in
+    ``repro.solvers``).
+``repro.solvers``
+    The solver zoo: SS-HOPM (fixed and adaptive shift), GEAP
+    (per-iteration adaptive shift), QRST (tensor QR with deflation), and
+    the method registry behind ``repro.solve(method=...)``.
 ``repro.engine``
     The fleet solve engine: whole-workload batched scheduling with lane
     retirement, active-set compaction, and plan-cached kernels.
@@ -44,7 +49,8 @@ Quick start
 >>> pairs = report.eigenpairs(A)[0]  # doctest: +SKIP
 
 ``repro.solve`` routes by request shape (one tensor / a batch, one start
-/ many, ``workers=``); see ``docs/api.md``.
+/ many, ``workers=``) and by ``method=`` (``"sshopm"`` / ``"geap"`` /
+``"qrst"`` / ``"auto"``; see ``docs/solvers.md``); see ``docs/api.md``.
 """
 
 def _read_version() -> str:
@@ -83,12 +89,14 @@ def _read_version() -> str:
 
 __version__ = _read_version()
 
-from repro import core, engine, gpu, instrument, kernels, mri, parallel, symtensor, util
+from repro import core, engine, gpu, instrument, kernels, mri, parallel, solvers, symtensor, util
 from repro.facade import SolveReport, SolveRequest, solve
+from repro.solvers import available_methods
 
 __all__ = [
     "SolveReport",
     "SolveRequest",
+    "available_methods",
     "core",
     "engine",
     "gpu",
@@ -97,6 +105,7 @@ __all__ = [
     "mri",
     "parallel",
     "solve",
+    "solvers",
     "symtensor",
     "util",
     "__version__",

@@ -30,7 +30,7 @@ import numpy as np
 
 from repro.bench.schema import BENCH_SCHEMA, validate_bench
 from repro.core.multistart import multistart_sshopm, starting_vectors
-from repro.core.sshopm import sshopm
+from repro.solvers.sshopm import sshopm
 from repro.instrument import Recorder, span
 from repro.instrument.events import current_spool, new_run_id, provenance
 from repro.instrument.metrics import use_registry
@@ -157,6 +157,21 @@ def _smoke_span_overhead():
     return {"spans": 4000}
 
 
+def _smoke_method_compare():
+    """Mirror of bench_methods.py (solver zoo method comparison)."""
+    from repro.engine import fleet_solve
+    from repro.solvers import qrst_batch
+
+    batch = _batch(tensors=4, m=4, n=4, seed=8)
+    starts = starting_vectors(8, batch.n, rng=np.random.default_rng(9))
+    fleet_solve(batch, starts=starts, alpha=4.0, tol=1e-8, max_iters=40)
+    fleet_solve(batch, starts=starts, tol=1e-8, max_iters=40,
+                adaptive="geap")
+    qrst_batch(batch, num_starts=8, tol=1e-8, max_iters=40, rng=10)
+    return {"tensors": len(batch), "starts": 8,
+            "methods": "sshopm+geap+qrst"}
+
+
 SMOKE_WORKLOADS = [
     ("multistart_vectorized", "bench_table3_performance.py", _smoke_multistart_vectorized),
     ("multistart_unrolled", "bench_ablation_cse.py", _smoke_multistart_unrolled),
@@ -165,6 +180,7 @@ SMOKE_WORKLOADS = [
     ("parallel_two_workers", "bench_figure5_scaling.py", _smoke_parallel_two_workers),
     ("process_fleet", "bench_process_fleet.py", _smoke_process_fleet),
     ("span_overhead", "bench_instrument_overhead.py", _smoke_span_overhead),
+    ("method_compare", "bench_methods.py", _smoke_method_compare),
 ]
 
 

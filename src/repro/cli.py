@@ -252,6 +252,8 @@ def _cmd_solve(args) -> int:
     else:
         tensor = random_symmetric_tensor(args.m, args.n, rng=args.seed)
         source = {"m": args.m, "n": args.n, "tensor_seed": args.seed}
+    if args.method != "sshopm":
+        return _solve_with_method(args, tensor)
     retry = RetryPolicy(max_attempts=max(1, args.retries + 1))
     try:
         result = resilient_multistart(
@@ -287,6 +289,56 @@ def _cmd_solve(args) -> int:
     return 0 if not result.failed_starts or pairs else 1
 
 
+def _solve_with_method(args, tensor) -> int:
+    """``repro solve --method geap/qrst/auto``: route through the facade's
+    registry instead of the SS-HOPM-specific resilient sweep runner."""
+    import repro
+    from repro.core import SolveConfig
+    from repro.resilience import RetryPolicy
+
+    if args.resume or args.checkpoint:
+        print("error: --checkpoint/--resume are only supported with "
+              "--method sshopm (the checkpointing sweep runner)",
+              file=sys.stderr)
+        return 2
+    retry = RetryPolicy(max_attempts=max(1, args.retries + 1))
+    try:
+        report = repro.solve(
+            tensor,
+            starts=args.starts,
+            alpha=args.alpha,
+            tol=args.tol,
+            max_iters=args.max_iters,
+            rng=args.seed,
+            workers=args.workers,
+            method=args.method,
+            config=SolveConfig(retry=retry),
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    result = report.result
+    print(f"{tensor}  method={report.request.method}  "
+          f"solver={report.solver}  seed={args.seed}")
+    pairs = result.eigenpairs(classify=True)
+    if pairs and isinstance(pairs[0], list):
+        pairs = pairs[0]  # (T=1, V) fleet result: take the one tensor
+    converged = np.asarray(result.converged)
+    print(f"converged {int(converged.sum())}/{converged.size} "
+          f"in {report.seconds:.2f}s")
+    if pairs:
+        print(f"{'lambda':>12s}  {'stability':<12s}{'basin':>7s}  "
+              f"{'residual':>9s}  x")
+        for p in pairs:
+            vec = np.array2string(p.eigenvector, precision=4,
+                                  suppress_small=True)
+            print(f"{p.eigenvalue:+12.6f}  {p.stability:<12s}"
+                  f"{p.occurrences:>7d}  {p.residual:9.2e}  {vec}")
+    else:
+        print("no converged eigenpairs (try more --starts)")
+    return 0 if pairs else 1
+
+
 def _cmd_fleet_solve(args) -> int:
     import repro
     from repro.symtensor import random_symmetric_batch
@@ -318,6 +370,7 @@ def _cmd_fleet_solve(args) -> int:
             max_iters=args.max_iters,
             rng=args.seed + 1,
             adaptive=args.adaptive,
+            method=args.method,
             workers=args.workers,
             variant=args.variant,
             codegen_backend=args.backend,
@@ -514,6 +567,7 @@ def _cmd_serve(args) -> int:
         breaker_threshold=args.breaker_threshold,
         breaker_reset=args.breaker_reset,
         default_deadline=args.deadline,
+        default_method=args.method,
         resume_dir=args.resume_dir,
     )
     try:
@@ -649,6 +703,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tol", type=float, default=1e-12)
     p.add_argument("--max-iters", type=int, default=500)
     p.add_argument("--workers", type=int, default=1)
+    p.add_argument("--method", choices=("sshopm", "geap", "qrst", "auto"),
+                   default="sshopm",
+                   help="solver method (repro.solvers registry); anything "
+                   "but sshopm routes through repro.solve and does not "
+                   "support --checkpoint/--resume")
     p.add_argument("--retries", type=int, default=2,
                    help="retries per failed start, with shift escalation "
                    "(default 2)")
@@ -691,6 +750,11 @@ def build_parser() -> argparse.ArgumentParser:
                    "or auto (communication cost model picks)")
     p.add_argument("--adaptive", action="store_true",
                    help="per-lane shift escalation on oscillation")
+    p.add_argument("--method", choices=("sshopm", "geap", "qrst", "auto"),
+                   default="sshopm",
+                   help="solver method: geap runs the fleet with "
+                   "per-lane projected-Hessian shifts, qrst runs the "
+                   "dense QR solver per tensor, auto picks by shape")
     p.add_argument("--compact-every", type=int, default=8, metavar="K",
                    help="sweeps between active-set compactions")
     p.add_argument("--spectra", action="store_true",
@@ -844,6 +908,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
                    help="default per-request deadline applied when a "
                    "request doesn't set deadline_seconds")
+    p.add_argument("--method", choices=("sshopm", "geap", "qrst"),
+                   default="sshopm",
+                   help="default solver method applied when a request "
+                   "doesn't set one (jobs may not use 'auto': specs must "
+                   "be reproducible)")
     p.add_argument("--resume-dir", default=None, metavar="DIR",
                    help="finish the jobs recorded in DIR's drain manifest "
                    "(written by a previous SIGTERM drain) before opening "

@@ -1,6 +1,15 @@
-"""The paper's primary contribution: SS-HOPM and eigenpair extraction."""
+"""The paper's primary contribution: SS-HOPM and eigenpair extraction.
 
-from repro.core.adaptive import adaptive_sshopm
+The solver implementations moved to :mod:`repro.solvers` in PR 10; the
+function names below stay re-exported for compatibility.  The shim
+submodules must enter ``sys.modules`` *before* the function names are
+bound, otherwise a later ``from repro.core.sshopm import ...`` would
+set the submodule as the package attribute and shadow the function.
+"""
+
+from repro.core import adaptive as _shim_adaptive  # noqa: F401
+from repro.core import sshopm as _shim_sshopm  # noqa: F401
+from repro.solvers.adaptive import adaptive_sshopm
 from repro.core.config import SolveConfig
 from repro.core.basins import (
     BasinMap,
@@ -22,7 +31,7 @@ from repro.core.multistart import MultistartResult, multistart_sshopm, starting_
 from repro.core.refine import NewtonResult, newton_refine, refine_pairs
 from repro.core.results import FleetResult, ResultProtocol
 from repro.core.solve import find_eigenpairs, find_eigenpairs_batch
-from repro.core.sshopm import SSHOPMResult, sshopm, suggested_shift
+from repro.solvers.sshopm import SSHOPMResult, sshopm, suggested_shift
 from repro.core.theory import (
     ConvergenceAnalysis,
     analyze_fixed_point,

@@ -74,6 +74,11 @@ class SolveConfig:
         ``stopped=True``).  The serving layer sets this per request; for
         ad-hoc runs prefer passing ``deadline=`` directly to
         :func:`~repro.parallel.fleet.parallel_fleet_solve`.
+    method : solver method name from the :mod:`repro.solvers` registry
+        (``"sshopm"`` / ``"geap"`` / ``"qrst"`` / ``"auto"`` / a
+        registered third-party name); ``None`` keeps the facade's legacy
+        shape routing.  Only :func:`repro.solve` reads it — the
+        per-solver entry points *are* a method and ignore the field.
     """
 
     alpha: float | None = None
@@ -91,6 +96,7 @@ class SolveConfig:
     executor: str | None = None
     events: str | None = None
     deadline: float | None = None
+    method: str | None = None
 
     def replace(self, **changes) -> "SolveConfig":
         """A copy with the given fields changed (dataclass ``replace``)."""

@@ -166,7 +166,8 @@ def fleet_solve(
     config: SolveConfig | None = None,
     *,
     backend: str | None = None,
-    adaptive: bool = False,
+    adaptive: bool | str = False,
+    tau: float = 1e-6,
     compact_every: int = 8,
     plan: KernelPlan | None = None,
     out: FleetWorkspace | None = None,
@@ -189,11 +190,17 @@ def fleet_solve(
         ``codegen_backend`` config field when unset.  Degrades gracefully:
         requesting ``"numba"`` without numba installed runs the numpy
         path and records it on ``plan.effective_backend``.
-    adaptive : give each lane its own shift and escalate it halfway
-        toward the tensor's convergence-guaranteeing bound (see
+    adaptive : ``True`` gives each lane its own shift and escalates it
+        halfway toward the tensor's convergence-guaranteeing bound (see
         :func:`suggested_shifts`) whenever the lane's lambda sequence
         sign-alternates for ``_OSC_WINDOW`` consecutive sweeps — the
-        fleet analog of :func:`repro.core.adaptive.adaptive_sshopm`.
+        fleet analog of :func:`repro.solvers.adaptive.adaptive_sshopm`.
+        The string ``"geap"`` instead recomputes every live lane's shift
+        each sweep from the projected-Hessian rule
+        (:func:`repro.solvers.geap.projected_shift`, margin ``tau``) —
+        the fleet lane version of :func:`repro.solvers.geap.geap`
+        (``mode="max"`` only).
+    tau : convexity margin for ``adaptive="geap"`` (ignored otherwise).
     compact_every : sweeps between active-set compactions.  Between
         compactions retired lanes ride along masked; each compaction
         gathers the survivors so kernel work tracks the live population.
@@ -224,6 +231,13 @@ def fleet_solve(
     do not).
     """
     max_iters = reconcile_max_iters(max_iters, None)
+    # ``if adaptive:`` truthiness would silently give the string "geap"
+    # the oscillation-escalation machinery — keep the two modes explicit
+    if not (isinstance(adaptive, bool) or adaptive == "geap"):
+        raise ValueError(
+            f"adaptive must be a bool or 'geap', got {adaptive!r}")
+    osc_adaptive = adaptive is True
+    geap_mode = adaptive == "geap"
     num_starts = resolve_option("num_starts", num_starts, config, 32)
     alpha = resolve_option("alpha", alpha, config, 0.0)
     tol = resolve_option("tol", tol, config, 1e-10)
@@ -281,7 +295,7 @@ def fleet_solve(
     tensor_of = idx // V                                      # (A,)
     x = np.tile(starts, (T, 1)).astype(dtype, copy=True)      # (A, n)
     alpha_lane = np.full(L, alpha, dtype=np.float64)
-    uniform_shift = not adaptive                              # scalar fast path
+    uniform_shift = not (osc_adaptive or geap_mode)           # scalar fast path
     any_neg = alpha < 0
     lane_vals = values[tensor_of]                             # (A, U)
     # one kernel per sweep: y = A x^{m-1} drives both the update and, via
@@ -289,10 +303,14 @@ def fleet_solve(
     y = np.asarray(plan.ax_m1(lane_vals, x, counter=counter))
     lam = np.einsum("ij,ij->i", x, y, dtype=np.float64)
     live = np.ones(L, dtype=bool)
-    if adaptive:
+    if osc_adaptive:
         bounds = suggested_shifts(tensors)                    # (T,)
         prev_delta = np.zeros(L)
         osc = np.zeros(L, dtype=np.int64)
+    if geap_mode:
+        from repro.solvers.geap import projected_shift
+
+        tensor_objs = [tensors[t] for t in range(T)]
 
     # full-workload outputs, written as lanes retire; with ``out=`` these
     # are flat views over the caller's buffers instead of fresh arrays
@@ -343,6 +361,15 @@ def fleet_solve(
                 break
             sweeps += 1
             with _span("sweep"):
+                if geap_mode:
+                    # per-sweep projected-Hessian shift, one lane at a
+                    # time (the eigendecompositions dominate anyway)
+                    for i in np.flatnonzero(live):
+                        a = projected_shift(
+                            tensor_objs[tensor_of[i]],
+                            np.asarray(x[i], dtype=np.float64), tau, "max")
+                        if np.isfinite(a):
+                            alpha_lane[i] = a
                 if uniform_shift:
                     x_new = y + alpha * x if alpha != 0.0 else y
                     if any_neg:
@@ -377,7 +404,7 @@ def fleet_solve(
                 delta = lam - lam_prev
                 just_conv = live & ~dead & (np.abs(delta) < tol)
 
-                if adaptive:
+                if osc_adaptive:
                     upd = live & ~dead
                     flip = upd & (delta * prev_delta < 0) & (np.abs(delta) >= tol)
                     osc[flip] += 1
@@ -433,7 +460,7 @@ def fleet_solve(
                         lam = lam[live]
                         alpha_lane = alpha_lane[live]
                         lane_vals = values[tensor_of]
-                        if adaptive:
+                        if osc_adaptive:
                             prev_delta = prev_delta[live]
                             osc = osc[live]
                         live = np.ones(idx.shape[0], dtype=bool)

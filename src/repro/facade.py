@@ -45,6 +45,9 @@ class SolveRequest:
     start), an ``int`` count, a 1-D array (one explicit start), or a 2-D
     ``(V, n)`` array of explicit starts.  ``options`` carries any extra
     keyword arguments forwarded verbatim to the routed solver.
+    ``method`` holds the *resolved* solver method (``"auto"`` is resolved
+    before the request is routed); ``None`` means the legacy
+    shape-routing with SS-HOPM solvers.
     """
 
     problem: SymmetricTensorBatch | SymmetricTensor
@@ -57,6 +60,7 @@ class SolveRequest:
     config: SolveConfig | None = None
     rng: Any = None
     options: dict = field(default_factory=dict)
+    method: str | None = None
 
     @property
     def is_batch(self) -> bool:
@@ -74,6 +78,18 @@ class SolveRequest:
 
     def solver_name(self) -> str:
         """Which solver :func:`solve` will route this request to."""
+        if self.method == "geap":
+            if self.is_batch or self.num_starts > 1:
+                # GEAP shares the fleet's lane machinery for multistart
+                base = ("parallel_fleet_solve"
+                        if self.is_batch and self.workers > 1
+                        else "fleet_solve")
+                return base + "+geap"
+            return "geap"
+        if self.method == "qrst":
+            return "qrst_batch" if self.is_batch else "qrst"
+        if self.method not in (None, "sshopm"):
+            return self.method
         if self.is_batch or self.num_starts > 1:
             if self.is_batch and self.workers > 1:
                 return "parallel_fleet_solve"
@@ -127,6 +143,30 @@ def _split_starts(request: SolveRequest):
     raise ValueError(f"starts must be an int or a 1-D/2-D array, got ndim={arr.ndim}")
 
 
+def _fold_deadline(opts: dict, config: SolveConfig | None) -> dict:
+    """Translate ``deadline=`` (or ``config.deadline``) into the solver's
+    ``stop=`` hook, mirroring the fleet path's convention."""
+    deadline = opts.pop("deadline", None)
+    if deadline is None and config is not None:
+        deadline = config.deadline
+    if deadline is not None and "stop" not in opts:
+        opts["stop"] = lambda: time.time() >= deadline
+    return opts
+
+
+# Options only the fleet/multistart drivers understand; uniform callers
+# (the CLI passes its full flag set regardless of method) may hand them
+# to geap/qrst, where they have no meaning and are dropped.
+_FLEET_ONLY_OPTS = ("variant", "backend", "codegen_backend",
+                    "compact_every", "scheme", "executor", "events")
+
+
+def _strip_fleet_opts(opts: dict) -> dict:
+    for key in _FLEET_ONLY_OPTS:
+        opts.pop(key, None)
+    return opts
+
+
 def solve(
     problem: SymmetricTensorBatch | SymmetricTensor,
     starts: int | np.ndarray | None = None,
@@ -138,6 +178,7 @@ def solve(
     *,
     adaptive: bool = False,
     workers: int = 1,
+    method: str | None = None,
     **options,
 ) -> SolveReport:
     """Solve a tensor eigenproblem, routing by the shape of the request.
@@ -152,8 +193,17 @@ def solve(
     alpha, tol, max_iters, config, rng : as in the underlying solvers;
         ``config`` supplies defaults for anything unset.
     adaptive : self-tuning shift.  Routes a single-start request to
-        :func:`~repro.core.adaptive.adaptive_sshopm` and turns on the
+        :func:`~repro.solvers.adaptive.adaptive_sshopm` and turns on the
         fleet engine's per-lane shift escalation for batch requests.
+    method : solver method from the :mod:`repro.solvers` registry —
+        ``"sshopm"`` (default behavior), ``"geap"`` (adaptive
+        projected-Hessian shift; pass ``mode="min"`` for the concave
+        case), ``"qrst"`` (deterministic tensor QR with deflation), any
+        third-party registered name, or ``"auto"`` to route by problem
+        shape and spectrum target
+        (:func:`~repro.solvers.registry.choose_method`).  ``None``
+        defers to ``config.method`` and then the legacy shape routing.
+        See ``docs/solvers.md`` for the selection guide.
     workers : shard a batch request over this many workers via
         :func:`~repro.parallel.fleet.parallel_fleet_solve`; pass
         ``executor="process"`` (or ``"auto"``) in ``options`` to run them
@@ -183,6 +233,8 @@ def solve(
     Returns a :class:`SolveReport`; ``report.result`` satisfies
     :class:`~repro.core.results.ResultProtocol` whichever solver ran.
     """
+    from repro.core.config import resolve_option
+
     request = SolveRequest(
         problem=problem,
         starts=starts,
@@ -195,16 +247,85 @@ def solve(
         rng=rng,
         options=dict(options),
     )
+    method = resolve_option("method", method, config, None)
+    if method is not None:
+        from repro.solvers import choose_method, get_solver
+
+        if method == "auto":
+            method = choose_method(
+                problem.m,
+                problem.n,
+                batch=request.is_batch,
+                num_starts=request.num_starts,
+                spectrum=str(options.get("mode", "max")),
+            )
+        else:
+            get_solver(method)  # unknown names fail loudly up front
+        request.method = method
     solver = request.solver_name()
     count, explicit = _split_starts(request)
     common = dict(alpha=alpha, tol=tol, max_iters=max_iters, config=config)
     extra = None
 
+    from repro.instrument import gauge
+
+    gauge("solve.method", request.method or "sshopm")
+    gauge("solve.solver", solver)
+
     t0 = time.perf_counter()
-    if solver in ("sshopm", "adaptive_sshopm"):
+    if solver == "geap":
+        from repro.resilience.retry import run_with_retry
+        from repro.solvers.geap import geap
+
+        opts = _strip_fleet_opts(_fold_deadline(dict(options), config))
+        x0 = explicit
+        policy = config.retry if config is not None else None
+        if policy is not None:
+            outcome = run_with_retry(
+                lambda attempt: geap(
+                    problem, x0=x0 if attempt == 0 else None, tol=tol,
+                    max_iters=max_iters, config=config, rng=rng, **opts,
+                ),
+                policy, solver="geap", rng=rng,
+            )
+            result, extra = outcome.result, outcome
+        else:
+            result = geap(problem, x0=x0, tol=tol, max_iters=max_iters,
+                          config=config, rng=rng, **opts)
+    elif solver == "qrst":
+        from repro.resilience.retry import run_with_retry
+        from repro.solvers.qrst import qrst
+
+        opts = _strip_fleet_opts(_fold_deadline(dict(options), config))
+        opts.pop("mode", None)  # QRST has no spectrum-target switch
+        policy = config.retry if config is not None else None
+        if policy is not None:
+            outcome = run_with_retry(
+                lambda attempt: qrst(
+                    problem, tol=tol, max_iters=max_iters, config=config,
+                    rng=rng, **opts,
+                ),
+                policy, solver="qrst", rng=rng,
+            )
+            result, extra = outcome.result, outcome
+        else:
+            result = qrst(problem, tol=tol, max_iters=max_iters,
+                          config=config, rng=rng, **opts)
+    elif solver == "qrst_batch":
+        from repro.solvers.qrst import qrst_batch
+
+        opts = _strip_fleet_opts(_fold_deadline(dict(options), config))
+        opts.pop("mode", None)
+        result = qrst_batch(
+            problem, num_starts=count or 8, tol=tol, max_iters=max_iters,
+            rng=rng, config=config, **opts,
+        )
+    elif request.method not in (None, "sshopm", "geap", "qrst"):
+        result = _solve_custom_entry(request, count, tol, max_iters)
+    elif solver in ("sshopm", "adaptive_sshopm"):
         x0 = explicit if explicit is not None else None
         if solver == "adaptive_sshopm":
-            from repro.core.adaptive import adaptive_sshopm
+            from repro.solvers.adaptive import adaptive_sshopm
 
             opts = dict(options)
             # adaptive picks its own shift trajectory; alpha seeds it as tau
@@ -214,7 +335,7 @@ def solve(
                 config=config, rng=rng, **opts,
             )
         else:
-            from repro.core.sshopm import sshopm
+            from repro.solvers.sshopm import sshopm
 
             result = sshopm(problem, x0=x0, rng=rng, **common, **options)
     elif solver == "multistart_sshopm":
@@ -227,6 +348,17 @@ def solve(
     else:
         batch = problem
         fleet_opts = dict(options)
+        if request.method == "geap":
+            # GEAP rides the fleet lanes with per-sweep projected shifts;
+            # a multistart single tensor runs as a singleton batch
+            if fleet_opts.pop("mode", "max") != "max":
+                raise ValueError(
+                    "method='geap' with mode='min' is single-start only; "
+                    "drop starts= or run per-start geap(mode='min') calls"
+                )
+            adaptive = "geap"
+            if not request.is_batch:
+                batch = SymmetricTensorBatch.from_tensors([problem])
         # ``backend=`` is overloaded by history: codegen backend names
         # ("numpy"/"numba"/"cuda-src") select the compiler; anything else
         # is the multistart spelling of variant= ("auto" included — it
@@ -243,7 +375,7 @@ def solve(
                     fleet_opts.pop("backend")
         if "codegen_backend" in fleet_opts:
             fleet_opts["backend"] = fleet_opts.pop("codegen_backend")
-        if solver == "parallel_fleet_solve":
+        if solver.startswith("parallel_fleet_solve"):
             from repro.parallel.fleet import parallel_fleet_solve
 
             kwargs = dict(
@@ -309,4 +441,59 @@ def solve(
         seconds=seconds,
         request=request,
         extra=extra,
+    )
+
+
+def _solve_custom_entry(request: SolveRequest, count, tol, max_iters):
+    """Route a third-party registered method through its
+    :class:`~repro.solvers.registry.SolverEntry` callables.
+
+    Batch requests use ``entry.batch`` when provided; otherwise the
+    facade falls back to running ``entry.single`` per tensor and packing
+    one result slot per tensor into a
+    :class:`~repro.core.results.FleetResult` (reading the conventional
+    ``eigenvalue`` / ``eigenvector`` / ``converged`` / ``iterations``
+    attributes, NaN where absent).
+    """
+    from repro.solvers import get_solver
+
+    entry = get_solver(request.method)
+    config, rng = request.config, request.rng
+    opts = _fold_deadline(dict(request.options), config)
+    common = dict(tol=tol, max_iters=max_iters, config=config, rng=rng)
+    if not request.is_batch:
+        if entry.single is None:
+            raise ValueError(
+                f"solver {request.method!r} is batch-only; pass a "
+                "SymmetricTensorBatch"
+            )
+        return entry.single(request.problem, **common, **opts)
+    if entry.batch is not None:
+        return entry.batch(request.problem, num_starts=count or 8,
+                           **common, **opts)
+    if entry.single is None:
+        raise ValueError(f"solver {request.method!r} registered no callables")
+    from repro.core.results import FleetResult
+
+    batch = request.problem
+    T, n = len(batch), batch.n
+    eigenvalues = np.full((T, 1), np.nan)
+    eigenvectors = np.full((T, 1, n), np.nan)
+    converged = np.zeros((T, 1), dtype=bool)
+    iterations = np.zeros((T, 1), dtype=np.int64)
+    failed = np.zeros((T, 1), dtype=bool)
+    sweeps = 0
+    for t, tensor in enumerate(batch):
+        r = entry.single(tensor, **common, **opts)
+        eigenvalues[t, 0] = float(getattr(r, "eigenvalue", np.nan))
+        vec = getattr(r, "eigenvector", None)
+        if vec is not None:
+            eigenvectors[t, 0] = np.asarray(vec, dtype=np.float64)
+        converged[t, 0] = bool(np.all(getattr(r, "converged", False)))
+        iterations[t, 0] = int(getattr(r, "iterations", 0))
+        sweeps = max(sweeps, int(getattr(r, "iterations", 0)))
+    return FleetResult(
+        eigenvalues=eigenvalues, eigenvectors=eigenvectors,
+        converged=converged, iterations=iterations, sweeps=sweeps,
+        failed=failed, shifts=None, variant=request.method, tensors=batch,
     )

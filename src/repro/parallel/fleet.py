@@ -186,7 +186,7 @@ def parallel_fleet_solve(
     config: SolveConfig | None = None,
     *,
     backend: str | None = None,
-    adaptive: bool = False,
+    adaptive: bool | str = False,
     compact_every: int = 8,
     guards=None,
     executor: str | None = None,

@@ -31,7 +31,7 @@ import numpy as np
 
 from repro.core.config import SolveConfig, resolve_option
 from repro.core.eigenpairs import Eigenpair, dedupe_eigenpairs
-from repro.core.sshopm import sshopm, suggested_shift
+from repro.solvers.sshopm import sshopm, suggested_shift
 from repro.instrument import span as _span
 from repro.instrument.log import get_logger
 from repro.instrument.metrics import MetricsRegistry, get_registry, use_registry

@@ -68,6 +68,11 @@ class JobSpec:
     "values", "values", "m", "n"}`` carries the unique-value rows inline.
     Both reconstruct the identical batch on resume, which the checkpoint
     layer verifies by fingerprint.
+
+    ``method`` picks the solver from the :mod:`repro.solvers` registry
+    (``"sshopm"``, ``"geap"``, ``"qrst"`` — never ``"auto"``: a job spec
+    must be reproducible, so routing happens at submission time).  A
+    checkpoint written under one method is stale for any other.
     """
 
     tensors: dict
@@ -81,6 +86,7 @@ class JobSpec:
     chunk: int = 16
     deadline_seconds: float | None = None
     faults: dict = field(default_factory=dict)
+    method: str = "sshopm"
 
     @classmethod
     def from_doc(cls, doc: dict) -> "JobSpec":
@@ -112,6 +118,14 @@ class JobSpec:
         if deadline is not None and (not isinstance(deadline, (int, float))
                                      or deadline <= 0):
             raise BadSpec("deadline_seconds must be a positive number")
+        method = doc.get("method", "sshopm")
+        from repro.solvers import available_methods
+
+        if method == "auto" or method not in available_methods():
+            raise BadSpec(
+                f"method must be one of "
+                f"{[m for m in available_methods() if m != 'auto']}, "
+                f"got {method!r}")
         try:
             spec = cls(
                 tensors=tensors,
@@ -127,6 +141,7 @@ class JobSpec:
                                   else None),
                 faults={int(k): v
                         for k, v in (doc.get("faults") or {}).items()},
+                method=method,
             )
         except (TypeError, ValueError) as exc:
             raise BadSpec(f"invalid solver parameter: {exc}") from exc
@@ -148,6 +163,7 @@ class JobSpec:
             "chunk": self.chunk,
             "deadline_seconds": self.deadline_seconds,
             "faults": {str(k): v for k, v in self.faults.items()},
+            "method": self.method,
         }
 
     def build_batch(self) -> SymmetricTensorBatch:
@@ -255,6 +271,40 @@ def _merge_rows(rows: dict, T: int, V: int, n: int) -> dict:
     }
 
 
+def _run_qrst_chunk(spec, sub, num_starts, job, deadline, faults):
+    """One chunk through the QRST batch driver, wrapped in a report shaped
+    like the process fleet's so the chunk loop handles both uniformly.
+
+    QRST factors each tensor whole (dense QR sweeps), so the chunk runs
+    on the thread tier in-process — the breaker and the worker fleet
+    never see it.  Chaos ``faults`` keys (already rebased to this chunk)
+    are reinterpreted as per-tensor crash budgets.
+    """
+    from types import SimpleNamespace
+
+    from repro.solvers.qrst import qrst_batch
+
+    plan = None
+    if faults:
+        from repro.resilience.faults import FaultPlan
+
+        plan = FaultPlan(seed=spec.seed,
+                         crashes={int(k): 1 for k in faults})
+
+    def _stop() -> bool:
+        if job.stop_event.is_set():
+            return True
+        return deadline is not None and time.time() >= deadline
+
+    result = qrst_batch(
+        sub, num_starts=num_starts, tol=spec.tol,
+        max_iters=spec.max_iters, rng=spec.seed, stop=_stop,
+        faults=plan, guards=True,
+    )
+    return SimpleNamespace(result=result, requeues=0, failed_shards=[],
+                           executor="thread", shard_sizes=[len(sub)])
+
+
 def run_job(job: Job, *, breaker=None, ckpt_dir=None, keep: int = 0,
             protect=None) -> None:
     """Execute ``job`` chunk by chunk; always leaves it in a terminal
@@ -300,6 +350,13 @@ def run_job(job: Job, *, breaker=None, ckpt_dir=None, keep: int = 0,
                     num_starts=spec.num_starts, seed=spec.seed,
                     alpha=spec.alpha, tol=spec.tol,
                     max_iters=spec.max_iters)
+                ckpt_method = ((((ckpt.get("run") or {}).get("source")
+                                 or {}).get("spec") or {})
+                               .get("method", "sshopm"))
+                if ckpt_method != spec.method:
+                    raise ValueError(
+                        f"checkpoint was written by method {ckpt_method!r}"
+                        f", job wants {spec.method!r}")
                 rows = {int(k): v for k, v in ckpt["starts"].items()}
                 _log.info("resuming job from checkpoint",
                           fields={"job": job.id,
@@ -354,15 +411,23 @@ def run_job(job: Job, *, breaker=None, ckpt_dir=None, keep: int = 0,
         if spec.faults:
             faults = {k - shards_seen: v for k, v in spec.faults.items()
                       if k >= shards_seen} or None
-        attempt_process = executor in ("process", "auto")
+        # QRST is deterministic dense in-process work: it never rides the
+        # process fleet, so the breaker must not judge its outcome.
+        attempt_process = (executor in ("process", "auto")
+                           and spec.method != "qrst")
         try:
-            report = parallel_fleet_solve(
-                sub, workers=min(spec.workers, len(sub)),
-                starts=starts, alpha=spec.alpha, tol=spec.tol,
-                max_iters=spec.max_iters, executor=executor,
-                stop=job.stop_event.is_set, deadline=deadline,
-                faults=faults,
-            )
+            if spec.method == "qrst":
+                report = _run_qrst_chunk(spec, sub, V, job, deadline,
+                                         faults)
+            else:
+                report = parallel_fleet_solve(
+                    sub, workers=min(spec.workers, len(sub)),
+                    starts=starts, alpha=spec.alpha, tol=spec.tol,
+                    max_iters=spec.max_iters, executor=executor,
+                    stop=job.stop_event.is_set, deadline=deadline,
+                    faults=faults,
+                    adaptive=("geap" if spec.method == "geap" else False),
+                )
         except Exception as exc:
             if attempt_process and breaker is not None:
                 breaker.record_failure()
@@ -379,6 +444,8 @@ def run_job(job: Job, *, breaker=None, ckpt_dir=None, keep: int = 0,
                         starts=starts, alpha=spec.alpha, tol=spec.tol,
                         max_iters=spec.max_iters, executor="thread",
                         stop=job.stop_event.is_set, deadline=deadline,
+                        adaptive=("geap" if spec.method == "geap"
+                                  else False),
                     )
                 except Exception as exc2:
                     job.finish("failed", error=str(exc2))

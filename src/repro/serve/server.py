@@ -72,6 +72,7 @@ class ServeConfig:
     breaker_threshold: int = 3
     breaker_reset: float = 30.0
     default_deadline: float | None = None
+    default_method: str = "sshopm"
     resume_dir: str | Path | None = None
     extra: dict = field(default_factory=dict)
 
@@ -233,6 +234,8 @@ class EigenServer:
     def submit(self, doc: dict) -> Job:
         """Validate + admit one solve request (raises :class:`BadSpec` or
         :class:`AdmissionError`)."""
+        if "method" not in doc:
+            doc = {**doc, "method": self.config.default_method}
         spec = JobSpec.from_doc(doc)
         if spec.deadline_seconds is None:
             spec.deadline_seconds = self.config.default_deadline

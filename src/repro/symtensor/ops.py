@@ -165,7 +165,7 @@ def best_rank_one(
     are run so negative-lambda optima are found too.
     """
     from repro.core.multistart import multistart_sshopm
-    from repro.core.sshopm import suggested_shift
+    from repro.solvers.sshopm import suggested_shift
 
     alpha = suggested_shift(tensor)
     best_lam, best_x = 0.0, None

@@ -28,6 +28,13 @@ SIGNATURES = [
     "repro.core.adaptive_sshopm",
     "repro.core.multistart_sshopm",
     "repro.core.suggested_shift",
+    "repro.solvers.geap",
+    "repro.solvers.qrst",
+    "repro.solvers.qrst_batch",
+    "repro.solvers.projected_shift",
+    "repro.solvers.register_solver",
+    "repro.solvers.available_methods",
+    "repro.solvers.choose_method",
     "repro.engine.fleet_solve",
     "repro.engine.suggested_shifts",
     "repro.parallel.parallel_fleet_solve",
@@ -55,6 +62,9 @@ DATACLASSES = [
     "repro.SolveRequest",
     "repro.SolveReport",
     "repro.core.FleetResult",
+    "repro.core.SolveConfig",
+    "repro.solvers.SolverEntry",
+    "repro.solvers.QRSTResult",
     "repro.kernels.codegen.EmittedKernel",
     "repro.kernels.plan.KernelPlan",
     "repro.parallel.FleetRunReport",

@@ -3,6 +3,7 @@ instead, and blames the *caller* (correct ``stacklevel``), so downstream
 code sees actionable ``-W error`` failures pointing at its own lines."""
 
 import warnings
+from importlib import import_module
 
 import numpy as np
 import pytest
@@ -130,6 +131,75 @@ class TestGeneratorAliases:
                    if issubclass(w.category, DeprecationWarning)
                    and "repro" in str(w.message)]
             assert not bad, bad
+        """)
+        proc = subprocess.run([sys.executable, "-c", script],
+                              capture_output=True, text=True)
+        assert proc.returncode == 0, proc.stderr
+
+
+class TestCoreSolverShims:
+    """``repro.core.sshopm`` / ``repro.core.adaptive`` forward to
+    :mod:`repro.solvers` with a caller-blaming warning (PR 10)."""
+
+    def test_sshopm_module_attr_warns_and_forwards(self, tensor):
+        legacy_mod = import_module("repro.core.sshopm")
+        from repro.solvers.sshopm import sshopm as new_fn
+
+        with pytest.warns(DeprecationWarning, match="repro.solvers"):
+            fn = legacy_mod.sshopm
+        assert fn is new_fn
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            res = fn(tensor, alpha=5.0, rng=0, max_iters=30)
+        assert np.isfinite(res.eigenvalue)
+
+    def test_adaptive_module_attr_warns_and_forwards(self):
+        legacy_mod = import_module("repro.core.adaptive")
+        from repro.solvers.adaptive import adaptive_sshopm as new_fn
+
+        with pytest.warns(DeprecationWarning, match="repro.solvers"):
+            fn = legacy_mod.adaptive_sshopm
+        assert fn is new_fn
+
+    def test_from_import_warns(self):
+        with pytest.warns(DeprecationWarning, match="repro.solvers"):
+            from repro.core.sshopm import suggested_shift  # noqa: F401
+
+    def test_shim_warning_blames_this_file(self):
+        legacy_mod = import_module("repro.core.sshopm")
+
+        (record,) = catch(lambda: legacy_mod.sshopm)
+        assert record.filename == THIS_FILE
+
+    def test_unknown_attribute_still_raises(self):
+        legacy_mod = import_module("repro.core.sshopm")
+
+        with pytest.raises(AttributeError):
+            legacy_mod.no_such_solver
+
+    def test_package_reexports_stay_silent(self):
+        """``from repro.core import sshopm`` (the *function*, via the
+        package) is the supported spelling and must not warn."""
+        assert catch(lambda: repro.core.sshopm) == []
+        assert catch(lambda: repro.core.adaptive_sshopm) == []
+
+    def test_package_import_is_warning_free(self):
+        """Merely importing repro.core must not trip the solver shims."""
+        import subprocess
+        import sys
+        import textwrap
+
+        script = textwrap.dedent("""
+            import warnings
+            with warnings.catch_warnings(record=True) as records:
+                warnings.simplefilter("always")
+                import repro.core
+            bad = [str(w.message) for w in records
+                   if issubclass(w.category, DeprecationWarning)
+                   and "repro" in str(w.message)]
+            assert not bad, bad
+            # the package attribute must stay the function, not the shim
+            assert callable(repro.core.sshopm), type(repro.core.sshopm)
         """)
         proc = subprocess.run([sys.executable, "-c", script],
                               capture_output=True, text=True)
